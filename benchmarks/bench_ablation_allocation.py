@@ -1,0 +1,72 @@
+"""Ablation: budget-allocation rule (DESIGN.md §5, item 1).
+
+Compares three ways of spending the same total budget across start nodes:
+
+* **even** — one stage, homogeneous split (the naive baseline the paper's
+  §3.1 argues against);
+* **OCBA (uniform model)** — the paper's staged Theorem-3 allocation;
+* **OCBA (Gaussian model)** — the Appendix-A variant.
+
+Expected shape: staged OCBA beats the even split (the whole point of
+CBAS), and the two OCBA models land close to each other (Fig. 6(b)).
+"""
+
+import statistics
+
+from common import RUN_SEED
+from repro.algorithms.cbas_nd import CBASND
+from repro.bench.datasets import bench_graph
+from repro.bench.harness import ExperimentTable
+from repro.core.problem import WASOProblem
+
+N = 600
+KS = (10, 20)
+BUDGET_PER_K = 60
+REPEATS = 4
+
+
+def run_experiment() -> ExperimentTable:
+    graph = bench_graph("facebook", N)
+    table = ExperimentTable(
+        title="Ablation: budget allocation rule (CBAS-ND quality)",
+        x_label="k",
+    )
+    for k in KS:
+        problem = WASOProblem(graph=graph, k=k)
+        budget = BUDGET_PER_K * k
+        variants = {
+            "even-split": CBASND(budget=budget, m=30, stages=1),
+            "ocba-uniform": CBASND(budget=budget, m=30, stages=8),
+            "ocba-gaussian": CBASND(
+                budget=budget, m=30, stages=8, allocation="gaussian"
+            ),
+        }
+        for name, solver in variants.items():
+            values = [
+                solver.solve(problem, rng=RUN_SEED + r).willingness
+                for r in range(REPEATS)
+            ]
+            table.add(name, k, statistics.fmean(values))
+    return table
+
+
+def test_ablation_allocation(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table.show()
+
+    for k in KS:
+        even = table.series["even-split"].at(k)
+        uniform = table.series["ocba-uniform"].at(k)
+        gaussian = table.series["ocba-gaussian"].at(k)
+        # Staged OCBA beats the naive even split.
+        assert uniform >= even * 0.95, table.render()
+        # The two OCBA models are close (Fig. 6(b) at ablation scale).
+        assert min(uniform, gaussian) >= max(uniform, gaussian) * 0.7
+    top = max(KS)
+    assert table.series["ocba-uniform"].at(top) >= table.series[
+        "even-split"
+    ].at(top), table.render()
+
+
+if __name__ == "__main__":
+    run_experiment().show()

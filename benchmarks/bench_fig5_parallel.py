@@ -1,0 +1,64 @@
+"""Fig. 5(d): CBAS-ND execution time with 1 / 2 / 4 / 8 workers.
+
+The paper reports a ~7.6× speedup on 8 OpenMP threads.  CPython needs
+processes instead of threads (GIL), which adds per-worker startup cost, so
+the reproduced claim is the *shape*: wall-clock time decreases as workers
+are added, and multi-worker runs beat the single-worker baseline.
+"""
+
+import os
+import time
+
+from repro.bench.datasets import bench_graph
+from repro.bench.harness import ExperimentTable, geometric_speedup
+from repro.core.problem import WASOProblem
+from repro.parallel import ParallelSolver
+
+N = 600
+K = 20
+BUDGET = 1600
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def run_experiment() -> ExperimentTable:
+    graph = bench_graph("facebook", N)
+    problem = WASOProblem(graph=graph, k=K)
+    table = ExperimentTable(
+        title=f"Fig 5(d): CBAS-ND time (s) vs workers (k={K}, T={BUDGET})",
+        x_label="workers",
+    )
+    usable = [w for w in WORKER_COUNTS if w <= (os.cpu_count() or 1)]
+    for workers in usable:
+        solver = ParallelSolver(
+            budget=BUDGET, workers=workers, m=20, stages=6
+        )
+        started = time.perf_counter()
+        result = solver.solve(problem, rng=3)
+        elapsed = time.perf_counter() - started
+        table.add("time", workers, elapsed)
+        table.add("quality", workers, result.willingness)
+    return table
+
+
+def test_fig5d_parallel_speedup(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table.show(fmt="{:.3f}")
+
+    times = table.series["time"]
+    workers = times.xs()
+    if len(workers) < 2:
+        return  # single-core machine: nothing to compare
+    baseline = times.at(1)
+    speedups = geometric_speedup(
+        [times.at(w) for w in workers], baseline=baseline
+    )
+    print(f"speedups vs 1 worker: {[f'{s:.2f}x' for s in speedups]}")
+    # Shape: the best multi-worker run beats the serial baseline.
+    assert min(times.at(w) for w in workers[1:]) < baseline
+    # Shape: quality does not collapse when the budget is split.
+    qualities = table.series["quality"]
+    assert min(qualities.ys()) >= max(qualities.ys()) * 0.5
+
+
+if __name__ == "__main__":
+    run_experiment().show(fmt="{:.3f}")

@@ -1,0 +1,62 @@
+"""Fig. 8(a,b): quality and time vs k on the Flickr-regime graph.
+
+Paper claims reproduced as shape checks:
+
+* CBAS-ND outperforms DGreedy (paper: +31% at k = 50 — a smaller margin
+  than on Facebook/DBLP) and tracks or beats CBAS;
+* the running-time ordering matches the Facebook dataset (similar average
+  degree), with RGreedy slowest.
+"""
+
+from common import assert_dominates, standard_algorithms, sweep
+from repro.bench.datasets import bench_graph
+from repro.bench.harness import ExperimentTable
+from repro.core.problem import WASOProblem
+
+N = 700
+KS = (10, 20, 30, 40)
+
+
+def run_experiment() -> tuple[ExperimentTable, ExperimentTable]:
+    graph = bench_graph("flickr", N)
+    quality = ExperimentTable(
+        title="Fig 8(a): quality vs k (Flickr-like)", x_label="k"
+    )
+    times = ExperimentTable(
+        title="Fig 8(b): time (s) vs k (Flickr-like)", x_label="k"
+    )
+    sweep(
+        quality,
+        times,
+        KS,
+        problem_of=lambda k: WASOProblem(graph=graph, k=k),
+        algorithms_of=standard_algorithms,
+        repeats=2,
+    )
+    return quality, times
+
+
+def test_fig8_flickr(benchmark):
+    quality, times = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    quality.show()
+    times.show(fmt="{:.4f}")
+
+    # CBAS-ND >= CBAS on most sweep points.
+    assert_dominates(quality, "CBAS-ND", "CBAS", min_fraction_of_points=0.6)
+    # CBAS-ND beats DGreedy at the top of the sweep (paper: +31% at k=50;
+    # the margin is the smallest of the three datasets, so allow noise).
+    top = max(KS)
+    assert (
+        quality.series["CBAS-ND"].at(top)
+        >= quality.series["DGreedy"].at(top) * 0.95
+    ), quality.render()
+    # Time ordering mirrors Facebook: DGreedy fastest, RGreedy slowest.
+    for k in KS:
+        assert times.series["DGreedy"].at(k) <= times.series["CBAS-ND"].at(k)
+    assert times.series["RGreedy"].at(top) > times.series["CBAS"].at(top)
+
+
+if __name__ == "__main__":
+    q, t = run_experiment()
+    q.show()
+    t.show(fmt="{:.4f}")

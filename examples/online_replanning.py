@@ -1,0 +1,48 @@
+"""Online re-planning (paper §4.4.1): attendees decline, the plan adapts.
+
+After the first recommendation goes out, responses arrive one by one.
+Confirmed attendees are locked in; each decline triggers a fast re-plan
+that keeps the confirmations and routes around the decliner.
+
+Run:  python examples/online_replanning.py
+"""
+
+import random
+
+from repro import CBASND, WASOProblem, facebook_like
+from repro.online import OnlinePlanner
+
+
+def main() -> None:
+    graph = facebook_like(300, seed=11)
+    problem = WASOProblem(graph=graph, k=10)
+    planner = OnlinePlanner(
+        problem, solver=CBASND(budget=300, m=20, stages=5), rng=11
+    )
+
+    plan = planner.plan()
+    print(f"initial plan (W={plan.willingness:.2f}): {sorted(plan.members)}")
+
+    # Simulate responses: each invitee accepts with probability 0.7.
+    rng = random.Random(11)
+    for node in sorted(plan.members):
+        if rng.random() < 0.7:
+            planner.record_accept(node)
+            print(f"  {node} accepted")
+        else:
+            refreshed = planner.record_decline(node)
+            print(
+                f"  {node} DECLINED -> re-planned "
+                f"(W={refreshed.willingness:.2f}): "
+                f"{sorted(refreshed.members)}"
+            )
+
+    final = planner.finalize()
+    print(f"\nfinal group (W={final.willingness:.2f}): {sorted(final.members)}")
+    print(f"declines handled: {len(planner.declined)}")
+    assert not (final.members & planner.declined)
+    print("no decliner is in the final group ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build.  This
+shim keeps the legacy path working::
+
+    python setup.py develop
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro — reproduction of *Willingness Optimization for Social Group
+Activity* (Shuai, Yang, Yu, Chen; VLDB 2013).
+
+The library implements the WASO problem (select a connected group of ``k``
+attendees maximizing the sum of interest and social-tightness scores), the
+paper's randomized solvers CBAS and CBAS-ND (plus the DGreedy / RGreedy
+baselines and exact IP ground truth), every scenario extension from §2.2
+and §4.4, and the full evaluation harness that regenerates the paper's
+figures.
+
+Quickstart::
+
+    from repro import facebook_like, recommend_group
+
+    graph = facebook_like(500, seed=7)
+    result = recommend_group(graph, k=10, solver="cbas-nd", rng=7)
+    print(result.willingness, sorted(result.members))
+"""
+
+from repro.algorithms import (
+    CBAS,
+    CBASND,
+    DGreedy,
+    ExactBnB,
+    IPSolver,
+    RGreedy,
+    SolveResult,
+    Solver,
+    SolveStats,
+    available_solvers,
+    make_solver,
+)
+from repro.core import (
+    GroupSolution,
+    WASOProblem,
+    WillingnessEvaluator,
+    recommend_group,
+    solve_k_range,
+    willingness,
+)
+from repro.exceptions import (
+    BudgetExhaustedError,
+    GraphError,
+    InfeasibleProblemError,
+    ProblemSpecificationError,
+    ReproError,
+    SolverError,
+)
+from repro.graph import (
+    SocialGraph,
+    dblp_like,
+    facebook_like,
+    figure1_graph,
+    figure3_graph,
+    flickr_like,
+    random_social_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Graph
+    "SocialGraph",
+    "facebook_like",
+    "dblp_like",
+    "flickr_like",
+    "random_social_graph",
+    "figure1_graph",
+    "figure3_graph",
+    # Core
+    "WASOProblem",
+    "GroupSolution",
+    "WillingnessEvaluator",
+    "willingness",
+    "recommend_group",
+    "solve_k_range",
+    # Solvers
+    "Solver",
+    "SolveResult",
+    "SolveStats",
+    "DGreedy",
+    "RGreedy",
+    "CBAS",
+    "CBASND",
+    "ExactBnB",
+    "IPSolver",
+    "available_solvers",
+    "make_solver",
+    # Errors
+    "ReproError",
+    "GraphError",
+    "ProblemSpecificationError",
+    "InfeasibleProblemError",
+    "SolverError",
+    "BudgetExhaustedError",
+]

@@ -1,0 +1,42 @@
+"""WASO solvers.
+
+* :class:`~repro.algorithms.dgreedy.DGreedy` — deterministic greedy
+  baseline (paper §1/§3: prone to local optima, Fig. 1).
+* :class:`~repro.algorithms.rgreedy.RGreedy` — randomized greedy with
+  willingness-proportional neighbour selection (paper §4.1).
+* :class:`~repro.algorithms.cbas.CBAS` — randomized search with OCBA
+  computational-budget allocation across start nodes (paper §3).
+* :class:`~repro.algorithms.cbas_nd.CBASND` — CBAS plus cross-entropy
+  neighbour differentiation (paper §4); ``allocation="gaussian"`` gives the
+  CBAS-ND-G variant of Appendix A.
+* :class:`~repro.algorithms.exact.ExactBnB` — exact branch-and-bound over
+  connected k-subgraphs (ground truth for small instances).
+* :class:`~repro.algorithms.ip.IPSolver` — exact MILP (compact
+  single-commodity-flow encoding, solved by HiGHS through scipy); the
+  stand-in for the paper's CPLEX runs.
+* :mod:`~repro.algorithms.paper_ip` — the paper's literal IP formulation
+  (constraints 11–19), for tiny graphs and fidelity tests.
+"""
+
+from repro.algorithms.base import SolveResult, Solver, SolveStats
+from repro.algorithms.dgreedy import DGreedy
+from repro.algorithms.rgreedy import RGreedy
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.exact import ExactBnB
+from repro.algorithms.ip import IPSolver
+from repro.algorithms.registry import available_solvers, make_solver
+
+__all__ = [
+    "Solver",
+    "SolveResult",
+    "SolveStats",
+    "DGreedy",
+    "RGreedy",
+    "CBAS",
+    "CBASND",
+    "ExactBnB",
+    "IPSolver",
+    "available_solvers",
+    "make_solver",
+]

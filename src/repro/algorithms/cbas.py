@@ -1,0 +1,217 @@
+"""CBAS — Computational Budget Allocation for Start nodes (paper §3).
+
+Phase 1 selects ``m`` start nodes by node potential; phase 2 runs ``r``
+stages, each of which (a) apportions the stage budget ``T/r`` across the
+surviving start nodes with the OCBA rule of Theorem 3 and (b) expands each
+funded start node that many times by *uniform* random frontier selection.
+Start nodes whose allocation drops to zero are pruned from later stages.
+
+The solution quality is the maximum willingness over all samples
+(Definition 1); Theorem 5 gives the approximation guarantee
+``E[Q] ≥ N_b · (1/(N_b+1))^{(N_b+1)/N_b} · Q*``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.algorithms.base import Solver, SolveResult, SolveStats
+from repro.algorithms.sampling import ExpansionSampler, Sample, seed_for_start
+from repro.algorithms.start_nodes import default_start_count, select_start_nodes
+from repro.budget.ocba import (
+    StartNodeStats,
+    apportion,
+    gaussian_weights,
+    uniform_weights,
+)
+from repro.budget.stages import plan_stages
+from repro.core.problem import WASOProblem
+from repro.core.solution import GroupSolution
+from repro.core.willingness import WillingnessEvaluator
+from repro.exceptions import BudgetExhaustedError
+
+__all__ = ["CBAS"]
+
+#: A start node whose expansions keep failing (its component is smaller
+#: than k) is written off after this many consecutive failures.
+_MAX_CONSECUTIVE_FAILURES = 5
+
+
+class CBAS(Solver):
+    """Randomized solver with OCBA budget allocation across start nodes.
+
+    Parameters
+    ----------
+    budget:
+        Total computational budget ``T`` (number of complete samples).
+    m:
+        Number of start nodes (default: the paper's ``⌈n/k⌉``).
+    stages:
+        Number of allocation stages ``r`` (default: the paper's bound via
+        :func:`repro.budget.stages.plan_stages` with ``P_b``/``α`` below).
+    pb, alpha:
+        Confidence and closeness-ratio parameters used only to derive the
+        default ``stages``.
+    """
+
+    name = "cbas"
+
+    def __init__(
+        self,
+        budget: int = 200,
+        m: Optional[int] = None,
+        stages: Optional[int] = None,
+        pb: float = 0.7,
+        alpha: float = 0.9,
+        allocation: str = "uniform",
+        start_selection: str = "potential",
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be positive, got {budget}")
+        if m is not None and m < 1:
+            raise ValueError(f"m must be positive, got {m}")
+        if stages is not None and stages < 1:
+            raise ValueError(f"stages must be positive, got {stages}")
+        if allocation not in ("uniform", "gaussian"):
+            raise ValueError(
+                f"allocation must be 'uniform' or 'gaussian', got {allocation!r}"
+            )
+        if start_selection not in ("potential", "random"):
+            raise ValueError(
+                "start_selection must be 'potential' or 'random', "
+                f"got {start_selection!r}"
+            )
+        self.budget = budget
+        self.m = m
+        self.stages = stages
+        self.pb = pb
+        self.alpha = alpha
+        self.allocation = allocation
+        self.start_selection = start_selection
+
+    # ------------------------------------------------------------------
+    def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
+        evaluator = WillingnessEvaluator(problem.graph)
+        sampler = ExpansionSampler(problem, evaluator)
+        m = self.m if self.m is not None else default_start_count(problem)
+        if self.start_selection == "random":
+            starts = self._random_starts(problem, m, rng)
+        else:
+            starts = select_start_nodes(problem, evaluator, m)
+        stage_total = self._stage_count(problem, len(starts))
+
+        node_stats = [StartNodeStats(node=start) for start in starts]
+        failures = [0] * len(starts)
+        stats = SolveStats()
+        best_sample: Optional[Sample] = None
+        self._prepare(problem, starts, evaluator)
+
+        per_stage = max(1, self.budget // stage_total)
+        for stage in range(stage_total):
+            stats.stages += 1
+            if stage == 0:
+                shares = apportion([1.0] * len(starts), per_stage)
+            else:
+                if self.allocation == "gaussian":
+                    weights = gaussian_weights(node_stats)
+                else:
+                    weights = uniform_weights(node_stats)
+                for index, weight in enumerate(weights):
+                    if weight <= 0.0:
+                        node_stats[index].pruned = True
+                shares = apportion(weights, per_stage)
+
+            for index, share in enumerate(shares):
+                if share == 0 or node_stats[index].pruned:
+                    continue
+                seed = seed_for_start(problem, starts[index])
+                stage_samples: list[Sample] = []
+                for _ in range(share):
+                    sample = self._draw(sampler, seed, rng, index)
+                    stats.samples_drawn += 1
+                    if sample is None:
+                        stats.failed_samples += 1
+                        failures[index] += 1
+                        if failures[index] >= _MAX_CONSECUTIVE_FAILURES:
+                            node_stats[index].pruned = True
+                            break
+                        continue
+                    failures[index] = 0
+                    node_stats[index].record(sample.willingness)
+                    stage_samples.append(sample)
+                    if (
+                        best_sample is None
+                        or sample.willingness > best_sample.willingness
+                    ):
+                        best_sample = sample
+                self._after_start_stage(index, stage_samples, stats)
+
+            stats.extra.setdefault("stage_best", []).append(
+                best_sample.willingness if best_sample is not None else None
+            )
+            if all(stat.pruned for stat in node_stats):
+                break
+
+        if best_sample is None:
+            raise BudgetExhaustedError(
+                "CBAS drew no feasible sample within its budget"
+            )
+        stats.extra["start_nodes"] = len(starts)
+        stats.extra["pruned_start_nodes"] = sum(
+            1 for stat in node_stats if stat.pruned
+        )
+        solution = GroupSolution(
+            members=best_sample.members, willingness=best_sample.willingness
+        )
+        return SolveResult(solution=solution, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Hooks overridden by CBAS-ND
+    # ------------------------------------------------------------------
+    def _prepare(
+        self,
+        problem: WASOProblem,
+        starts: list,
+        evaluator: WillingnessEvaluator,
+    ) -> None:
+        """Per-solve setup hook (CBAS-ND builds its probability vectors)."""
+
+    def _draw(
+        self,
+        sampler: ExpansionSampler,
+        seed: set,
+        rng: random.Random,
+        start_index: int,
+    ) -> Optional[Sample]:
+        """One expansion; CBAS uses the uniform frontier draw."""
+        return sampler.draw(seed, rng)
+
+    def _after_start_stage(
+        self,
+        start_index: int,
+        samples: list[Sample],
+        stats: SolveStats,
+    ) -> None:
+        """Called after each start node's draws in a stage (CE update)."""
+
+    def _random_starts(
+        self, problem: WASOProblem, m: int, rng: random.Random
+    ) -> list:
+        """Ablation mode: start nodes drawn uniformly (required first)."""
+        required = list(problem.required)
+        pool = [n for n in problem.candidates() if n not in problem.required]
+        extra = rng.sample(pool, min(max(0, m - len(required)), len(pool)))
+        return (required + extra)[: max(1, m)]
+
+    def _stage_count(self, problem: WASOProblem, m: int) -> int:
+        if self.stages is not None:
+            return self.stages
+        return plan_stages(
+            self.budget,
+            n=problem.graph.number_of_nodes(),
+            k=problem.k,
+            m=m,
+            pb=self.pb,
+            alpha=self.alpha,
+        )

@@ -1,0 +1,141 @@
+"""CBAS-ND — CBAS with cross-entropy Neighbour Differentiation (paper §4).
+
+CBAS-ND inherits CBAS's two-phase skeleton (start-node selection + staged
+OCBA budget allocation) and changes only how a partial solution is grown:
+instead of the uniform frontier draw, each start node ``v_i`` carries a
+node-selection probability vector ``p_i`` (Definition 3).  Frontier node
+``v_j`` is picked with probability proportional to ``p_{i,t,j}``; after
+each stage the vector is refitted to that stage's elite samples via the
+cross-entropy update of Eq. (4) and smoothed with weight ``w``:
+
+    p ← w · (elite frequency) + (1 − w) · p_old
+
+Theorem 6 shows this strictly improves the convergence rate over CBAS at
+equal budget.  ``allocation="gaussian"`` switches the budget-allocation
+rule to the Appendix-A Gaussian model, giving the paper's **CBAS-ND-G**
+variant (Fig. 6); :func:`cbas_nd_g` is a convenience constructor for it.
+
+The optional ``backtrack_threshold`` enables the §4.4.2 extension: when a
+vector's movement ``z_i`` drops below the threshold, it is reset to its
+previous state to escape premature convergence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.algorithms.base import SolveStats
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.sampling import ExpansionSampler, Sample
+from repro.ce.convergence import BacktrackController
+from repro.ce.probability import SelectionProbabilities
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+
+__all__ = ["CBASND", "cbas_nd_g"]
+
+
+class CBASND(CBAS):
+    """CBAS with cross-entropy neighbour differentiation.
+
+    Parameters (beyond :class:`~repro.algorithms.cbas.CBAS`)
+    ----------------------------------------------------------
+    rho:
+        Elite quantile ``ρ`` (paper default 0.3).
+    smoothing:
+        Smoothing weight ``w`` (paper default 0.9).
+    backtrack_threshold:
+        Enable §4.4.2 backtracking below this squared-movement threshold
+        (``None`` = off).
+    """
+
+    name = "cbas-nd"
+
+    def __init__(
+        self,
+        budget: int = 200,
+        m: Optional[int] = None,
+        stages: Optional[int] = None,
+        pb: float = 0.7,
+        alpha: float = 0.99,
+        allocation: str = "uniform",
+        start_selection: str = "potential",
+        rho: float = 0.3,
+        smoothing: float = 0.9,
+        backtrack_threshold: Optional[float] = None,
+        max_backtracks: int = 3,
+    ) -> None:
+        super().__init__(
+            budget=budget,
+            m=m,
+            stages=stages,
+            pb=pb,
+            alpha=alpha,
+            allocation=allocation,
+            start_selection=start_selection,
+        )
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must lie in (0, 1], got {rho}")
+        if not 0.0 <= smoothing <= 1.0:
+            raise ValueError(f"smoothing must lie in [0, 1], got {smoothing}")
+        self.rho = rho
+        self.smoothing = smoothing
+        self.backtrack_threshold = backtrack_threshold
+        self.max_backtracks = max_backtracks
+        self._vectors: list[SelectionProbabilities] = []
+        self._controllers: list[BacktrackController] = []
+
+    # ------------------------------------------------------------------
+    # CBAS hooks
+    # ------------------------------------------------------------------
+    def _prepare(
+        self,
+        problem: WASOProblem,
+        starts: list,
+        evaluator: WillingnessEvaluator,
+    ) -> None:
+        candidates = problem.candidates()
+        self._vectors = [
+            SelectionProbabilities(candidates, problem.k) for _ in starts
+        ]
+        self._controllers = [
+            BacktrackController(
+                threshold=self.backtrack_threshold,
+                max_backtracks=self.max_backtracks,
+            )
+            for _ in starts
+        ]
+
+    def _draw(
+        self,
+        sampler: ExpansionSampler,
+        seed: set,
+        rng: random.Random,
+        start_index: int,
+    ) -> Optional[Sample]:
+        vector = self._vectors[start_index]
+        return sampler.draw(seed, rng, weight_of=vector.probability)
+
+    def _after_start_stage(
+        self,
+        start_index: int,
+        samples: list[Sample],
+        stats: SolveStats,
+    ) -> None:
+        if not samples:
+            return
+        vector = self._vectors[start_index]
+        controller = self._controllers[start_index]
+        controller.remember(vector)
+        movement = vector.update(samples, rho=self.rho, smoothing=self.smoothing)
+        if controller.observe(vector, movement):
+            stats.extra["backtracks"] = stats.extra.get("backtracks", 0) + 1
+
+
+def cbas_nd_g(**kwargs) -> CBASND:
+    """The paper's CBAS-ND-G: CBAS-ND with Gaussian budget allocation."""
+    kwargs.setdefault("allocation", "gaussian")
+    solver = CBASND(**kwargs)
+    solver.name = "cbas-nd-g"
+    return solver

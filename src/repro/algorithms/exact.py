@@ -1,0 +1,185 @@
+"""Exact WASO solver by branch-and-bound enumeration.
+
+For connected WASO we enumerate every connected induced ``k``-subgraph
+exactly once with the ESU tree (Wernicke's algorithm: fix a root, only ever
+extend with exclusive neighbours of higher order), maintaining the
+willingness incrementally and pruning with an admissible optimistic bound —
+``W(partial) + Σ top (k − |partial|) node potentials``, where a node's
+potential (weighted interest plus *all* incident weighted tightness)
+upper-bounds its marginal contribution to any group.
+
+For WASO-dis (``connected=False``) the same bound drives a subset
+branch-and-bound over nodes ordered by potential.
+
+Both modes are exponential in the worst case — this is the ground-truth
+oracle for small instances (the role CPLEX plays in the paper's Fig. 9),
+not a production solver.  ``node_limit`` guards against accidental use on
+big graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.algorithms.base import Solver, SolveResult, SolveStats
+from repro.core.problem import WASOProblem
+from repro.core.solution import GroupSolution
+from repro.core.willingness import WillingnessEvaluator
+from repro.exceptions import SolverError
+from repro.graph.social_graph import NodeId
+
+__all__ = ["ExactBnB"]
+
+
+class ExactBnB(Solver):
+    """Exhaustive branch-and-bound solver (exact optimum).
+
+    Parameters
+    ----------
+    node_limit:
+        Refuse graphs with more allowed nodes than this (safety guard —
+        the search is exponential).
+    """
+
+    name = "exact-bnb"
+
+    def __init__(self, node_limit: int = 400) -> None:
+        if node_limit < 1:
+            raise ValueError(f"node_limit must be positive, got {node_limit}")
+        self.node_limit = node_limit
+
+    def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
+        allowed = [n for n in problem.candidates()]
+        if len(allowed) > self.node_limit:
+            raise SolverError(
+                f"ExactBnB refuses {len(allowed)} nodes "
+                f"(limit {self.node_limit}); use IPSolver instead"
+            )
+        evaluator = WillingnessEvaluator(problem.graph)
+        self._evaluator = evaluator
+        self._problem = problem
+        self._required = set(problem.required)
+        self._best_members: Optional[frozenset] = None
+        self._best_value = -float("inf")
+        self._groups_examined = 0
+
+        # Potentials sorted descending drive the optimistic bound.
+        self._potential = {
+            node: max(0.0, evaluator.node_potential(node)) for node in allowed
+        }
+        self._sorted_potentials = sorted(
+            self._potential.values(), reverse=True
+        )
+
+        if problem.connected:
+            self._search_connected(allowed)
+        else:
+            self._search_unconstrained(allowed)
+
+        if self._best_members is None:
+            raise SolverError("no feasible group exists")
+        solution = GroupSolution(
+            members=self._best_members, willingness=self._best_value
+        )
+        stats = SolveStats(samples_drawn=self._groups_examined)
+        return SolveResult(solution=solution, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Shared bound / record keeping
+    # ------------------------------------------------------------------
+    def _bound(self, current: float, missing: int) -> float:
+        """Admissible optimistic completion bound."""
+        return current + sum(self._sorted_potentials[:missing])
+
+    def _consider(self, members: set[NodeId], value: float) -> None:
+        self._groups_examined += 1
+        if self._required - members:
+            return
+        if value > self._best_value:
+            self._best_value = value
+            self._best_members = frozenset(members)
+
+    # ------------------------------------------------------------------
+    # Connected enumeration (ESU with pruning)
+    # ------------------------------------------------------------------
+    def _search_connected(self, allowed: list[NodeId]) -> None:
+        graph = self._problem.graph
+        k = self._problem.k
+        order = {node: index for index, node in enumerate(allowed)}
+        allowed_set = set(allowed)
+
+        def extend(
+            sub: set[NodeId],
+            ext: list[NodeId],
+            root_rank: int,
+            current: float,
+        ) -> None:
+            if len(sub) == k:
+                self._consider(sub, current)
+                return
+            if self._bound(current, k - len(sub)) <= self._best_value:
+                return
+            ext = list(ext)
+            while ext:
+                node = ext.pop()
+                # Exclusive new neighbours: higher order than the root and
+                # not already adjacent to the current subgraph.
+                new_ext = list(ext)
+                for neighbour in graph.neighbors(node):
+                    if (
+                        neighbour in allowed_set
+                        and order[neighbour] > root_rank
+                        and neighbour not in sub
+                        and not self._adjacent_to(sub, neighbour)
+                        and neighbour != node
+                    ):
+                        new_ext.append(neighbour)
+                delta = self._evaluator.add_delta(node, sub)
+                sub.add(node)
+                extend(sub, new_ext, root_rank, current + delta)
+                sub.remove(node)
+
+        for root in allowed:
+            root_rank = order[root]
+            base = {root}
+            ext = [
+                neighbour
+                for neighbour in graph.neighbors(root)
+                if neighbour in allowed_set and order[neighbour] > root_rank
+            ]
+            extend(base, ext, root_rank, self._evaluator.value(base))
+
+    def _adjacent_to(self, sub: set[NodeId], node: NodeId) -> bool:
+        graph = self._problem.graph
+        adjacency = graph.neighbor_tightness(node)
+        if len(adjacency) < len(sub):
+            return any(member in sub for member in adjacency)
+        return any(graph.has_edge(member, node) for member in sub)
+
+    # ------------------------------------------------------------------
+    # Unconstrained enumeration (WASO-dis)
+    # ------------------------------------------------------------------
+    def _search_unconstrained(self, allowed: list[NodeId]) -> None:
+        k = self._problem.k
+        ordered = sorted(
+            allowed, key=lambda node: self._potential[node], reverse=True
+        )
+
+        def choose(index: int, members: set[NodeId], current: float) -> None:
+            if len(members) == k:
+                self._consider(members, current)
+                return
+            remaining_slots = k - len(members)
+            if len(ordered) - index < remaining_slots:
+                return
+            if self._bound(current, remaining_slots) <= self._best_value:
+                return
+            node = ordered[index]
+            delta = self._evaluator.add_delta(node, members)
+            members.add(node)
+            choose(index + 1, members, current + delta)
+            members.remove(node)
+            choose(index + 1, members, current)
+
+        choose(0, set(), 0.0)

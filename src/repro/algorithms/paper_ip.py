@@ -1,0 +1,233 @@
+"""The paper's literal Integer Programming formulation (Appendix B).
+
+This module builds constraints (11)–(19) exactly as printed — the
+root-to-node *path* encoding with variables ``p_{i,j,m,n}`` ("edge (m,n)
+lies on the path from root i to selected node j") and level variables
+``d_{i,j,m}`` that forbid cycles.  It exists for fidelity: tests verify it
+produces the same optimum as the compact flow encoding in
+:mod:`repro.algorithms.ip` and as brute-force enumeration.
+
+The formulation needs ``O(n²·E)`` binary variables, so it is only usable
+on tiny graphs — which mirrors the paper's own observation that optimal
+solutions are obtainable "only in small cases".
+
+One deliberate deviation: the printed constraint (19),
+``p_{i,j,m,n} ≤ 2(x_m + x_n)``, is vacuous (its right side is ≥ 0 and ≥ 2
+whenever either endpoint is selected); the accompanying prose says the
+intent is that both path endpoints *must participate in F*, so we encode
+``p_{i,j,m,n} ≤ x_m`` and ``p_{i,j,m,n} ≤ x_n``.
+"""
+
+from __future__ import annotations
+
+import random
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.algorithms.base import Solver, SolveResult, SolveStats
+from repro.core.problem import WASOProblem
+from repro.core.solution import GroupSolution
+from repro.core.willingness import WillingnessEvaluator
+from repro.exceptions import SolverError
+
+__all__ = ["PaperIPSolver"]
+
+
+class PaperIPSolver(Solver):
+    """Exact solver using the verbatim Appendix-B formulation.
+
+    ``node_limit`` guards against the O(n²·E) variable blow-up.
+    """
+
+    name = "paper-ip"
+
+    def __init__(self, node_limit: int = 12) -> None:
+        if node_limit < 2:
+            raise ValueError(f"node_limit must be >= 2, got {node_limit}")
+        self.node_limit = node_limit
+
+    def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
+        evaluator = WillingnessEvaluator(problem.graph)
+        nodes = [n for n in problem.candidates()]
+        if len(nodes) > self.node_limit:
+            raise SolverError(
+                f"PaperIPSolver refuses {len(nodes)} nodes "
+                f"(limit {self.node_limit}); use IPSolver instead"
+            )
+        index_of = {node: i for i, node in enumerate(nodes)}
+        allowed = set(nodes)
+        arcs: list[tuple[int, int]] = []
+        for u, v in problem.graph.edges():
+            if u in allowed and v in allowed:
+                arcs.append((index_of[u], index_of[v]))
+                arcs.append((index_of[v], index_of[u]))
+        neighbours: dict[int, list[int]] = {i: [] for i in range(len(nodes))}
+        for m, n_ in arcs:
+            neighbours[m].append(n_)
+
+        n = len(nodes)
+        k = problem.k
+        big = float(n)
+        use_paths = problem.connected and k > 1
+
+        # Variable layout: x (n) | y (arcs) | r (n) | p (pairs*arcs) | d (pairs*n)
+        num_pairs = n * (n - 1) if use_paths else 0
+        x_off = 0
+        y_off = n
+        r_off = y_off + len(arcs)
+        p_off = r_off + (n if use_paths else 0)
+        d_off = p_off + num_pairs * len(arcs)
+        num_vars = d_off + (num_pairs * n if use_paths else 0)
+
+        pair_index: dict[tuple[int, int], int] = {}
+        if use_paths:
+            counter = 0
+            for i in range(n):
+                for j in range(n):
+                    if i != j:
+                        pair_index[(i, j)] = counter
+                        counter += 1
+
+        def p_var(i: int, j: int, arc: int) -> int:
+            return p_off + pair_index[(i, j)] * len(arcs) + arc
+
+        def d_var(i: int, j: int, m: int) -> int:
+            return d_off + pair_index[(i, j)] * n + m
+
+        arc_index: dict[tuple[int, int], int] = {
+            arc: a for a, arc in enumerate(arcs)
+        }
+
+        objective = np.zeros(num_vars)
+        b_weight = {}
+        for i, node in enumerate(nodes):
+            objective[x_off + i] = evaluator.weighted_interest(node)
+            _, b = problem.graph.weights(node)
+            b_weight[i] = b
+        for a, (m, n_) in enumerate(arcs):
+            tau = problem.graph.tightness(nodes[m], nodes[n_])
+            objective[y_off + a] = b_weight[m] * tau
+
+        rows: list[tuple[dict[int, float], float, float]] = []
+        # (11) sum x = k.
+        rows.append(({x_off + i: 1.0 for i in range(n)}, float(k), float(k)))
+        # (12) x_i + x_j >= 2 y_ij  per directed arc.
+        for a, (m, n_) in enumerate(arcs):
+            rows.append(
+                (
+                    {x_off + m: 1.0, x_off + n_: 1.0, y_off + a: -2.0},
+                    0.0,
+                    np.inf,
+                )
+            )
+
+        if use_paths:
+            # (13) one root; (14) root selected.
+            rows.append(({r_off + i: 1.0 for i in range(n)}, 1.0, 1.0))
+            for i in range(n):
+                rows.append(
+                    ({r_off + i: 1.0, x_off + i: -1.0}, -np.inf, 0.0)
+                )
+            for (i, j) in pair_index:
+                # (15) r_i + x_j - 1 <= sum_{n in N_i} p_{i,j,i,n}
+                coeffs = {r_off + i: 1.0, x_off + j: 1.0}
+                for n_ in neighbours[i]:
+                    arc = arc_index[(i, n_)]
+                    coeffs[p_var(i, j, arc)] = -1.0
+                rows.append((coeffs, -np.inf, 1.0))
+                # (16) r_i + x_j - 1 <= sum_{m in N_j} p_{i,j,m,j}
+                coeffs = {r_off + i: 1.0, x_off + j: 1.0}
+                for m in neighbours[j]:
+                    arc = arc_index[(m, j)]
+                    coeffs[p_var(i, j, arc)] = -1.0
+                rows.append((coeffs, -np.inf, 1.0))
+                # (17) flow continuity at intermediate nodes.
+                for m in range(n):
+                    if m in (i, j):
+                        continue
+                    coeffs = {}
+                    for q in neighbours[m]:
+                        coeffs[p_var(i, j, arc_index[(q, m)])] = 1.0
+                    for n_ in neighbours[m]:
+                        key = p_var(i, j, arc_index[(m, n_)])
+                        coeffs[key] = coeffs.get(key, 0.0) - 1.0
+                    rows.append((coeffs, 0.0, 0.0))
+                # (18) anti-cycle levels per arc.
+                for a, (m, n_) in enumerate(arcs):
+                    rows.append(
+                        (
+                            {
+                                d_var(i, j, m): 1.0,
+                                d_var(i, j, n_): -1.0,
+                                p_var(i, j, a): big,
+                            },
+                            -np.inf,
+                            big - 1.0,
+                        )
+                    )
+                # (19, strengthened) path arcs only between selected nodes.
+                for a, (m, n_) in enumerate(arcs):
+                    rows.append(
+                        (
+                            {p_var(i, j, a): 1.0, x_off + m: -1.0},
+                            -np.inf,
+                            0.0,
+                        )
+                    )
+                    rows.append(
+                        (
+                            {p_var(i, j, a): 1.0, x_off + n_: -1.0},
+                            -np.inf,
+                            0.0,
+                        )
+                    )
+
+        lower = np.zeros(num_vars)
+        upper = np.ones(num_vars)
+        integrality = np.ones(num_vars)
+        if use_paths:
+            d_slice = slice(d_off, num_vars)
+            upper[d_slice] = big
+            integrality[d_slice] = 0
+        for node in problem.required:
+            lower[x_off + index_of[node]] = 1.0
+
+        constraint = _assemble(rows, num_vars)
+        result = milp(
+            c=-objective,
+            constraints=[constraint],
+            integrality=integrality,
+            bounds=Bounds(lb=lower, ub=upper),
+        )
+        if result.x is None:
+            raise SolverError(
+                f"paper IP failed: status={result.status} ({result.message})"
+            )
+        members = frozenset(
+            nodes[i] for i in range(n) if result.x[x_off + i] > 0.5
+        )
+        solution = GroupSolution(
+            members=members, willingness=evaluator.value(members)
+        )
+        stats = SolveStats(samples_drawn=1, extra={"variables": num_vars})
+        return SolveResult(solution=solution, stats=stats)
+
+
+def _assemble(rows, num_vars) -> LinearConstraint:
+    data: list[float] = []
+    row_idx: list[int] = []
+    col_idx: list[int] = []
+    lower = np.empty(len(rows))
+    upper = np.empty(len(rows))
+    for r, (coeffs, lo, hi) in enumerate(rows):
+        lower[r] = lo
+        upper[r] = hi
+        for col, value in coeffs.items():
+            row_idx.append(r)
+            col_idx.append(col)
+            data.append(value)
+    matrix = sparse.csr_matrix(
+        (data, (row_idx, col_idx)), shape=(len(rows), num_vars)
+    )
+    return LinearConstraint(matrix, lower, upper)

@@ -1,0 +1,198 @@
+"""Random expansion of partial solutions — the engine of every
+randomized WASO solver.
+
+A *sample* starts from a seed (a start node, plus any required attendees),
+keeps a frontier of selectable neighbours, and repeatedly draws one
+frontier node until ``k`` nodes are collected (paper §3).  The three
+solvers differ only in *how* the draw is biased:
+
+* CBAS — uniform over the frontier;
+* RGreedy — probability proportional to the willingness of the group the
+  node would create, ``P(v|S) ∝ W({v} ∪ S)`` (§4.1);
+* CBAS-ND — probability proportional to the cross-entropy node-selection
+  probability vector (§4.2).
+
+Willingness is maintained incrementally (O(deg) per step), which is exactly
+why the paper calls the uniform variant cheaper than greedy: no willingness
+computation is needed *during* selection, only one delta after it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+from repro.graph.social_graph import NodeId
+
+__all__ = [
+    "Sample",
+    "ExpansionSampler",
+    "weighted_pick",
+    "seed_for_start",
+]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One complete k-node candidate group drawn by a sampler."""
+
+    members: frozenset
+    willingness: float
+
+
+def weighted_pick(
+    rng: random.Random, items: list, weights: list[float]
+) -> int:
+    """Pick an index with probability proportional to ``weights``.
+
+    Non-positive weights are treated as zero; if every weight is zero the
+    pick degrades to uniform (keeps samplers alive when a probability
+    vector collapses).
+    """
+    total = 0.0
+    for weight in weights:
+        if weight > 0.0:
+            total += weight
+    if total <= 0.0:
+        return rng.randrange(len(items))
+    threshold = rng.random() * total
+    cumulative = 0.0
+    for index, weight in enumerate(weights):
+        if weight > 0.0:
+            cumulative += weight
+            if cumulative >= threshold:
+                return index
+    return len(items) - 1  # numerical tail guard
+
+
+def seed_for_start(problem: WASOProblem, start: NodeId) -> set[NodeId]:
+    """Seed member set for an expansion beginning at ``start``.
+
+    Required attendees are always part of the seed (the user-study
+    "with initiator" mode and the future-work must-include feature).
+    """
+    return {start} | set(problem.required)
+
+
+class ExpansionSampler:
+    """Draws complete samples for one problem instance.
+
+    Parameters
+    ----------
+    problem:
+        The WASO instance (its ``connected`` flag decides whether the
+        frontier is the neighbourhood of the partial solution or simply
+        every remaining allowed node — the WASO-dis case).
+    evaluator:
+        Shared willingness evaluator (built once per solve).
+    """
+
+    def __init__(
+        self, problem: WASOProblem, evaluator: WillingnessEvaluator
+    ) -> None:
+        self.problem = problem
+        self.evaluator = evaluator
+        self.graph = problem.graph
+        self._allowed = set(problem.candidates())
+
+    # ------------------------------------------------------------------
+    def draw(
+        self,
+        seed: set[NodeId],
+        rng: random.Random,
+        weight_of: Optional[Callable[[NodeId], float]] = None,
+        greedy_bias: bool = False,
+    ) -> Optional[Sample]:
+        """Expand ``seed`` to ``k`` members; ``None`` if the expansion stalls.
+
+        ``weight_of`` biases the frontier draw by a static per-node weight
+        (CBAS-ND's probability vector).  ``greedy_bias`` biases it by the
+        willingness of the resulting group (RGreedy); the two are mutually
+        exclusive.
+        """
+        if weight_of is not None and greedy_bias:
+            raise ValueError("weight_of and greedy_bias are mutually exclusive")
+        k = self.problem.k
+        members = set(seed)
+        if len(members) > k:
+            return None
+        current = self.evaluator.value(members)
+
+        frontier: list[NodeId] = []
+        in_frontier: set[NodeId] = set()
+        self._extend_frontier(members, members, frontier, in_frontier)
+
+        while len(members) < k:
+            if not frontier:
+                return None
+            index = self._pick_index(
+                frontier, members, current, rng, weight_of, greedy_bias
+            )
+            node = frontier[index]
+            # Swap-pop keeps the uniform draw O(1).
+            frontier[index] = frontier[-1]
+            frontier.pop()
+            current += self.evaluator.add_delta(node, members)
+            members.add(node)
+            self._extend_frontier({node}, members, frontier, in_frontier)
+
+        if self.problem.connected and not self.graph.is_connected_subset(
+            members
+        ):
+            # Only possible when the seed itself was disconnected and the
+            # expansion failed to bridge it.
+            return None
+        return Sample(members=frozenset(members), willingness=current)
+
+    # ------------------------------------------------------------------
+    def _extend_frontier(
+        self,
+        new_members: Iterable[NodeId],
+        members: set[NodeId],
+        frontier: list[NodeId],
+        in_frontier: set[NodeId],
+    ) -> None:
+        if self.problem.connected:
+            for member in new_members:
+                for neighbour in self.graph.neighbors(member):
+                    if (
+                        neighbour not in members
+                        and neighbour not in in_frontier
+                        and neighbour in self._allowed
+                    ):
+                        in_frontier.add(neighbour)
+                        frontier.append(neighbour)
+        elif not frontier and not in_frontier:
+            # WASO-dis: every remaining allowed node is always selectable;
+            # populate once.
+            for node in self._allowed:
+                if node not in members:
+                    in_frontier.add(node)
+                    frontier.append(node)
+
+    def _pick_index(
+        self,
+        frontier: list[NodeId],
+        members: set[NodeId],
+        current: float,
+        rng: random.Random,
+        weight_of: Optional[Callable[[NodeId], float]],
+        greedy_bias: bool,
+    ) -> int:
+        if weight_of is not None:
+            weights = [weight_of(node) for node in frontier]
+            return weighted_pick(rng, frontier, weights)
+        if greedy_bias:
+            weights = [
+                max(
+                    0.0,
+                    current + self.evaluator.add_delta(node, members),
+                )
+                for node in frontier
+            ]
+            return weighted_pick(rng, frontier, weights)
+        return rng.randrange(len(frontier))

@@ -1,0 +1,23 @@
+"""Benchmark support: series containers, table printing, shape checks."""
+
+from repro.bench.harness import (
+    ExperimentTable,
+    Series,
+    format_seconds,
+    geometric_speedup,
+    shape_nondecreasing,
+    shape_ratio,
+    timed,
+)
+from repro.bench.datasets import bench_graph
+
+__all__ = [
+    "Series",
+    "ExperimentTable",
+    "timed",
+    "format_seconds",
+    "shape_ratio",
+    "shape_nondecreasing",
+    "geometric_speedup",
+    "bench_graph",
+]

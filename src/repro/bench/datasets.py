@@ -1,0 +1,45 @@
+"""Cached, laptop-scale datasets for the benches.
+
+The paper's sweeps run on 90k–1.8M-node crawls; the benches re-run them on
+same-regime synthetic graphs small enough to finish in seconds.  Graphs are
+cached per (family, size) so a bench module's multiple sweeps share one
+instance — matching the paper, where all sweeps of one figure use one
+dataset.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.graph.generators import (
+    dblp_like,
+    facebook_like,
+    flickr_like,
+    random_social_graph,
+)
+from repro.graph.social_graph import SocialGraph
+
+__all__ = ["bench_graph", "BENCH_SEED"]
+
+#: One seed for every bench dataset: reruns are exactly reproducible.
+BENCH_SEED = 20130901  # the arXiv v2 date of the paper
+
+_FAMILIES = {
+    "facebook": facebook_like,
+    "dblp": dblp_like,
+    "flickr": flickr_like,
+    "random": random_social_graph,
+}
+
+
+@lru_cache(maxsize=32)
+def bench_graph(family: str, n: int) -> SocialGraph:
+    """Cached synthetic dataset of the given family and size."""
+    try:
+        factory = _FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset family {family!r}; "
+            f"available: {sorted(_FAMILIES)}"
+        ) from None
+    return factory(n, seed=BENCH_SEED)

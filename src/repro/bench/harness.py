@@ -1,0 +1,143 @@
+"""Series containers and printing for the figure-regeneration benches.
+
+Every bench in ``benchmarks/`` produces the same *series* the corresponding
+paper figure plots (one value per sweep point per algorithm), prints them
+as a table headed by the figure number, and applies *shape checks* — the
+qualitative claims the paper makes about the figure (who wins, what grows,
+rough factors).  Absolute values are not expected to match the paper (the
+datasets are synthetic stand-ins at laptop scale); the shapes are.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+#: When set, every table shown by a bench is also appended to this file —
+#: pytest captures stdout, so this is how a plain ``pytest benchmarks/``
+#: run still leaves the regenerated figure series on disk.
+TABLE_LOG_ENV = "WASO_BENCH_TABLE_LOG"
+
+__all__ = [
+    "Series",
+    "ExperimentTable",
+    "timed",
+    "format_seconds",
+    "shape_ratio",
+    "shape_nondecreasing",
+    "geometric_speedup",
+]
+
+
+def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+@dataclass
+class Series:
+    """One curve of a figure: y-values indexed by the sweep variable."""
+
+    name: str
+    points: dict = field(default_factory=dict)
+
+    def add(self, x, y) -> None:
+        self.points[x] = y
+
+    def xs(self) -> list:
+        return sorted(self.points)
+
+    def ys(self) -> list:
+        return [self.points[x] for x in self.xs()]
+
+    def at(self, x):
+        return self.points[x]
+
+
+@dataclass
+class ExperimentTable:
+    """A figure's worth of series plus pretty-printing."""
+
+    title: str
+    x_label: str
+    series: dict[str, Series] = field(default_factory=dict)
+
+    def series_for(self, name: str) -> Series:
+        if name not in self.series:
+            self.series[name] = Series(name=name)
+        return self.series[name]
+
+    def add(self, name: str, x, y) -> None:
+        self.series_for(name).add(x, y)
+
+    def render(self, fmt: str = "{:.3f}") -> str:
+        """Plain-text table: rows = sweep values, columns = series."""
+        xs = sorted({x for s in self.series.values() for x in s.points})
+        names = list(self.series)
+        header = [self.x_label] + names
+        rows = [header]
+        for x in xs:
+            row = [str(x)]
+            for name in names:
+                value = self.series[name].points.get(x)
+                row.append("-" if value is None else fmt.format(value))
+            rows.append(row)
+        widths = [
+            max(len(row[col]) for row in rows) for col in range(len(header))
+        ]
+        lines = [f"== {self.title} =="]
+        for index, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+            if index == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(lines)
+
+    def show(self, fmt: str = "{:.3f}") -> None:
+        rendered = self.render(fmt=fmt)
+        print()
+        print(rendered)
+        log_path = os.environ.get(TABLE_LOG_ENV)
+        if log_path:
+            with open(log_path, "a", encoding="utf-8") as handle:
+                handle.write("\n" + rendered + "\n")
+
+
+# ----------------------------------------------------------------------
+# Shape checks
+# ----------------------------------------------------------------------
+def shape_ratio(numerator: Series, denominator: Series) -> dict:
+    """Pointwise ratio of two series over their common sweep values."""
+    common = sorted(set(numerator.points) & set(denominator.points))
+    ratios = {}
+    for x in common:
+        bottom = denominator.points[x]
+        ratios[x] = float("inf") if bottom == 0 else numerator.points[x] / bottom
+    return ratios
+
+
+def shape_nondecreasing(series: Series, slack: float = 0.0) -> bool:
+    """True iff the series never drops by more than ``slack`` (relative)."""
+    ys = series.ys()
+    for previous, current in zip(ys, ys[1:]):
+        if current < previous * (1.0 - slack):
+            return False
+    return True
+
+
+def geometric_speedup(times: Sequence[float], baseline: float) -> list[float]:
+    """Speedups of ``times`` relative to ``baseline``."""
+    return [baseline / t if t > 0 else float("inf") for t in times]

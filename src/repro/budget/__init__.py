@@ -1,0 +1,25 @@
+"""Optimal Computing Budget Allocation (OCBA) machinery for CBAS.
+
+Implements the paper's Theorem-3 allocation ratio for uniformly distributed
+sample willingness, the Appendix-A Gaussian variant (numeric integration),
+and the stage-planning formulas from the pseudo-code (T₁ and r).
+"""
+
+from repro.budget.ocba import (
+    StartNodeStats,
+    apportion,
+    gaussian_overtake_probability,
+    gaussian_weights,
+    uniform_weights,
+)
+from repro.budget.stages import initial_budget, plan_stages
+
+__all__ = [
+    "StartNodeStats",
+    "uniform_weights",
+    "gaussian_weights",
+    "gaussian_overtake_probability",
+    "apportion",
+    "initial_budget",
+    "plan_stages",
+]

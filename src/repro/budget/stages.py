@@ -1,0 +1,80 @@
+"""Stage planning for the multi-stage budget allocation.
+
+The paper's pseudo-code (Algorithms 1–2) derives the first-stage budget
+``T₁`` and the number of stages ``r`` from the requested confidence ``P_b``
+(the probability that the identified best start node really is best) and
+the closeness ratio ``α``:
+
+* ``T₁ = ⌈ m · ln(2(1 − P_b)/(m − 1)) / ln α ⌉``
+* Example 1 bounds the stage count by
+  ``r ≤ T·k·ln α / (n · ln(2(1 − P_b)/(n/k − 1)))``.
+
+Both expressions are defined only when their logarithms are negative
+(``P_b`` close to 1, ``α < 1``); the helpers below guard the domains and
+clamp the results into practical ranges so callers can always pass the
+paper's defaults (``P_b = 0.7``, ``α = 0.9``) — or, like the experiments in
+§5, simply fix ``T`` and ``r`` directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["initial_budget", "plan_stages"]
+
+
+def initial_budget(m: int, pb: float = 0.7, alpha: float = 0.9) -> int:
+    """First-stage budget ``T₁`` (pseudo-code line 4).
+
+    Returns at least ``m`` so that every start node can draw one sample.
+    """
+    if m < 1:
+        raise ValueError(f"m must be positive, got {m}")
+    if not 0.0 < pb < 1.0:
+        raise ValueError(f"pb must lie in (0, 1), got {pb}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    if m == 1:
+        return 1
+    argument = 2.0 * (1.0 - pb) / (m - 1)
+    if argument >= 1.0:
+        # Confidence already achieved with one sample per start node.
+        return m
+    budget = math.ceil(m * math.log(argument) / math.log(alpha))
+    return max(m, budget)
+
+
+def plan_stages(
+    total_budget: int,
+    n: int,
+    k: int,
+    m: int,
+    pb: float = 0.7,
+    alpha: float = 0.9,
+    max_stages: int = 10,
+) -> int:
+    """Number of allocation stages ``r`` (Example 1's bound).
+
+    ``r ≤ T·k·ln α / (n · ln(2(1 − P_b)/(n/k − 1)))``, clamped to
+    ``[1, max_stages]`` and to at most one stage per ``m`` budget units so
+    every stage can fund every live start node at least once.
+    """
+    if total_budget < 1:
+        raise ValueError(f"total_budget must be positive, got {total_budget}")
+    if k < 1 or n < k:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if m < 1:
+        raise ValueError(f"m must be positive, got {m}")
+
+    upper = max_stages
+    ratio = n / k - 1.0
+    if ratio > 0.0:
+        argument = 2.0 * (1.0 - pb) / ratio
+        if 0.0 < argument < 1.0:
+            bound = total_budget * k * math.log(alpha) / (
+                n * math.log(argument)
+            )
+            if bound >= 1.0:
+                upper = min(upper, int(bound))
+    upper = min(upper, max(1, total_budget // max(1, m)))
+    return max(1, upper)

@@ -1,0 +1,17 @@
+"""Cross-entropy machinery for CBAS-ND.
+
+:class:`~repro.ce.probability.SelectionProbabilities` holds one start
+node's node-selection probability vector and applies the elite-sample
+update of the paper's Eq. (4) with the smoothing step;
+:class:`~repro.ce.convergence.BacktrackController` implements the
+§4.4.2 backtracking extension.
+"""
+
+from repro.ce.probability import SelectionProbabilities, elite_threshold
+from repro.ce.convergence import BacktrackController
+
+__all__ = [
+    "SelectionProbabilities",
+    "elite_threshold",
+    "BacktrackController",
+]

@@ -1,0 +1,147 @@
+"""Node-selection probability vectors and the cross-entropy update.
+
+CBAS-ND maintains, per start node, a probability ``p_j`` of selecting each
+node ``v_j`` during expansion (Definition 3).  After each stage the vector
+is refitted to the *elite* samples — those whose willingness reaches the
+top-ρ quantile ``γ`` (Definition 5) — via the paper's Eq. (4):
+
+    p_j ← Σ_q 1{W(X_q) ≥ γ} · x_{q,j}  /  Σ_q 1{W(X_q) ≥ γ}
+
+which §4.3 proves is the minimizer of the Kullback–Leibler distance to the
+optimal importance-sampling density.  A smoothing step
+``p ← w·p_new + (1 − w)·p_old`` keeps every probability strictly inside
+(0, 1) so no node is permanently locked in or out.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.algorithms.sampling import Sample
+from repro.graph.social_graph import NodeId
+
+__all__ = ["SelectionProbabilities", "elite_threshold"]
+
+
+def elite_threshold(willingness_values: Sequence[float], rho: float) -> float:
+    """Top-ρ sample quantile ``γ = W_(⌈ρN⌉)`` (Definition 5).
+
+    ``willingness_values`` need not be sorted; ``rho`` in (0, 1].
+    """
+    if not willingness_values:
+        raise ValueError("cannot take a quantile of zero samples")
+    if not 0.0 < rho <= 1.0:
+        raise ValueError(f"rho must lie in (0, 1], got {rho}")
+    ordered = sorted(willingness_values, reverse=True)
+    rank = max(1, math.ceil(rho * len(ordered)))
+    return ordered[rank - 1]
+
+
+class SelectionProbabilities:
+    """One start node's node-selection probability vector ``p_i``.
+
+    Parameters
+    ----------
+    candidates:
+        Nodes the vector ranges over (the problem's allowed nodes).
+    k:
+        Group size; the paper initializes every entry to ``(k − 1)/|V|``
+        (homogeneous — stage 1 of CBAS-ND behaves exactly like CBAS).
+    """
+
+    def __init__(self, candidates: Iterable[NodeId], k: int) -> None:
+        nodes = list(candidates)
+        if not nodes:
+            raise ValueError("need at least one candidate node")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        initial = min(1.0, (k - 1) / len(nodes)) if len(nodes) > 1 else 1.0
+        if initial <= 0.0:
+            initial = 1.0 / len(nodes)
+        self._p: dict[NodeId, float] = {node: initial for node in nodes}
+        self.gamma = -math.inf  # monotone elite threshold (pseudo-code 36-39)
+
+    # ------------------------------------------------------------------
+    def probability(self, node: NodeId) -> float:
+        """Current selection probability of ``node`` (0 if unknown)."""
+        return self._p.get(node, 0.0)
+
+    __call__ = probability
+
+    def as_dict(self) -> dict[NodeId, float]:
+        return dict(self._p)
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        samples: Sequence[Sample],
+        rho: float,
+        smoothing: float,
+    ) -> float:
+        """Apply Eq. (4) + smoothing using this stage's ``samples``.
+
+        Returns the squared L2 distance between the old and new vectors —
+        the convergence signal ``z_i`` of §4.4.2.  The elite threshold is
+        kept monotone across stages as in Algorithm 2 (lines 36–39): the
+        new stage's quantile only replaces ``γ`` when it improves it.
+        """
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must lie in (0, 1], got {rho}")
+        if not 0.0 <= smoothing <= 1.0:
+            raise ValueError(
+                f"smoothing weight must lie in [0, 1], got {smoothing}"
+            )
+        if not samples:
+            return 0.0
+
+        stage_gamma = elite_threshold(
+            [sample.willingness for sample in samples], rho
+        )
+        self.gamma = max(self.gamma, stage_gamma)
+        elites = [s for s in samples if s.willingness >= self.gamma]
+        if not elites:
+            # Every sample of this stage fell below the historic threshold;
+            # keep the vector unchanged rather than fitting to nothing.
+            return 0.0
+
+        counts: dict[NodeId, int] = {}
+        for sample in elites:
+            for node in sample.members:
+                counts[node] = counts.get(node, 0) + 1
+
+        distance = 0.0
+        size = len(elites)
+        for node, old in self._p.items():
+            target = counts.get(node, 0) / size
+            new = smoothing * target + (1.0 - smoothing) * old
+            distance += (new - old) ** 2
+            self._p[node] = new
+        return distance
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[NodeId, float]:
+        """Copy of the vector (used by the backtracking controller)."""
+        return dict(self._p)
+
+    def restore(self, snapshot: dict[NodeId, float]) -> None:
+        """Reset the vector to a previous :meth:`snapshot`."""
+        self._p = dict(snapshot)
+
+    def kl_distance(self, other: "SelectionProbabilities") -> float:
+        """Bernoulli-factorized KL distance between two vectors.
+
+        ``Σ_j p ln(p/q) + (1−p) ln((1−p)/(1−q))`` with clamping away from
+        {0, 1}.  Exposed for diagnostics and tests of the CE theory.
+        """
+
+        def _clamp(x: float) -> float:
+            return min(1.0 - 1e-12, max(1e-12, x))
+
+        total = 0.0
+        for node, p_raw in self._p.items():
+            p = _clamp(p_raw)
+            q = _clamp(other.probability(node))
+            total += p * math.log(p / q)
+            total += (1.0 - p) * math.log((1.0 - p) / (1.0 - q))
+        return total

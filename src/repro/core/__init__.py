@@ -1,0 +1,24 @@
+"""Core WASO abstractions: problem specification, objective, solutions.
+
+The flow is: build a :class:`~repro.graph.SocialGraph`, wrap it in a
+:class:`WASOProblem` (group size ``k`` plus optional constraints), hand the
+problem to any solver in :mod:`repro.algorithms`, and receive a
+:class:`GroupSolution` whose feasibility can be re-checked independently.
+
+:func:`~repro.core.api.recommend_group` / :func:`~repro.core.api.solve_k_range`
+are the high-level one-call entry points.
+"""
+
+from repro.core.problem import WASOProblem
+from repro.core.solution import GroupSolution
+from repro.core.willingness import WillingnessEvaluator, willingness
+from repro.core.api import recommend_group, solve_k_range
+
+__all__ = [
+    "WASOProblem",
+    "GroupSolution",
+    "WillingnessEvaluator",
+    "willingness",
+    "recommend_group",
+    "solve_k_range",
+]

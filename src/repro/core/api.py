@@ -1,0 +1,97 @@
+"""High-level convenience API.
+
+``recommend_group`` is the one-call entry point a social networking site
+would embed: hand it a graph and a group size, get back the recommended
+attendees.  ``solve_k_range`` implements the paper's suggestion (§1) that
+for activities without a fixed size the user specifies a range of ``k``
+and inspects the solution for each.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.problem import WASOProblem
+from repro.graph.social_graph import SocialGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import SolveResult
+
+__all__ = ["recommend_group", "solve_k_range"]
+
+
+def recommend_group(
+    graph: SocialGraph,
+    k: int,
+    solver: str = "cbas-nd",
+    connected: bool = True,
+    required=(),
+    forbidden=(),
+    rng=None,
+    **solver_kwargs,
+) -> "SolveResult":
+    """Recommend ``k`` attendees for an activity on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Social network with interest / tightness scores attached.
+    k:
+        Number of attendees.
+    solver:
+        Registry name (default the paper's best performer, CBAS-ND).
+    connected:
+        ``False`` allows separate sub-groups (WASO-dis).
+    required / forbidden:
+        Must-include / must-exclude attendees.
+    rng:
+        Seed or ``random.Random`` for reproducibility.
+    solver_kwargs:
+        Forwarded to the solver constructor (``budget``, ``m``, ...).
+    """
+    from repro.algorithms.registry import make_solver
+
+    problem = WASOProblem(
+        graph=graph,
+        k=k,
+        connected=connected,
+        required=frozenset(required),
+        forbidden=frozenset(forbidden),
+    )
+    return make_solver(solver, **solver_kwargs).solve(problem, rng=rng)
+
+
+def solve_k_range(
+    graph: SocialGraph,
+    k_min: int,
+    k_max: int,
+    solver: str = "cbas-nd",
+    connected: bool = True,
+    required=(),
+    forbidden=(),
+    rng=None,
+    **solver_kwargs,
+) -> dict[int, "SolveResult"]:
+    """Solve WASO for every ``k`` in ``[k_min, k_max]``.
+
+    Returns ``{k: SolveResult}`` so the organizer can pick the most
+    suitable group size, as the paper proposes for activities without an
+    a-priori fixed size.
+    """
+    if k_min < 1 or k_max < k_min:
+        raise ValueError(
+            f"need 1 <= k_min <= k_max, got k_min={k_min}, k_max={k_max}"
+        )
+    results: dict[int, "SolveResult"] = {}
+    for k in range(k_min, k_max + 1):
+        results[k] = recommend_group(
+            graph,
+            k,
+            solver=solver,
+            connected=connected,
+            required=required,
+            forbidden=forbidden,
+            rng=rng,
+            **solver_kwargs,
+        )
+    return results

@@ -1,0 +1,166 @@
+"""The WASO problem specification.
+
+A :class:`WASOProblem` bundles the social graph with everything a solver
+needs to know about one planning request:
+
+* ``k`` — the expected number of attendees (§2.1);
+* ``connected`` — whether the induced subgraph must be connected
+  (``False`` gives WASO-dis, §2.2);
+* ``required`` — attendees that must be in the group.  The paper's user
+  study runs "with initiator" variants (§5.2) and its future-work section
+  asks for user-specified must-include attendees — both map onto this set;
+* ``forbidden`` — people excluded up front (the paper's preprocessing
+  footnote: unavailable users, people who live too far, ...).
+
+Validation happens eagerly in ``__post_init__`` so solvers can assume a
+well-formed instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.exceptions import InfeasibleProblemError, ProblemSpecificationError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+__all__ = ["WASOProblem"]
+
+
+@dataclass(frozen=True)
+class WASOProblem:
+    """One WASO instance: pick ``k`` nodes of ``graph`` maximizing willingness.
+
+    Parameters
+    ----------
+    graph:
+        The social network (interest + tightness scores attached).
+    k:
+        Number of attendees to select.
+    connected:
+        Require the induced subgraph to be connected (default, the paper's
+        base formulation).  ``False`` yields WASO-dis.
+    required:
+        Nodes that must appear in every feasible solution.
+    forbidden:
+        Nodes that may never appear.
+    """
+
+    graph: SocialGraph
+    k: int
+    connected: bool = True
+    required: FrozenSet[NodeId] = field(default_factory=frozenset)
+    forbidden: FrozenSet[NodeId] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "required", frozenset(self.required))
+        object.__setattr__(self, "forbidden", frozenset(self.forbidden))
+        if self.k < 1:
+            raise ProblemSpecificationError(
+                f"group size k must be at least 1, got {self.k}"
+            )
+        if self.k > self.graph.number_of_nodes():
+            raise ProblemSpecificationError(
+                f"k={self.k} exceeds the graph size "
+                f"{self.graph.number_of_nodes()}"
+            )
+        for node in self.required | self.forbidden:
+            if not self.graph.has_node(node):
+                raise ProblemSpecificationError(
+                    f"constraint references unknown node {node!r}"
+                )
+        overlap = self.required & self.forbidden
+        if overlap:
+            raise ProblemSpecificationError(
+                f"nodes both required and forbidden: {sorted(map(repr, overlap))}"
+            )
+        if len(self.required) > self.k:
+            raise ProblemSpecificationError(
+                f"{len(self.required)} required nodes cannot fit in k={self.k}"
+            )
+
+    # ------------------------------------------------------------------
+    # Candidate / feasibility helpers
+    # ------------------------------------------------------------------
+    def is_candidate(self, node: NodeId) -> bool:
+        """True iff ``node`` may appear in a solution."""
+        return self.graph.has_node(node) and node not in self.forbidden
+
+    def candidates(self) -> list[NodeId]:
+        """All selectable nodes (graph minus forbidden)."""
+        return [n for n in self.graph.nodes() if n not in self.forbidden]
+
+    def ensure_feasible(self) -> None:
+        """Raise :class:`InfeasibleProblemError` if no solution can exist.
+
+        Checks component capacities: for connected WASO some allowed
+        component (containing all required nodes, if any) must hold at
+        least ``k`` allowed nodes.
+        """
+        allowed = set(self.candidates())
+        if len(allowed) < self.k:
+            raise InfeasibleProblemError(
+                f"only {len(allowed)} allowed nodes for k={self.k}"
+            )
+        if not self.connected:
+            return
+        components = self._allowed_components(allowed)
+        required = set(self.required)
+        if required:
+            hosts = [c for c in components if required <= c]
+            if not hosts:
+                raise InfeasibleProblemError(
+                    "required nodes do not share a connected component of "
+                    "allowed nodes"
+                )
+            if all(len(c) < self.k for c in hosts):
+                raise InfeasibleProblemError(
+                    f"no component containing the required nodes has >= "
+                    f"{self.k} allowed nodes"
+                )
+        elif all(len(c) < self.k for c in components):
+            raise InfeasibleProblemError(
+                f"no connected component of allowed nodes has >= {self.k} nodes"
+            )
+
+    def _allowed_components(self, allowed: set[NodeId]) -> list[set[NodeId]]:
+        """Connected components of the subgraph induced by allowed nodes."""
+        remaining = set(allowed)
+        components: list[set[NodeId]] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                for neighbour in self.graph.neighbors(current):
+                    if neighbour in remaining and neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+            components.append(seen)
+            remaining -= seen
+        return components
+
+    def with_k(self, k: int) -> "WASOProblem":
+        """Copy of this problem with a different group size."""
+        return WASOProblem(
+            graph=self.graph,
+            k=k,
+            connected=self.connected,
+            required=self.required,
+            forbidden=self.forbidden,
+        )
+
+    def without_nodes(self, nodes) -> "WASOProblem":
+        """Copy with extra nodes moved to the forbidden set.
+
+        Used by the online re-planner when attendees decline (§4.4.1).
+        """
+        extra = frozenset(nodes)
+        return WASOProblem(
+            graph=self.graph,
+            k=self.k,
+            connected=self.connected,
+            required=self.required - extra,
+            forbidden=self.forbidden | extra,
+        )

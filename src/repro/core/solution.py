@@ -1,0 +1,75 @@
+"""Solution objects and feasibility checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+from repro.graph.social_graph import NodeId
+
+__all__ = ["GroupSolution"]
+
+
+@dataclass(frozen=True)
+class GroupSolution:
+    """A candidate attendee group together with its willingness.
+
+    Instances are produced by solvers but can be built by hand; use
+    :meth:`evaluate` to construct one with the willingness computed for you
+    and :meth:`check_feasible` to independently re-validate it against a
+    problem (tests do this for every solver).
+    """
+
+    members: FrozenSet[NodeId]
+    willingness: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", frozenset(self.members))
+
+    @classmethod
+    def evaluate(cls, problem: WASOProblem, members) -> "GroupSolution":
+        """Build a solution for ``members``, computing its willingness."""
+        evaluator = WillingnessEvaluator(problem.graph)
+        members = frozenset(members)
+        return cls(members=members, willingness=evaluator.value(members))
+
+    def check_feasible(self, problem: WASOProblem) -> list[str]:
+        """Return a list of violated constraints (empty = feasible)."""
+        violations: list[str] = []
+        if len(self.members) != problem.k:
+            violations.append(
+                f"size {len(self.members)} != k={problem.k}"
+            )
+        missing = [n for n in self.members if not problem.graph.has_node(n)]
+        if missing:
+            violations.append(f"unknown nodes: {sorted(map(repr, missing))}")
+            return violations
+        absent_required = problem.required - self.members
+        if absent_required:
+            violations.append(
+                f"required nodes missing: {sorted(map(repr, absent_required))}"
+            )
+        banned = self.members & problem.forbidden
+        if banned:
+            violations.append(
+                f"forbidden nodes present: {sorted(map(repr, banned))}"
+            )
+        if problem.connected and not problem.graph.is_connected_subset(
+            self.members
+        ):
+            violations.append("induced subgraph is not connected")
+        return violations
+
+    def is_feasible(self, problem: WASOProblem) -> bool:
+        """True iff the solution satisfies every constraint of ``problem``."""
+        return not self.check_feasible(problem)
+
+    def sorted_members(self) -> list[NodeId]:
+        """Members in a stable, printable order."""
+        return sorted(self.members, key=repr)
+
+    def __str__(self) -> str:
+        members = ", ".join(map(str, self.sorted_members()))
+        return f"GroupSolution(W={self.willingness:.4f}, members=[{members}])"

@@ -1,0 +1,133 @@
+"""The willingness objective — Eq. (1) with the footnote-7 weighting.
+
+For a group ``F`` the willingness is
+
+    W(F) = Σ_{i ∈ F} ( a_i·η_i + b_i·Σ_{j ∈ F : e_ij ∈ E} τ_ij )
+
+where ``(a_i, b_i) = (1, 1)`` for the plain Eq. (1) objective (node's
+``λ = None``) or ``(λ_i, 1 − λ_i)`` otherwise.  Both directions of each
+edge contribute, matching the paper's remark that ``τ_ij`` and ``τ_ji``
+are counted separately.
+
+:class:`WillingnessEvaluator` is the hot path of every solver: it caches
+the per-node weighted interest and supports O(deg(v)) *incremental* deltas
+for adding or removing a node from a partial group — the same trick that
+makes the randomized algorithms cheap compared to recomputing W from
+scratch at every expansion step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+__all__ = ["WillingnessEvaluator", "willingness"]
+
+
+class WillingnessEvaluator:
+    """Cached evaluator for one graph.
+
+    The evaluator snapshots per-node weights at construction; if the graph's
+    scores are mutated afterwards, build a fresh evaluator (solvers always
+    do).
+    """
+
+    def __init__(self, graph: SocialGraph) -> None:
+        self.graph = graph
+        # Pre-weighted interest a_i * eta_i, and tightness weight b_i.
+        self._weighted_interest: dict[NodeId, float] = {}
+        self._tightness_weight: dict[NodeId, float] = {}
+        for node in graph.nodes():
+            a, b = graph.weights(node)
+            self._weighted_interest[node] = a * graph.interest(node)
+            self._tightness_weight[node] = b
+
+    # ------------------------------------------------------------------
+    # Full evaluation
+    # ------------------------------------------------------------------
+    def value(self, group: Iterable[NodeId]) -> float:
+        """Willingness of ``group`` (recomputed from scratch, O(Σ deg))."""
+        members = set(group)
+        total = 0.0
+        for node in members:
+            if node not in self._weighted_interest:
+                raise NodeNotFoundError(node)
+            total += self._weighted_interest[node]
+            b = self._tightness_weight[node]
+            if b == 0.0:
+                continue
+            for neighbour, tau in self.graph.neighbor_tightness(node).items():
+                if neighbour in members:
+                    total += b * tau
+        return total
+
+    # ------------------------------------------------------------------
+    # Incremental evaluation
+    # ------------------------------------------------------------------
+    def add_delta(self, node: NodeId, group: set[NodeId]) -> float:
+        """Increment of W when ``node`` joins ``group`` (node not in group).
+
+        ``Δ = a_v·η_v + b_v·Σ_{j∈S} τ_vj + Σ_{j∈S} b_j·τ_jv`` — both the
+        newcomer's outgoing tightness toward the group and the group's
+        tightness toward the newcomer.
+        """
+        if node not in self._weighted_interest:
+            raise NodeNotFoundError(node)
+        delta = self._weighted_interest[node]
+        b_node = self._tightness_weight[node]
+        adjacency = self.graph.neighbor_tightness(node)
+        for neighbour, tau_out in adjacency.items():
+            if neighbour in group:
+                delta += b_node * tau_out
+                delta += self._tightness_weight[neighbour] * (
+                    self.graph.neighbor_tightness(neighbour)[node]
+                )
+        return delta
+
+    def remove_delta(self, node: NodeId, group: set[NodeId]) -> float:
+        """Decrement of W when ``node`` leaves ``group`` (node in group)."""
+        others = group - {node}
+        return -self.add_delta(node, others)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def weighted_interest(self, node: NodeId) -> float:
+        """``a_v · η_v`` for ``node``."""
+        try:
+            return self._weighted_interest[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def pair_weight(self, source: NodeId, target: NodeId) -> float:
+        """Objective weight of edge ``{source, target}``:
+        ``b_s·τ_st + b_t·τ_ts``."""
+        return self._tightness_weight[source] * self.graph.tightness(
+            source, target
+        ) + self._tightness_weight[target] * self.graph.tightness(
+            target, source
+        )
+
+    def node_potential(self, node: NodeId) -> float:
+        """Upper-bound style score: weighted interest plus *all* incident
+        weighted tightness (in both directions).
+
+        This is the quantity CBAS phase 1 ranks start-node candidates by,
+        and the optimistic per-node bound the branch-and-bound solver prunes
+        with.
+        """
+        total = self.weighted_interest(node)
+        b_node = self._tightness_weight[node]
+        for neighbour, tau_out in self.graph.neighbor_tightness(node).items():
+            total += b_node * tau_out
+            total += self._tightness_weight[neighbour] * (
+                self.graph.neighbor_tightness(neighbour)[node]
+            )
+        return total
+
+
+def willingness(graph: SocialGraph, group: Iterable[NodeId]) -> float:
+    """One-shot willingness of ``group`` on ``graph`` (builds an evaluator)."""
+    return WillingnessEvaluator(graph).value(group)

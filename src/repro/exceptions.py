@@ -1,0 +1,70 @@
+"""Exception hierarchy for the WASO reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class.  Specific subclasses communicate *which* invariant was
+violated; they are raised eagerly (fail fast) rather than propagating bad
+state into the solvers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a :class:`~repro.graph.SocialGraph`."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """Attempted to add a node id that already exists."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} already exists in the graph")
+        self.node = node
+
+
+class ProblemSpecificationError(ReproError, ValueError):
+    """A :class:`~repro.core.WASOProblem` is ill-formed.
+
+    Examples: ``k`` larger than the graph, a required node that does not
+    exist, or required and forbidden sets overlapping.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """The problem instance admits no feasible solution.
+
+    Raised, for instance, when no connected component can host ``k`` nodes
+    together with all required attendees.
+    """
+
+
+class SolverError(ReproError):
+    """A solver failed to produce a feasible solution."""
+
+
+class BudgetExhaustedError(SolverError):
+    """The computational budget ran out before any feasible sample."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative component (CE update, Gaussian OCBA) failed to converge."""

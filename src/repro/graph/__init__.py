@@ -1,0 +1,62 @@
+"""Social-graph substrate for the WASO reproduction.
+
+This subpackage provides:
+
+* :class:`~repro.graph.social_graph.SocialGraph` — the weighted social
+  network (interest scores on nodes, possibly-asymmetric tightness scores on
+  edges) that every solver operates on;
+* :mod:`~repro.graph.scores` — the interest / tightness score models the
+  paper cites (power-law interest, common-neighbour tightness);
+* :mod:`~repro.graph.generators` — synthetic stand-ins for the paper's
+  Facebook / DBLP / Flickr crawls plus the paper's illustrative toy graphs;
+* :mod:`~repro.graph.io` — persistence (edge list, JSON);
+* :mod:`~repro.graph.stats` — summary statistics used to validate that the
+  generated graphs sit in the same regime as the paper's datasets.
+"""
+
+from repro.graph.social_graph import SocialGraph
+from repro.graph.scores import (
+    CommonNeighbourTightness,
+    PowerLawInterestModel,
+    normalize_scores,
+)
+from repro.graph.generators import (
+    community_social_graph,
+    dblp_like,
+    facebook_like,
+    figure1_graph,
+    figure3_graph,
+    flickr_like,
+    grid_graph,
+    random_social_graph,
+    ring_graph,
+)
+from repro.graph.io import (
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+from repro.graph.stats import GraphSummary, summarize
+
+__all__ = [
+    "SocialGraph",
+    "PowerLawInterestModel",
+    "CommonNeighbourTightness",
+    "normalize_scores",
+    "community_social_graph",
+    "facebook_like",
+    "dblp_like",
+    "flickr_like",
+    "random_social_graph",
+    "grid_graph",
+    "ring_graph",
+    "figure1_graph",
+    "figure3_graph",
+    "load_edge_list",
+    "save_edge_list",
+    "load_json",
+    "save_json",
+    "GraphSummary",
+    "summarize",
+]

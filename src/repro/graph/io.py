@@ -1,0 +1,133 @@
+"""Persistence for :class:`~repro.graph.SocialGraph`.
+
+Two formats are supported:
+
+* **Edge list** — the format the paper's public crawls ship in
+  (``socialnetworks.mpi-sws.org``): one ``u v [tau_uv [tau_vu]]`` line per
+  edge, with optional ``# node <id> <interest> [lambda]`` header lines for
+  node attributes.  Loading a plain two-column crawl therefore works
+  out of the box (scores default to 0 / 1 and can be assigned afterwards
+  with the models in :mod:`repro.graph.scores`).
+* **JSON** — a lossless round-trip format for fixtures and examples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.social_graph import SocialGraph
+
+__all__ = ["load_edge_list", "save_edge_list", "load_json", "save_json"]
+
+PathLike = Union[str, Path]
+
+
+def save_edge_list(graph: SocialGraph, path: PathLike) -> None:
+    """Write ``graph`` as an annotated edge list."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for node in graph.nodes():
+            lam = graph.lam(node)
+            if lam is None:
+                handle.write(f"# node {node} {graph.interest(node)!r}\n")
+            else:
+                handle.write(
+                    f"# node {node} {graph.interest(node)!r} {lam!r}\n"
+                )
+        for u, v in graph.edges():
+            tau_uv = graph.tightness(u, v)
+            tau_vu = graph.tightness(v, u)
+            handle.write(f"{u} {v} {tau_uv!r} {tau_vu!r}\n")
+
+
+def load_edge_list(path: PathLike, node_type=int) -> SocialGraph:
+    """Read an edge list written by :func:`save_edge_list` or a raw crawl.
+
+    Unannotated lines ``u v`` get tightness 1.0; ``u v t`` is symmetric;
+    ``u v t_uv t_vu`` is asymmetric.  Nodes referenced only by edges are
+    created with interest 0.
+    """
+    path = Path(path)
+    graph = SocialGraph()
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if parts and parts[0] == "node":
+                    if len(parts) < 3:
+                        raise GraphError(
+                            f"{path}:{line_number}: malformed node line"
+                        )
+                    node = node_type(parts[1])
+                    interest = float(parts[2])
+                    lam = float(parts[3]) if len(parts) > 3 else None
+                    if not graph.has_node(node):
+                        graph.add_node(node, interest=interest, lam=lam)
+                    else:
+                        graph.set_interest(node, interest)
+                        graph.set_lam(node, lam)
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_number}: malformed edge line")
+            u, v = node_type(parts[0]), node_type(parts[1])
+            tau_uv = float(parts[2]) if len(parts) > 2 else 1.0
+            tau_vu = float(parts[3]) if len(parts) > 3 else tau_uv
+            for node in (u, v):
+                if not graph.has_node(node):
+                    graph.add_node(node)
+            if u == v:
+                continue  # crawls occasionally contain self-loops; skip
+            graph.add_edge(u, v, tau_uv, reverse_tightness=tau_vu)
+    return graph
+
+
+def save_json(graph: SocialGraph, path: PathLike) -> None:
+    """Write ``graph`` as JSON (lossless)."""
+    payload = {
+        "default_lambda": graph.default_lambda,
+        "nodes": [
+            {
+                "id": node,
+                "interest": graph.interest(node),
+                "lambda": graph.lam(node),
+            }
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {
+                "source": u,
+                "target": v,
+                "tightness": graph.tightness(u, v),
+                "reverse_tightness": graph.tightness(v, u),
+            }
+            for u, v in graph.edges()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_json(path: PathLike) -> SocialGraph:
+    """Read a graph written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    graph = SocialGraph(default_lambda=payload.get("default_lambda"))
+    for node in payload["nodes"]:
+        graph.add_node(
+            node["id"],
+            interest=node["interest"],
+            lam=node.get("lambda"),
+        )
+    for edge in payload["edges"]:
+        graph.add_edge(
+            edge["source"],
+            edge["target"],
+            edge["tightness"],
+            reverse_tightness=edge.get("reverse_tightness"),
+        )
+    return graph

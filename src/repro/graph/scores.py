@@ -1,0 +1,187 @@
+"""Score models for interest and social tightness.
+
+The paper grounds its experiment setup in two published models (§5.1):
+
+* **Interest scores** follow a power law with exponent ``β = 2.5``
+  (Clauset, Shalizi & Newman [5]).  :class:`PowerLawInterestModel` samples
+  from a Pareto-type distribution with that exponent and normalizes to
+  ``(0, 1]``.
+* **Social tightness scores** follow the common-neighbour proximity model of
+  Chaoji et al. [3]: the more mutual friends two people share, the tighter
+  the link.  :class:`CommonNeighbourTightness` implements both the symmetric
+  variant and an asymmetric one in which the score is normalized by each
+  endpoint's own degree (a popular person feels a given mutual friendship
+  less strongly than a less-connected one) — exercising the paper's remark
+  that ``τ_ij`` need not equal ``τ_ji``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.graph.social_graph import NodeId, SocialGraph
+
+__all__ = [
+    "PowerLawInterestModel",
+    "CommonNeighbourTightness",
+    "normalize_scores",
+    "power_law_sample",
+]
+
+
+def power_law_sample(
+    rng: random.Random, beta: float = 2.5, x_min: float = 1.0
+) -> float:
+    """Draw one sample from a continuous power law ``p(x) ∝ x^(−β)``.
+
+    Uses the standard inverse-CDF transform
+    ``x = x_min · (1 − u)^(−1/(β−1))``.
+    """
+    if beta <= 1.0:
+        raise ValueError(f"power-law exponent must exceed 1, got {beta}")
+    u = rng.random()
+    return x_min * (1.0 - u) ** (-1.0 / (beta - 1.0))
+
+
+def normalize_scores(values: Mapping) -> dict:
+    """Scale a mapping of non-negative scores so the maximum becomes 1.0.
+
+    The paper normalizes both score families before use (§5.1).  An
+    all-zero input is returned unchanged.
+    """
+    if not values:
+        return {}
+    peak = max(values.values())
+    if peak <= 0:
+        return dict(values)
+    return {key: value / peak for key, value in values.items()}
+
+
+class PowerLawInterestModel:
+    """Power-law interest score sampler (β = 2.5 by default, per [5]).
+
+    Samples are truncated at ``cap`` (in units of ``x_min``) to keep a
+    handful of extreme draws from dominating the normalized scores, then
+    scaled into ``(0, 1]``.
+    """
+
+    def __init__(self, beta: float = 2.5, cap: float = 100.0) -> None:
+        if beta <= 1.0:
+            raise ValueError(f"power-law exponent must exceed 1, got {beta}")
+        if cap <= 1.0:
+            raise ValueError(f"cap must exceed 1, got {cap}")
+        self.beta = beta
+        self.cap = cap
+
+    def sample(self, count: int, rng: random.Random) -> list[float]:
+        """Return ``count`` normalized interest scores in ``(0, 1]``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        raw = [
+            min(power_law_sample(rng, self.beta), self.cap)
+            for _ in range(count)
+        ]
+        peak = max(raw, default=1.0)
+        return [value / peak for value in raw]
+
+    def assign(self, graph: SocialGraph, rng: random.Random) -> None:
+        """Assign sampled interest scores to every node of ``graph``."""
+        nodes = graph.node_list()
+        for node, score in zip(nodes, self.sample(len(nodes), rng)):
+            graph.set_interest(node, score)
+
+
+class CommonNeighbourTightness:
+    """Common-neighbour social tightness model (per [3]).
+
+    For an edge ``{u, v}`` with ``c`` common neighbours the raw score is
+    ``c + 1`` (the ``+1`` keeps leaf friendships above zero).  In the
+    symmetric mode scores are normalized by the global maximum; in the
+    asymmetric mode each direction is normalized by the endpoint's degree:
+    ``τ_uv = (c + 1) / deg(u)``, capped at 1.
+
+    Parameters
+    ----------
+    asymmetric:
+        Use the per-endpoint normalization, producing ``τ_uv ≠ τ_vu``.
+    jitter:
+        Optional multiplicative noise amplitude in ``[0, 1)``; each score is
+        multiplied by ``1 + jitter·(2u − 1)`` with ``u ~ U(0,1)`` so that
+        ties are broken, mimicking the user fine-tuning the paper allows.
+    """
+
+    def __init__(self, asymmetric: bool = False, jitter: float = 0.0) -> None:
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must lie in [0, 1), got {jitter}")
+        self.asymmetric = asymmetric
+        self.jitter = jitter
+
+    def assign(self, graph: SocialGraph, rng: random.Random) -> None:
+        """Compute and install tightness scores on every edge of ``graph``."""
+        edges = list(graph.edges())
+        common_counts = {
+            (u, v): self._common_neighbours(graph, u, v) for u, v in edges
+        }
+        if self.asymmetric:
+            for (u, v), common in common_counts.items():
+                raw = common + 1.0
+                tau_uv = min(1.0, raw / max(1, graph.degree(u)))
+                tau_vu = min(1.0, raw / max(1, graph.degree(v)))
+                graph.set_tightness(u, v, self._jittered(tau_uv, rng))
+                graph.set_tightness(v, u, self._jittered(tau_vu, rng))
+        else:
+            peak = max(
+                (common + 1.0 for common in common_counts.values()),
+                default=1.0,
+            )
+            for (u, v), common in common_counts.items():
+                tau = (common + 1.0) / peak
+                graph.set_tightness(u, v, self._jittered(tau, rng))
+                graph.set_tightness(v, u, self._jittered(tau, rng))
+
+    def _jittered(self, value: float, rng: random.Random) -> float:
+        if self.jitter == 0.0:
+            return value
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, min(1.0, value * factor))
+
+    @staticmethod
+    def _common_neighbours(graph: SocialGraph, u: NodeId, v: NodeId) -> int:
+        neighbours_u = set(graph.neighbors(u))
+        neighbours_v = set(graph.neighbors(v))
+        common = neighbours_u & neighbours_v
+        common.discard(u)
+        common.discard(v)
+        return len(common)
+
+
+def empirical_power_law_exponent(values: Sequence[float]) -> float:
+    """Hill estimator of a power-law exponent for sanity-checking samples.
+
+    ``β̂ = 1 + n / Σ ln(x_i / x_min)`` over the positive values.  Used by
+    tests to confirm the interest sampler really produces β ≈ 2.5.
+    """
+    positives = [v for v in values if v > 0]
+    if len(positives) < 2:
+        raise ValueError("need at least two positive values")
+    x_min = min(positives)
+    total = sum(math.log(v / x_min) for v in positives)
+    if total == 0:
+        raise ValueError("all values identical; exponent undefined")
+    return 1.0 + len(positives) / total
+
+
+def interest_map(graph: SocialGraph) -> dict[NodeId, float]:
+    """Convenience: snapshot of all interest scores."""
+    return {node: graph.interest(node) for node in graph.nodes()}
+
+
+def tightness_map(graph: SocialGraph) -> dict[tuple[NodeId, NodeId], float]:
+    """Convenience: snapshot of all directed tightness scores."""
+    scores: dict[tuple[NodeId, NodeId], float] = {}
+    for u, v in graph.edges():
+        scores[(u, v)] = graph.tightness(u, v)
+        scores[(v, u)] = graph.tightness(v, u)
+    return scores

@@ -1,0 +1,470 @@
+"""The social graph data structure used throughout the library.
+
+The paper's input is a social network ``G = (V, E)`` where every node carries
+an *interest score* ``η_i`` (how much the person likes the activity topic)
+and every edge carries a *social tightness score* ``τ_ij`` (how close the two
+friends are).  Tightness is **not necessarily symmetric** (§2.1): ``τ_ij``
+may differ from ``τ_ji``, although the *presence* of a friendship edge is
+symmetric.  :class:`SocialGraph` therefore stores an undirected edge set with
+one tightness value per direction.
+
+Each node may additionally carry the footnote-7 weighting ``λ_i`` that
+trades interest against tightness; ``None`` (the default) selects the plain
+Eq. (1) objective where both terms have unit weight.
+
+The structure is a plain adjacency-dictionary design (the same layout
+``networkx`` uses) so that neighbourhood iteration — the hot operation in
+every sampler — is a dict scan with no indirection.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+)
+
+NodeId = Hashable
+
+
+@dataclass
+class NodeData:
+    """Per-node attributes: interest score ``η``, optional weight ``λ``,
+    and free-form metadata (location, gender, availability, ... — the
+    attributes the paper's future-work section wants to filter on)."""
+
+    interest: float = 0.0
+    lam: Optional[float] = None
+    metadata: Optional[dict] = None
+
+    def weights(self) -> tuple[float, float]:
+        """Return the ``(interest_weight, tightness_weight)`` pair.
+
+        ``λ = None`` means the plain Eq. (1) objective ``(1, 1)``;
+        otherwise the footnote-7 weighting ``(λ, 1 − λ)``.
+        """
+        if self.lam is None:
+            return 1.0, 1.0
+        return self.lam, 1.0 - self.lam
+
+
+class SocialGraph:
+    """Undirected social network with directed tightness scores.
+
+    Parameters
+    ----------
+    default_lambda:
+        Value of ``λ`` assigned to nodes added without an explicit one.
+        ``None`` (default) keeps the plain Eq. (1) objective.
+
+    Notes
+    -----
+    * ``add_edge(u, v, t)`` creates the friendship with ``τ_uv = τ_vu = t``;
+      pass ``reverse_tightness`` for the asymmetric case.
+    * All mutators validate their arguments and raise subclasses of
+      :class:`~repro.exceptions.GraphError` on misuse.
+    """
+
+    def __init__(self, default_lambda: Optional[float] = None) -> None:
+        if default_lambda is not None and not 0.0 <= default_lambda <= 1.0:
+            raise GraphError(
+                f"default_lambda must lie in [0, 1], got {default_lambda}"
+            )
+        self.default_lambda = default_lambda
+        self._nodes: dict[NodeId, NodeData] = {}
+        # _adj[u][v] == tau_{u,v} (tightness *from* u's perspective).
+        self._adj: dict[NodeId, dict[NodeId, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node: NodeId,
+        interest: float = 0.0,
+        lam: Optional[float] = None,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        """Add ``node`` with the given interest score.
+
+        Raises :class:`DuplicateNodeError` if the id already exists.
+        """
+        if node in self._nodes:
+            raise DuplicateNodeError(node)
+        if lam is None:
+            lam = self.default_lambda
+        if lam is not None and not 0.0 <= lam <= 1.0:
+            raise GraphError(f"lambda must lie in [0, 1], got {lam}")
+        if not math.isfinite(interest):
+            raise GraphError(f"interest score must be finite, got {interest}")
+        self._nodes[node] = NodeData(
+            interest=float(interest),
+            lam=lam,
+            metadata=dict(metadata) if metadata else None,
+        )
+        self._adj[node] = {}
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all incident edges."""
+        self._require_node(node)
+        for neighbour in list(self._adj[node]):
+            del self._adj[neighbour][node]
+        del self._adj[node]
+        del self._nodes[node]
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node ids."""
+        return iter(self._nodes)
+
+    def node_list(self) -> list[NodeId]:
+        """Return node ids as a list (stable insertion order)."""
+        return list(self._nodes)
+
+    def number_of_nodes(self) -> int:
+        return len(self._nodes)
+
+    def interest(self, node: NodeId) -> float:
+        """Interest score ``η`` of ``node``."""
+        return self._require_node(node).interest
+
+    def set_interest(self, node: NodeId, interest: float) -> None:
+        if not math.isfinite(interest):
+            raise GraphError(f"interest score must be finite, got {interest}")
+        self._require_node(node).interest = float(interest)
+
+    def lam(self, node: NodeId) -> Optional[float]:
+        """Per-node weighting ``λ`` (``None`` = plain Eq. 1)."""
+        return self._require_node(node).lam
+
+    def set_lam(self, node: NodeId, lam: Optional[float]) -> None:
+        if lam is not None and not 0.0 <= lam <= 1.0:
+            raise GraphError(f"lambda must lie in [0, 1], got {lam}")
+        self._require_node(node).lam = lam
+
+    def weights(self, node: NodeId) -> tuple[float, float]:
+        """``(interest_weight, tightness_weight)`` for ``node``."""
+        return self._require_node(node).weights()
+
+    def metadata(self, node: NodeId) -> dict:
+        """Free-form attribute mapping of ``node`` (empty if none set)."""
+        data = self._require_node(node).metadata
+        return data if data is not None else {}
+
+    def set_metadata(self, node: NodeId, **attributes) -> None:
+        """Merge ``attributes`` into ``node``'s metadata."""
+        data = self._require_node(node)
+        if data.metadata is None:
+            data.metadata = {}
+        data.metadata.update(attributes)
+
+    # ------------------------------------------------------------------
+    # Edge operations
+    # ------------------------------------------------------------------
+    def add_edge(
+        self,
+        source: NodeId,
+        target: NodeId,
+        tightness: float,
+        reverse_tightness: Optional[float] = None,
+    ) -> None:
+        """Create the friendship ``{source, target}``.
+
+        ``tightness`` is ``τ_{source,target}``; ``reverse_tightness``
+        defaults to the same value (the symmetric case used by all the
+        paper's illustrations).
+        """
+        if source == target:
+            raise GraphError(f"self-loops are not allowed (node {source!r})")
+        self._require_node(source)
+        self._require_node(target)
+        if reverse_tightness is None:
+            reverse_tightness = tightness
+        for value in (tightness, reverse_tightness):
+            if not math.isfinite(value):
+                raise GraphError(f"tightness must be finite, got {value}")
+        self._adj[source][target] = float(tightness)
+        self._adj[target][source] = float(reverse_tightness)
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> None:
+        self._require_edge(source, target)
+        del self._adj[source][target]
+        del self._adj[target][source]
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        return source in self._adj and target in self._adj[source]
+
+    def tightness(self, source: NodeId, target: NodeId) -> float:
+        """Directed tightness ``τ_{source,target}``."""
+        self._require_edge(source, target)
+        return self._adj[source][target]
+
+    def set_tightness(
+        self, source: NodeId, target: NodeId, tightness: float
+    ) -> None:
+        """Overwrite one direction of an existing edge."""
+        self._require_edge(source, target)
+        if not math.isfinite(tightness):
+            raise GraphError(f"tightness must be finite, got {tightness}")
+        self._adj[source][target] = float(tightness)
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        """Iterate over undirected edges, each reported once."""
+        seen: set[frozenset] = set()
+        for source, targets in self._adj.items():
+            for target in targets:
+                key = frozenset((source, target))
+                if key not in seen:
+                    seen.add(key)
+                    yield source, target
+
+    def number_of_edges(self) -> int:
+        return sum(len(t) for t in self._adj.values()) // 2
+
+    def neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        self._require_node(node)
+        return iter(self._adj[node])
+
+    def neighbor_tightness(self, node: NodeId) -> Mapping[NodeId, float]:
+        """Read-only view of ``node``'s outgoing tightness map."""
+        self._require_node(node)
+        return self._adj[node]
+
+    def degree(self, node: NodeId) -> int:
+        self._require_node(node)
+        return len(self._adj[node])
+
+    def average_degree(self) -> float:
+        if not self._nodes:
+            return 0.0
+        return 2.0 * self.number_of_edges() / len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def node_potential(self, node: NodeId) -> float:
+        """Score used by CBAS phase 1 to rank start-node candidates.
+
+        The paper "adds the interest score and the social tightness scores
+        of incident edges" (§3.1); with per-node weights this becomes
+        ``a_v·η_v + b_v·Σ τ_vj``.
+        """
+        a, b = self.weights(node)
+        return a * self.interest(node) + b * sum(self._adj[node].values())
+
+    def pair_weight(self, source: NodeId, target: NodeId) -> float:
+        """Willingness contributed by edge ``{source, target}`` when both
+        endpoints are selected: ``b_s·τ_st + b_t·τ_ts``."""
+        _, b_s = self.weights(source)
+        _, b_t = self.weights(target)
+        return b_s * self.tightness(source, target) + b_t * self.tightness(
+            target, source
+        )
+
+    # ------------------------------------------------------------------
+    # Connectivity helpers
+    # ------------------------------------------------------------------
+    def component_of(self, node: NodeId) -> set[NodeId]:
+        """Connected component containing ``node`` (BFS)."""
+        self._require_node(node)
+        seen = {node}
+        queue = deque([node])
+        while queue:
+            current = queue.popleft()
+            for neighbour in self._adj[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        return seen
+
+    def connected_components(self) -> list[set[NodeId]]:
+        """All connected components, largest first."""
+        remaining = set(self._nodes)
+        components: list[set[NodeId]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = self.component_of(start)
+            components.append(component)
+            remaining -= component
+        components.sort(key=len, reverse=True)
+        return components
+
+    def is_connected_subset(self, nodes: Iterable[NodeId]) -> bool:
+        """True iff the subgraph induced by ``nodes`` is connected.
+
+        The empty set is vacuously connected; all nodes must exist.
+        """
+        subset = set(nodes)
+        for node in subset:
+            self._require_node(node)
+        if len(subset) <= 1:
+            return True
+        start = next(iter(subset))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbour in self._adj[current]:
+                if neighbour in subset and neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        return len(seen) == len(subset)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self) -> "SocialGraph":
+        clone = SocialGraph(default_lambda=self.default_lambda)
+        for node, data in self._nodes.items():
+            clone._nodes[node] = NodeData(
+                interest=data.interest,
+                lam=data.lam,
+                metadata=dict(data.metadata) if data.metadata else None,
+            )
+            clone._adj[node] = dict(self._adj[node])
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "SocialGraph":
+        """Induced subgraph on ``nodes`` (copies attributes)."""
+        subset = set(nodes)
+        sub = SocialGraph(default_lambda=self.default_lambda)
+        for node in subset:
+            data = self._require_node(node)
+            sub._nodes[node] = NodeData(
+                interest=data.interest,
+                lam=data.lam,
+                metadata=dict(data.metadata) if data.metadata else None,
+            )
+            sub._adj[node] = {}
+        for node in subset:
+            for neighbour, tau in self._adj[node].items():
+                if neighbour in subset:
+                    sub._adj[node][neighbour] = tau
+        return sub
+
+    def merge_nodes(
+        self, first: NodeId, second: NodeId, merged: Optional[NodeId] = None
+    ) -> NodeId:
+        """Merge two nodes into one — the paper's *couple* transform (§2.2).
+
+        The merged node gets ``η = η_i + η_j`` and, for each outside
+        neighbour ``b``, tightness ``τ_{a,b} = τ_{i,b} + τ_{j,b}`` (and the
+        symmetric inward sum).  Returns the merged node id, which defaults
+        to ``first``.
+        """
+        data_first = self._require_node(first)
+        data_second = self._require_node(second)
+        if first == second:
+            raise GraphError("cannot merge a node with itself")
+        if merged is None:
+            merged = first
+        if merged not in (first, second) and merged in self._nodes:
+            raise DuplicateNodeError(merged)
+
+        out_combined: dict[NodeId, float] = {}
+        in_combined: dict[NodeId, float] = {}
+        for part in (first, second):
+            for neighbour, tau in self._adj[part].items():
+                if neighbour in (first, second):
+                    continue
+                out_combined[neighbour] = out_combined.get(neighbour, 0.0) + tau
+                in_combined[neighbour] = (
+                    in_combined.get(neighbour, 0.0) + self._adj[neighbour][part]
+                )
+
+        interest = data_first.interest + data_second.interest
+        lam = data_first.lam
+        self.remove_node(first)
+        self.remove_node(second)
+        self.add_node(merged, interest=interest, lam=lam)
+        for neighbour, tau_out in out_combined.items():
+            self.add_edge(
+                merged,
+                neighbour,
+                tau_out,
+                reverse_tightness=in_combined[neighbour],
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (tightness on directed arcs)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node, data in self._nodes.items():
+            graph.add_node(node, interest=data.interest, lam=data.lam)
+        for node, targets in self._adj.items():
+            for target, tau in targets.items():
+                graph.add_edge(node, target, tightness=tau)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph, default_lambda=None) -> "SocialGraph":
+        """Build from a networkx (di)graph.
+
+        Node attribute ``interest`` and edge attribute ``tightness`` are
+        honoured and default to 0.0 / 1.0 when absent.
+        """
+        social = cls(default_lambda=default_lambda)
+        for node, data in graph.nodes(data=True):
+            social.add_node(
+                node,
+                interest=float(data.get("interest", 0.0)),
+                lam=data.get("lam", default_lambda),
+            )
+        directed = graph.is_directed()
+        for source, target, data in graph.edges(data=True):
+            tau = float(data.get("tightness", 1.0))
+            if directed:
+                reverse = graph.get_edge_data(target, source)
+                if reverse is None:
+                    reverse_tau = tau
+                else:
+                    reverse_tau = float(reverse.get("tightness", 1.0))
+                if not social.has_edge(source, target):
+                    social.add_edge(
+                        source, target, tau, reverse_tightness=reverse_tau
+                    )
+            else:
+                social.add_edge(source, target, tau)
+        return social
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_node(self, node: NodeId) -> NodeData:
+        try:
+            return self._nodes[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def _require_edge(self, source: NodeId, target: NodeId) -> None:
+        self._require_node(source)
+        self._require_node(target)
+        if target not in self._adj[source]:
+            raise EdgeNotFoundError(source, target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SocialGraph(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )

@@ -1,0 +1,127 @@
+"""Summary statistics for social graphs.
+
+Used by the dataset generators' tests and the benchmark harness to confirm
+that a synthetic graph sits in the same regime as the crawl it stands in
+for (average degree, clustering, component structure, score ranges).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.graph.social_graph import SocialGraph
+
+__all__ = ["GraphSummary", "summarize", "degree_histogram"]
+
+
+@dataclass
+class GraphSummary:
+    """Compact description of a social graph's shape and scores."""
+
+    nodes: int
+    edges: int
+    average_degree: float
+    max_degree: int
+    clustering: float
+    components: int
+    largest_component: int
+    interest_mean: float
+    interest_max: float
+    tightness_mean: float
+    tightness_max: float
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "average_degree": self.average_degree,
+            "max_degree": self.max_degree,
+            "clustering": self.clustering,
+            "components": self.components,
+            "largest_component": self.largest_component,
+            "interest_mean": self.interest_mean,
+            "interest_max": self.interest_max,
+            "tightness_mean": self.tightness_mean,
+            "tightness_max": self.tightness_max,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.nodes} m={self.edges} "
+            f"deg(avg={self.average_degree:.2f}, max={self.max_degree}) "
+            f"cc={self.clustering:.3f} "
+            f"components={self.components} "
+            f"(largest {self.largest_component}) "
+            f"interest(mean={self.interest_mean:.3f}) "
+            f"tightness(mean={self.tightness_mean:.3f})"
+        )
+
+
+def _local_clustering(graph: SocialGraph, node) -> float:
+    """Fraction of a node's neighbour pairs that are themselves linked."""
+    neighbours = list(graph.neighbors(node))
+    degree = len(neighbours)
+    if degree < 2:
+        return 0.0
+    links = 0
+    for i, u in enumerate(neighbours):
+        for v in neighbours[i + 1:]:
+            if graph.has_edge(u, v):
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def summarize(graph: SocialGraph, clustering_sample: int = 200) -> GraphSummary:
+    """Compute a :class:`GraphSummary`.
+
+    Clustering is averaged over at most ``clustering_sample`` nodes (the
+    first ones in insertion order — deterministic) to stay cheap on large
+    graphs.
+    """
+    nodes = graph.node_list()
+    degrees = [graph.degree(node) for node in nodes]
+    interests = [graph.interest(node) for node in nodes]
+    tightness_values = []
+    for u, v in graph.edges():
+        tightness_values.append(graph.tightness(u, v))
+        tightness_values.append(graph.tightness(v, u))
+
+    sample = nodes[: max(1, clustering_sample)]
+    clustering = (
+        statistics.fmean(_local_clustering(graph, node) for node in sample)
+        if sample
+        else 0.0
+    )
+    components = graph.connected_components()
+
+    return GraphSummary(
+        nodes=len(nodes),
+        edges=graph.number_of_edges(),
+        average_degree=graph.average_degree(),
+        max_degree=max(degrees, default=0),
+        clustering=clustering,
+        components=len(components),
+        largest_component=len(components[0]) if components else 0,
+        interest_mean=statistics.fmean(interests) if interests else 0.0,
+        interest_max=max(interests, default=0.0),
+        tightness_mean=(
+            statistics.fmean(tightness_values) if tightness_values else 0.0
+        ),
+        tightness_max=max(tightness_values, default=0.0),
+    )
+
+
+def degree_histogram(graph: SocialGraph, bins: int = 10) -> list[int]:
+    """Histogram of node degrees with ``bins`` equal-width buckets."""
+    if bins < 1:
+        raise ValueError(f"bins must be positive, got {bins}")
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    if not degrees:
+        return [0] * bins
+    top = max(degrees)
+    width = max(1, (top + bins) // bins)
+    histogram = [0] * bins
+    for degree in degrees:
+        histogram[min(bins - 1, degree // width)] += 1
+    return histogram

@@ -1,0 +1,5 @@
+"""Online re-planning after attendee responses (paper §4.4.1)."""
+
+from repro.online.replanning import Invitation, OnlinePlanner
+
+__all__ = ["OnlinePlanner", "Invitation"]

@@ -1,0 +1,155 @@
+"""Online computation — adjusting the group as invitations come back.
+
+Paper §4.4.1: after invitations go out, some candidates decline.  The
+already-confirmed attendees are *kept* (they anchor the partial solution,
+like entangled queries that must stay coordinated), the decliners are
+removed from the graph, and the second phase of CBAS-ND re-runs with the
+confirmed set as the initial partial solution.  The start nodes of phase 1
+need not be recomputed, which is why the paper calls the online step fast.
+
+:class:`OnlinePlanner` wraps that loop as a small state machine:
+
+    plan → invite → record accept/decline → replan → ... → final group
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.algorithms.base import RngLike, Solver, coerce_rng
+from repro.algorithms.cbas_nd import CBASND
+from repro.core.problem import WASOProblem
+from repro.core.solution import GroupSolution
+from repro.exceptions import SolverError
+from repro.graph.social_graph import NodeId
+
+__all__ = ["OnlinePlanner", "Invitation", "ResponseState"]
+
+
+class ResponseState(Enum):
+    """Lifecycle of one invitation."""
+
+    PENDING = "pending"
+    ACCEPTED = "accepted"
+    DECLINED = "declined"
+
+
+@dataclass
+class Invitation:
+    """One person's invitation status."""
+
+    node: NodeId
+    state: ResponseState = ResponseState.PENDING
+
+
+class OnlinePlanner:
+    """Incremental group planner reacting to accepts / declines.
+
+    Parameters
+    ----------
+    problem:
+        The original WASO instance.
+    solver:
+        Solver used for the initial plan and each re-plan (default a
+        CBAS-ND with a modest budget).
+    rng:
+        Seed / generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        problem: WASOProblem,
+        solver: Optional[Solver] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.base_problem = problem
+        self.solver = solver if solver is not None else CBASND(budget=200)
+        self.rng = coerce_rng(rng)
+        self.invitations: dict[NodeId, Invitation] = {}
+        self.declined: set[NodeId] = set()
+        self.current: Optional[GroupSolution] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def accepted(self) -> set[NodeId]:
+        return {
+            inv.node
+            for inv in self.invitations.values()
+            if inv.state is ResponseState.ACCEPTED
+        }
+
+    @property
+    def pending(self) -> set[NodeId]:
+        return {
+            inv.node
+            for inv in self.invitations.values()
+            if inv.state is ResponseState.PENDING
+        }
+
+    def plan(self) -> GroupSolution:
+        """Compute (or re-compute) the recommended group.
+
+        Confirmed attendees are required; declined ones are forbidden.
+        Raises :class:`InfeasibleProblemError` when declines have made the
+        target group size unreachable.
+        """
+        problem = self._current_problem()
+        result = self.solver.solve(problem, rng=self.rng)
+        self.current = result.solution
+        for node in self.current.members:
+            if node not in self.invitations:
+                self.invitations[node] = Invitation(node=node)
+        return self.current
+
+    def record_accept(self, node: NodeId) -> None:
+        """Mark ``node`` as confirmed."""
+        invitation = self._require_invited(node)
+        if invitation.state is ResponseState.DECLINED:
+            raise ValueError(f"{node!r} already declined")
+        invitation.state = ResponseState.ACCEPTED
+
+    def record_decline(self, node: NodeId) -> GroupSolution:
+        """Mark ``node`` as declined and immediately re-plan.
+
+        Returns the refreshed group (confirmed attendees preserved).
+        """
+        invitation = self._require_invited(node)
+        if invitation.state is ResponseState.ACCEPTED:
+            raise ValueError(f"{node!r} already accepted")
+        invitation.state = ResponseState.DECLINED
+        self.declined.add(node)
+        return self.plan()
+
+    def finalize(self) -> GroupSolution:
+        """Treat every pending invitation as accepted and return the group."""
+        if self.current is None:
+            self.plan()
+        for node in list(self.pending):
+            self.record_accept(node)
+        assert self.current is not None
+        return self.current
+
+    # ------------------------------------------------------------------
+    def _current_problem(self) -> WASOProblem:
+        confirmed = self.accepted
+        required = self.base_problem.required | frozenset(confirmed)
+        forbidden = self.base_problem.forbidden | frozenset(self.declined)
+        if len(required & forbidden) > 0:
+            raise SolverError("a confirmed attendee later declined")
+        problem = WASOProblem(
+            graph=self.base_problem.graph,
+            k=self.base_problem.k,
+            connected=self.base_problem.connected,
+            required=required,
+            forbidden=forbidden,
+        )
+        problem.ensure_feasible()
+        return problem
+
+    def _require_invited(self, node: NodeId) -> Invitation:
+        try:
+            return self.invitations[node]
+        except KeyError:
+            raise ValueError(f"{node!r} was never invited") from None

@@ -1,0 +1,5 @@
+"""Parallel execution of the randomized solvers (paper Fig. 5(d))."""
+
+from repro.parallel.pool import ParallelSolver, parallel_solve
+
+__all__ = ["ParallelSolver", "parallel_solve"]

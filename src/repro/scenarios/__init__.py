@@ -1,0 +1,45 @@
+"""Scenario transformations from the paper's §2.2 and §4.4.3.
+
+Each helper rewrites a graph / problem so that the *unmodified* WASO
+solvers handle the scenario:
+
+* couples — merge two nodes that must attend together;
+* foes — a large negative tightness keeps two people out of the same group;
+* invitation — a host invites personal friends (``λ = 1`` on the
+  neighbourhood, host required);
+* exhibition — topic interest only (``λ = 1`` everywhere);
+* house-warming — social tightness only (``λ = 0`` everywhere);
+* separate groups — WASO-dis via the Theorem-2 virtual-node reduction.
+"""
+
+from repro.scenarios.couples import merge_couple
+from repro.scenarios.foes import FOE_TIGHTNESS, mark_foes
+from repro.scenarios.filters import (
+    attribute_filter,
+    availability_filter,
+    filtered_problem,
+)
+from repro.scenarios.invitation import invitation_problem
+from repro.scenarios.themed import exhibition_problem, housewarming_problem
+from repro.scenarios.separate_groups import (
+    VIRTUAL_NODE,
+    add_virtual_node,
+    reduce_wasodis,
+    strip_virtual_node,
+)
+
+__all__ = [
+    "merge_couple",
+    "mark_foes",
+    "FOE_TIGHTNESS",
+    "invitation_problem",
+    "exhibition_problem",
+    "housewarming_problem",
+    "filtered_problem",
+    "attribute_filter",
+    "availability_filter",
+    "VIRTUAL_NODE",
+    "add_virtual_node",
+    "reduce_wasodis",
+    "strip_virtual_node",
+]

@@ -1,0 +1,65 @@
+"""Couple handling (paper §2.2).
+
+People who must be selected together are merged into one node whose
+interest is the sum of the two and whose tightness toward each outside
+neighbour is the sum of the two originals' scores.  The caller must then
+reduce ``k`` by one per merge (the merged node counts as one selection but
+stands for two attendees) — :func:`merge_couple` returns the adjusted
+problem so this cannot be forgotten.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.problem import WASOProblem
+from repro.graph.social_graph import NodeId
+
+__all__ = ["merge_couple", "expand_merged_members"]
+
+
+def merge_couple(
+    problem: WASOProblem,
+    first: NodeId,
+    second: NodeId,
+    merged: Optional[NodeId] = None,
+) -> tuple[WASOProblem, NodeId]:
+    """Return ``(new_problem, merged_node)`` with the couple merged.
+
+    The graph is copied (the input problem is untouched); ``k`` is reduced
+    by one.  Required / forbidden sets referencing either member are
+    remapped to the merged node.
+    """
+    graph = problem.graph.copy()
+    merged_node = graph.merge_nodes(first, second, merged=merged)
+
+    def _remap(nodes: frozenset) -> frozenset:
+        remapped = {
+            merged_node if node in (first, second) else node
+            for node in nodes
+        }
+        return frozenset(remapped)
+
+    new_problem = WASOProblem(
+        graph=graph,
+        k=problem.k - 1,
+        connected=problem.connected,
+        required=_remap(problem.required),
+        forbidden=_remap(problem.forbidden),
+    )
+    return new_problem, merged_node
+
+
+def expand_merged_members(
+    members: frozenset,
+    merged_node: NodeId,
+    first: NodeId,
+    second: NodeId,
+) -> frozenset:
+    """Translate a merged-graph solution back to the original attendees."""
+    if merged_node not in members:
+        return members
+    expanded = set(members)
+    expanded.remove(merged_node)
+    expanded.update((first, second))
+    return frozenset(expanded)

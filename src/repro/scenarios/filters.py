@@ -1,0 +1,97 @@
+"""Candidate pre-filtering (paper footnote 1 and future work, §6).
+
+The paper's footnote 1 notes that factors like activity time and location
+are best handled by *preprocessing*: "filter out the people who are not
+available, live too far, etc.".  Its future-work section asks for exactly
+this as a feature — availability extraction (e.g. from a calendar) and
+attribute parameters (location, gender, ...).
+
+This module turns predicates over node metadata into WASO problems whose
+``forbidden`` set excludes everyone who fails the filter:
+
+* :func:`filtered_problem` — the general predicate form;
+* :func:`attribute_filter` — predicate matching metadata key/values;
+* :func:`availability_filter` — predicate over per-person availability
+  slots (the "Google Calendar" integration the paper sketches, with the
+  calendar replaced by an explicit schedule mapping).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.core.problem import WASOProblem
+from repro.graph.social_graph import NodeId, SocialGraph
+
+__all__ = ["filtered_problem", "attribute_filter", "availability_filter"]
+
+Predicate = Callable[[SocialGraph, NodeId], bool]
+
+
+def filtered_problem(
+    graph: SocialGraph,
+    k: int,
+    predicate: Predicate,
+    connected: bool = True,
+    required=(),
+) -> WASOProblem:
+    """WASO instance restricted to nodes passing ``predicate``.
+
+    Required nodes are exempt from the filter (the organizer attends even
+    if their own metadata would fail it).
+    """
+    required = frozenset(required)
+    forbidden = frozenset(
+        node
+        for node in graph.nodes()
+        if node not in required and not predicate(graph, node)
+    )
+    return WASOProblem(
+        graph=graph,
+        k=k,
+        connected=connected,
+        required=required,
+        forbidden=forbidden,
+    )
+
+
+def attribute_filter(**expected) -> Predicate:
+    """Predicate: every listed metadata key must equal the given value.
+
+    A value may also be a callable ``value -> bool`` for range-style
+    filters, e.g. ``attribute_filter(age=lambda a: a >= 18)``.  Nodes
+    missing a listed key fail the filter.
+    """
+
+    def predicate(graph: SocialGraph, node: NodeId) -> bool:
+        metadata = graph.metadata(node)
+        for key, want in expected.items():
+            if key not in metadata:
+                return False
+            have = metadata[key]
+            if callable(want):
+                if not want(have):
+                    return False
+            elif have != want:
+                return False
+        return True
+
+    return predicate
+
+
+def availability_filter(
+    schedules: Mapping[NodeId, object],
+    slot: object,
+) -> Predicate:
+    """Predicate: the person's schedule contains the activity ``slot``.
+
+    ``schedules`` maps node -> a container of free slots; people absent
+    from the mapping are treated as unavailable (conservative default —
+    better to under-invite than to invite someone who cannot come).
+    """
+
+    def predicate(graph: SocialGraph, node: NodeId) -> bool:
+        free = schedules.get(node)
+        return free is not None and slot in free
+
+    return predicate

@@ -1,0 +1,40 @@
+"""Foe handling (paper §2.2).
+
+If ``v_i`` is a foe of ``v_j``, their tightness is set to a large negative
+value so any group containing both has sharply reduced (typically
+negative) willingness and is never selected by a maximizer.  Foes that are
+not currently friends get a new edge carrying the penalty — otherwise the
+penalty could never enter the objective.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.social_graph import NodeId, SocialGraph
+
+__all__ = ["FOE_TIGHTNESS", "mark_foes"]
+
+#: Default penalty; large relative to normalized scores in [0, 1].
+FOE_TIGHTNESS = -1.0e6
+
+
+def mark_foes(
+    graph: SocialGraph,
+    pairs: Iterable[tuple[NodeId, NodeId]],
+    penalty: float = FOE_TIGHTNESS,
+) -> SocialGraph:
+    """Return a copy of ``graph`` with every pair marked as foes.
+
+    ``penalty`` must be negative; both tightness directions are set.
+    """
+    if penalty >= 0.0:
+        raise ValueError(f"foe penalty must be negative, got {penalty}")
+    marked = graph.copy()
+    for first, second in pairs:
+        if marked.has_edge(first, second):
+            marked.set_tightness(first, second, penalty)
+            marked.set_tightness(second, first, penalty)
+        else:
+            marked.add_edge(first, second, penalty)
+    return marked

@@ -1,0 +1,93 @@
+"""Separate groups — WASO-dis via the Theorem-2 virtual-node reduction.
+
+WASO-dis drops the connectivity constraint (a camping trip may gather
+several unrelated sub-groups).  Theorem 2 reduces it *to* connected WASO:
+add a virtual node ``v`` with interest
+
+    η_v = ε + Σ_{v_i ∈ V} ( η_i + Σ_j τ_ij )
+
+(strictly larger than any achievable willingness, so ``v`` is always
+selected) and zero-tightness edges to every node; then the optimal
+``k+1``-node connected solution of the augmented graph is exactly the
+optimal ``k``-node WASO-dis solution plus ``v``.
+
+Note the solvers in this library also accept ``connected=False``
+directly (the sampler then treats every remaining node as frontier); the
+reduction is provided because the paper proves it, the tests verify the
+theorem, and the separate-groups bench (Fig. 9(c,d)) follows the paper's
+recipe of "adding the virtual node to the selection set".
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+from repro.graph.social_graph import NodeId, SocialGraph
+
+__all__ = [
+    "VIRTUAL_NODE",
+    "add_virtual_node",
+    "reduce_wasodis",
+    "strip_virtual_node",
+]
+
+#: Default id of the virtual node added by the reduction.
+VIRTUAL_NODE = "__waso_virtual__"
+
+
+def add_virtual_node(
+    graph: SocialGraph,
+    epsilon: float = 1.0,
+    node_id: NodeId = VIRTUAL_NODE,
+) -> SocialGraph:
+    """Copy ``graph`` and add the Theorem-2 virtual node.
+
+    The virtual node's interest exceeds the total positive willingness of
+    the whole graph by ``epsilon``; it connects to every node with zero
+    tightness.  Its ``λ`` is ``None`` so the full interest value enters
+    the objective regardless of the graph's default weighting.
+    """
+    if epsilon <= 0.0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if graph.has_node(node_id):
+        raise ValueError(f"virtual node id {node_id!r} already exists")
+    evaluator = WillingnessEvaluator(graph)
+    total = evaluator.value(set(graph.nodes()))
+    augmented = graph.copy()
+    augmented.add_node(node_id, interest=total + epsilon, lam=None)
+    for node in graph.nodes():
+        augmented.add_edge(node_id, node, 0.0)
+    return augmented
+
+
+def reduce_wasodis(
+    problem: WASOProblem,
+    epsilon: float = 1.0,
+    node_id: NodeId = VIRTUAL_NODE,
+) -> WASOProblem:
+    """Rewrite a ``connected=False`` instance as connected WASO.
+
+    Returns a problem with ``k + 1`` nodes to select, the virtual node
+    required, on the augmented graph.  Feed its solutions to
+    :func:`strip_virtual_node` to recover the WASO-dis group.
+    """
+    if problem.connected:
+        raise ValueError("reduce_wasodis expects a connected=False problem")
+    augmented = add_virtual_node(
+        problem.graph, epsilon=epsilon, node_id=node_id
+    )
+    return WASOProblem(
+        graph=augmented,
+        k=problem.k + 1,
+        connected=True,
+        required=problem.required | frozenset({node_id}),
+        forbidden=problem.forbidden,
+    )
+
+
+def strip_virtual_node(
+    members: frozenset,
+    node_id: NodeId = VIRTUAL_NODE,
+) -> frozenset:
+    """Remove the virtual node from a reduced solution's member set."""
+    return frozenset(node for node in members if node != node_id)

@@ -1,0 +1,41 @@
+"""Interest-only and tightness-only scenarios (paper §2.2).
+
+* **Exhibition** (the British Museum mailing potential Van Gogh visitors):
+  topic interest dominates — ``λ_i = 1`` for all nodes, and connectivity is
+  irrelevant (an e-mail blast needs no social path), so the instance is
+  WASO-dis by default.
+* **House-warming party**: only social tightness matters — ``λ_i = 0`` for
+  all nodes, connectivity kept (guests should know each other through the
+  group).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import WASOProblem
+from repro.graph.social_graph import SocialGraph
+
+__all__ = ["exhibition_problem", "housewarming_problem"]
+
+
+def exhibition_problem(
+    graph: SocialGraph,
+    k: int,
+    connected: bool = False,
+) -> WASOProblem:
+    """Interest-only instance (``λ = 1`` everywhere)."""
+    working = graph.copy()
+    for node in working.nodes():
+        working.set_lam(node, 1.0)
+    return WASOProblem(graph=working, k=k, connected=connected)
+
+
+def housewarming_problem(
+    graph: SocialGraph,
+    k: int,
+    connected: bool = True,
+) -> WASOProblem:
+    """Tightness-only instance (``λ = 0`` everywhere)."""
+    working = graph.copy()
+    for node in working.nodes():
+        working.set_lam(node, 0.0)
+    return WASOProblem(graph=working, k=k, connected=connected)

@@ -1,0 +1,39 @@
+"""Simulated user study (paper §5.2, Fig. 4).
+
+The paper recruited 137 people, had each plan 10 activities manually on
+their own Facebook ego networks, and compared the hand-picked groups with
+CBAS-ND and the CPLEX optimum.  Humans and their Facebook graphs are not
+available offline, so this package substitutes a **bounded-rationality
+manual-coordination model** (:mod:`repro.userstudy.manual`) whose
+mechanisms are the ones the paper's Fig. 4 narrative relies on:
+
+* humans see only local neighbourhood information (like greedy);
+* their perception of scores is noisy;
+* their patience is finite — at n = 30 and k = 13 "some users start to
+  give up", which caps their search and even *reduces* their time spent;
+* their preference weight λ between interest and tightness is personal
+  (the paper measured λ ∈ [0.37, 0.66], mean ≈ 0.503).
+
+:mod:`repro.userstudy.study` orchestrates the full experiment and
+produces the data behind every panel of Fig. 4.
+"""
+
+from repro.userstudy.manual import ManualCoordinator, ManualResult
+from repro.userstudy.opinions import Opinion, judge_opinion
+from repro.userstudy.study import (
+    StudyConfig,
+    StudyOutcome,
+    UserStudy,
+    sample_lambda,
+)
+
+__all__ = [
+    "ManualCoordinator",
+    "ManualResult",
+    "Opinion",
+    "judge_opinion",
+    "UserStudy",
+    "StudyConfig",
+    "StudyOutcome",
+    "sample_lambda",
+]

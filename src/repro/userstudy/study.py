@@ -1,0 +1,261 @@
+"""The user-study experiment driver (paper §5.2, Fig. 4).
+
+One :class:`UserStudy` simulates the paper's protocol:
+
+* ``participants`` simulated users, each with a personal preference
+  weight λ drawn from the distribution the paper measured (clipped normal,
+  mean ≈ 0.503, support [0.37, 0.66] — Fig. 4(a));
+* each participant owns an ego-style social graph (dense, clustered,
+  paper score models) in which they are node 0;
+* for every requested network size ``n`` (Fig. 4(b,c)) and group size
+  ``k`` (Fig. 4(d,e)) the participant plans the activity three ways —
+  manually, with CBAS-ND, and with the exact IP — both *with initiator*
+  (the participant must attend; "-i") and *without* ("-ni");
+* finally each participant rates the CBAS-ND group against their own
+  (Fig. 4(f)).
+
+Solver times are measured wall-clock; manual times come from the
+behaviour model's simulated seconds.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algorithms.base import Solver
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.ip import IPSolver
+from repro.core.problem import WASOProblem
+from repro.graph.generators import random_social_graph
+from repro.userstudy.manual import ManualCoordinator
+from repro.userstudy.opinions import Opinion, judge_opinion
+
+__all__ = ["StudyConfig", "StudyOutcome", "UserStudy", "sample_lambda"]
+
+#: Support of the measured λ distribution (paper Fig. 4(a)).
+LAMBDA_LOW = 0.37
+LAMBDA_HIGH = 0.66
+LAMBDA_MEAN = 0.503
+LAMBDA_STD = 0.055
+
+
+def sample_lambda(rng: random.Random) -> float:
+    """Draw one participant's λ from the paper-measured distribution."""
+    while True:
+        value = rng.gauss(LAMBDA_MEAN, LAMBDA_STD)
+        if LAMBDA_LOW <= value <= LAMBDA_HIGH:
+            return value
+
+
+@dataclass
+class StudyConfig:
+    """Knobs of the simulated study (defaults = the paper's settings)."""
+
+    participants: int = 137
+    network_sizes: tuple[int, ...] = (15, 20, 25, 30)
+    group_sizes: tuple[int, ...] = (7, 9, 11, 13)
+    base_k: int = 7
+    base_n: int = 25
+    solver_budget: int = 150
+    seed: int = 2013
+
+
+@dataclass
+class CellResult:
+    """Aggregated measurements for one (mode, sweep-value) cell."""
+
+    quality: list[float] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+
+    def mean_quality(self) -> float:
+        return statistics.fmean(self.quality) if self.quality else 0.0
+
+    def mean_seconds(self) -> float:
+        return statistics.fmean(self.seconds) if self.seconds else 0.0
+
+
+@dataclass
+class StudyOutcome:
+    """Everything Fig. 4 plots.
+
+    ``by_n`` / ``by_k`` map mode names (``manual-i``, ``cbasnd-i``,
+    ``ip-i``, ``manual-ni``, ...) to ``{sweep value: CellResult}``.
+    """
+
+    lambdas: list[float]
+    by_n: dict[str, dict[int, CellResult]]
+    by_k: dict[str, dict[int, CellResult]]
+    opinions_i: dict[Opinion, int]
+    opinions_ni: dict[Opinion, int]
+
+    def lambda_histogram(self) -> dict[str, float]:
+        """Fraction of participants per Fig. 4(a) bin."""
+        bins = [
+            ("0.37-0.45", LAMBDA_LOW, 0.45),
+            ("0.45-0.5", 0.45, 0.50),
+            ("0.5-0.55", 0.50, 0.55),
+            ("0.55-0.6", 0.55, 0.60),
+            ("0.6-0.66", 0.60, LAMBDA_HIGH + 1e-9),
+        ]
+        total = max(1, len(self.lambdas))
+        histogram = {}
+        for label, low, high in bins:
+            count = sum(1 for lam in self.lambdas if low <= lam < high)
+            histogram[label] = count / total
+        return histogram
+
+    def opinion_percentages(self, with_initiator: bool) -> dict[str, float]:
+        counts = self.opinions_i if with_initiator else self.opinions_ni
+        total = max(1, sum(counts.values()))
+        return {
+            opinion.value: counts.get(opinion, 0) / total
+            for opinion in Opinion
+        }
+
+
+class UserStudy:
+    """Run the simulated user study."""
+
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        manual: Optional[ManualCoordinator] = None,
+        solver: Optional[Solver] = None,
+        optimum: Optional[Solver] = None,
+    ) -> None:
+        self.config = config if config is not None else StudyConfig()
+        self.manual = manual if manual is not None else ManualCoordinator()
+        self.solver = (
+            solver
+            if solver is not None
+            else CBASND(budget=self.config.solver_budget, m=8, stages=5)
+        )
+        self.optimum = optimum if optimum is not None else IPSolver()
+
+    # ------------------------------------------------------------------
+    def run(self) -> StudyOutcome:
+        config = self.config
+        rng = random.Random(config.seed)
+        lambdas = [sample_lambda(rng) for _ in range(config.participants)]
+
+        modes = [
+            "manual-i",
+            "cbasnd-i",
+            "ip-i",
+            "manual-ni",
+            "cbasnd-ni",
+            "ip-ni",
+        ]
+        by_n: dict[str, dict[int, CellResult]] = {
+            mode: {n: CellResult() for n in config.network_sizes}
+            for mode in modes
+        }
+        by_k: dict[str, dict[int, CellResult]] = {
+            mode: {k: CellResult() for k in config.group_sizes}
+            for mode in modes
+        }
+        opinions_i: dict[Opinion, int] = {}
+        opinions_ni: dict[Opinion, int] = {}
+
+        for participant, lam in enumerate(lambdas):
+            seed = config.seed * 1000 + participant
+            for n in config.network_sizes:
+                graph = self._participant_graph(n, lam, seed + n)
+                self._run_cell(
+                    graph, config.base_k, by_n, n, seed + n, rng
+                )
+            for k in config.group_sizes:
+                graph = self._participant_graph(
+                    config.base_n, lam, seed + 7 * k
+                )
+                results = self._run_cell(
+                    graph, k, by_k, k, seed + 7 * k, rng
+                )
+                if k == config.base_k:
+                    # Opinion ratings use the base configuration.
+                    self._record_opinion(
+                        opinions_i, results, "manual-i", "cbasnd-i", rng
+                    )
+                    self._record_opinion(
+                        opinions_ni, results, "manual-ni", "cbasnd-ni", rng
+                    )
+
+        return StudyOutcome(
+            lambdas=lambdas,
+            by_n=by_n,
+            by_k=by_k,
+            opinions_i=opinions_i,
+            opinions_ni=opinions_ni,
+        )
+
+    # ------------------------------------------------------------------
+    def _participant_graph(self, n: int, lam: float, seed: int):
+        """Ego-style personal network: dense, clustered, participant = 0."""
+        graph = random_social_graph(
+            n, average_degree=min(n - 1, 8.0), seed=seed
+        )
+        for node in graph.nodes():
+            graph.set_lam(node, lam)
+        # Guarantee connectivity by chaining stray components to node 0.
+        components = graph.connected_components()
+        anchor_component = components[0]
+        anchor = next(iter(anchor_component))
+        for component in components[1:]:
+            member = next(iter(component))
+            graph.add_edge(anchor, member, 0.1)
+        return graph
+
+    def _run_cell(
+        self,
+        graph,
+        k: int,
+        table: dict[str, dict[int, CellResult]],
+        key: int,
+        seed: int,
+        rng: random.Random,
+    ) -> dict[str, float]:
+        """Run all six modes on one graph; record quality and time."""
+        ego = next(iter(graph.nodes()))
+        problems = {
+            "i": WASOProblem(graph=graph, k=k, required=frozenset({ego})),
+            "ni": WASOProblem(graph=graph, k=k),
+        }
+        qualities: dict[str, float] = {}
+        for suffix, problem in problems.items():
+            manual = self.manual.coordinate(problem, rng=seed)
+            table[f"manual-{suffix}"][key].quality.append(manual.willingness)
+            table[f"manual-{suffix}"][key].seconds.append(
+                manual.simulated_seconds
+            )
+            qualities[f"manual-{suffix}"] = manual.willingness
+
+            solved = self.solver.solve(problem, rng=seed)
+            table[f"cbasnd-{suffix}"][key].quality.append(solved.willingness)
+            table[f"cbasnd-{suffix}"][key].seconds.append(
+                solved.stats.elapsed_seconds
+            )
+            qualities[f"cbasnd-{suffix}"] = solved.willingness
+
+            optimal = self.optimum.solve(problem, rng=seed)
+            table[f"ip-{suffix}"][key].quality.append(optimal.willingness)
+            table[f"ip-{suffix}"][key].seconds.append(
+                optimal.stats.elapsed_seconds
+            )
+            qualities[f"ip-{suffix}"] = optimal.willingness
+        return qualities
+
+    @staticmethod
+    def _record_opinion(
+        counter: dict[Opinion, int],
+        qualities: dict[str, float],
+        manual_key: str,
+        solver_key: str,
+        rng: random.Random,
+    ) -> None:
+        opinion = judge_opinion(
+            qualities[solver_key], qualities[manual_key], rng=rng
+        )
+        counter[opinion] = counter.get(opinion, 0) + 1

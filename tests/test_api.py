@@ -1,0 +1,92 @@
+"""Tests for the high-level API and the solver registry."""
+
+import pytest
+
+from repro.algorithms.registry import available_solvers, make_solver
+from repro.core.api import recommend_group, solve_k_range
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in available_solvers():
+            solver = make_solver(name)
+            assert hasattr(solver, "solve")
+
+    def test_expected_names_present(self):
+        names = available_solvers()
+        for expected in (
+            "dgreedy",
+            "rgreedy",
+            "cbas",
+            "cbas-nd",
+            "cbas-nd-g",
+            "exact-bnb",
+            "ip",
+            "paper-ip",
+        ):
+            assert expected in names
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_solver("does-not-exist")
+
+    def test_kwargs_forwarded(self):
+        solver = make_solver("cbas-nd", budget=77, m=5)
+        assert solver.budget == 77
+        assert solver.m == 5
+
+
+class TestRecommendGroup:
+    def test_basic(self, small_facebook):
+        result = recommend_group(
+            small_facebook, k=5, budget=60, m=5, stages=3, rng=1
+        )
+        assert len(result.members) == 5
+        assert small_facebook.is_connected_subset(result.members)
+
+    def test_solver_choice(self, fig3):
+        result = recommend_group(fig3, k=5, solver="exact-bnb")
+        assert result.willingness == pytest.approx(9.7)
+
+    def test_required_and_forbidden(self, fig3):
+        result = recommend_group(
+            fig3,
+            k=5,
+            solver="exact-bnb",
+            required=[10],
+            forbidden=[1],
+        )
+        assert 10 in result.members
+        assert 1 not in result.members
+
+    def test_disconnected(self, two_components_graph):
+        result = recommend_group(
+            two_components_graph,
+            k=4,
+            solver="exact-bnb",
+            connected=False,
+        )
+        assert len(result.members) == 4
+
+
+class TestSolveKRange:
+    def test_range(self, fig3):
+        results = solve_k_range(fig3, 2, 4, solver="exact-bnb")
+        assert sorted(results) == [2, 3, 4]
+        # Willingness is monotone in k for non-negative scores.
+        assert (
+            results[2].willingness
+            <= results[3].willingness
+            <= results[4].willingness
+        )
+
+    def test_validation(self, fig3):
+        with pytest.raises(ValueError):
+            solve_k_range(fig3, 0, 3)
+        with pytest.raises(ValueError):
+            solve_k_range(fig3, 4, 2)
+
+    def test_single_k(self, fig3):
+        results = solve_k_range(fig3, 5, 5, solver="exact-bnb")
+        assert list(results) == [5]
+        assert results[5].willingness == pytest.approx(9.7)

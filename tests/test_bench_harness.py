@@ -1,0 +1,87 @@
+"""Tests for the bench support package."""
+
+import pytest
+
+from repro.bench.datasets import bench_graph
+from repro.bench.harness import (
+    ExperimentTable,
+    Series,
+    format_seconds,
+    geometric_speedup,
+    shape_nondecreasing,
+    shape_ratio,
+    timed,
+)
+
+
+class TestSeries:
+    def test_ordering(self):
+        series = Series(name="s")
+        series.add(3, 30.0)
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        assert series.xs() == [1, 2, 3]
+        assert series.ys() == [10.0, 20.0, 30.0]
+        assert series.at(2) == 20.0
+
+
+class TestExperimentTable:
+    def test_add_and_render(self):
+        table = ExperimentTable(title="Fig X", x_label="k")
+        table.add("alg1", 10, 1.5)
+        table.add("alg2", 10, 2.5)
+        table.add("alg1", 20, 3.5)
+        text = table.render()
+        assert "Fig X" in text
+        assert "alg1" in text and "alg2" in text
+        assert "-" in text  # missing alg2@20 rendered as dash
+
+    def test_series_for_creates_once(self):
+        table = ExperimentTable(title="t", x_label="x")
+        first = table.series_for("a")
+        second = table.series_for("a")
+        assert first is second
+
+
+class TestShapeChecks:
+    def test_ratio(self):
+        top = Series(name="t", points={1: 10.0, 2: 20.0})
+        bottom = Series(name="b", points={1: 5.0, 2: 0.0, 3: 1.0})
+        ratios = shape_ratio(top, bottom)
+        assert ratios[1] == 2.0
+        assert ratios[2] == float("inf")
+        assert 3 not in ratios
+
+    def test_nondecreasing(self):
+        rising = Series(name="r", points={1: 1.0, 2: 2.0, 3: 2.0})
+        assert shape_nondecreasing(rising)
+        dipping = Series(name="d", points={1: 2.0, 2: 1.0})
+        assert not shape_nondecreasing(dipping)
+        assert shape_nondecreasing(dipping, slack=0.6)
+
+    def test_speedup(self):
+        speedups = geometric_speedup([2.0, 1.0, 0.5], baseline=2.0)
+        assert speedups == [1.0, 2.0, 4.0]
+
+
+class TestUtilities:
+    def test_timed(self):
+        value, elapsed = timed(lambda: 42)
+        assert value == 42
+        assert elapsed >= 0.0
+
+    def test_format_seconds(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(2.0).endswith("s")
+
+
+class TestDatasets:
+    def test_cached_identity(self):
+        first = bench_graph("dblp", 100)
+        second = bench_graph("dblp", 100)
+        assert first is second
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            bench_graph("myspace", 100)

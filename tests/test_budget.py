@@ -1,0 +1,211 @@
+"""Tests for the OCBA budget engine and stage planning."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.budget.ocba import (
+    StartNodeStats,
+    apportion,
+    gaussian_overtake_probability,
+    gaussian_weights,
+    uniform_weights,
+)
+from repro.budget.stages import initial_budget, plan_stages
+
+
+def _stats(node, values):
+    stat = StartNodeStats(node=node)
+    for value in values:
+        stat.record(value)
+    return stat
+
+
+class TestStartNodeStats:
+    def test_records_extremes(self):
+        stat = _stats("a", [3.0, 1.0, 2.0])
+        assert stat.c == 1.0
+        assert stat.d == 3.0
+        assert stat.n == 3
+
+    def test_welford_mean_std(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        stat = _stats("a", values)
+        assert stat.mean == pytest.approx(2.5)
+        expected_std = math.sqrt(sum((v - 2.5) ** 2 for v in values) / 3)
+        assert stat.std == pytest.approx(expected_std)
+
+    def test_std_with_one_sample(self):
+        assert _stats("a", [5.0]).std == 0.0
+
+
+class TestUniformWeights:
+    def test_best_gets_unit_weight(self):
+        stats = [_stats("a", [1.0, 5.0]), _stats("b", [0.5, 3.0])]
+        weights = uniform_weights(stats)
+        assert weights[0] == 1.0
+        assert 0.0 < weights[1] < 1.0
+
+    def test_theorem3_ratio(self):
+        """weights follow ((d_i - c_b)/(d_b - c_b))^{N_b} / 2."""
+        best = _stats("b", [0.0, 10.0, 5.0])  # c=0, d=10, n=3
+        other = _stats("i", [1.0, 6.0])  # d_i = 6
+        weights = uniform_weights([best, other])
+        expected = 0.5 * (6.0 / 10.0) ** 3
+        assert weights[1] == pytest.approx(expected)
+
+    def test_hopeless_node_pruned(self):
+        best = _stats("b", [5.0, 10.0])
+        hopeless = _stats("i", [1.0, 4.0])  # d_i < c_b
+        weights = uniform_weights([best, hopeless])
+        assert weights[1] == 0.0
+
+    def test_pruned_nodes_get_zero(self):
+        stat = _stats("a", [1.0])
+        stat.pruned = True
+        weights = uniform_weights([stat, _stats("b", [2.0])])
+        assert weights[0] == 0.0
+
+    def test_no_samples_yet(self):
+        weights = uniform_weights([StartNodeStats(node="a")])
+        assert weights == [1.0]
+
+    def test_degenerate_incumbent(self):
+        best = _stats("b", [5.0, 5.0])  # zero spread
+        other = _stats("i", [5.0, 5.0])
+        weights = uniform_weights([best, other])
+        assert weights == [1.0, 1.0]
+
+
+class TestTheorem3MonteCarlo:
+    def test_bound_holds_empirically(self):
+        """P(J*_i >= J*_b) <= 0.5 ((d_i-c_b)/(d_b-c_b))^{N_b} for uniforms."""
+        rng = random.Random(42)
+        c_b, d_b = 0.0, 1.0
+        c_i, d_i = -0.5, 0.8
+        n_b, n_i = 5, 7
+        trials = 20000
+        overtakes = 0
+        for _ in range(trials):
+            j_b = max(rng.uniform(c_b, d_b) for _ in range(n_b))
+            j_i = max(rng.uniform(c_i, d_i) for _ in range(n_i))
+            if j_i >= j_b:
+                overtakes += 1
+        bound = 0.5 * ((d_i - c_b) / (d_b - c_b)) ** n_b
+        assert overtakes / trials <= bound * 1.15  # Monte-Carlo slack
+
+
+class TestGaussian:
+    def test_certain_overtake(self):
+        prob = gaussian_overtake_probability(0.0, 1.0, 3, 100.0, 1.0, 3)
+        assert prob > 0.99
+
+    def test_certain_loss(self):
+        prob = gaussian_overtake_probability(100.0, 1.0, 3, 0.0, 1.0, 3)
+        assert prob < 0.01
+
+    def test_symmetric_case_near_half(self):
+        prob = gaussian_overtake_probability(0.0, 1.0, 4, 0.0, 1.0, 4)
+        assert 0.35 < prob < 0.65
+
+    def test_degenerate_sigmas(self):
+        assert gaussian_overtake_probability(1.0, 0.0, 2, 2.0, 0.0, 2) == 1.0
+        assert gaussian_overtake_probability(2.0, 0.0, 2, 1.0, 0.0, 2) == 0.0
+
+    def test_monte_carlo_agreement(self):
+        rng = random.Random(7)
+        mu_b, sigma_b, n_b = 2.0, 1.0, 4
+        mu_i, sigma_i, n_i = 1.5, 2.0, 3
+        trials = 20000
+        overtakes = 0
+        for _ in range(trials):
+            j_b = max(rng.gauss(mu_b, sigma_b) for _ in range(n_b))
+            j_i = max(rng.gauss(mu_i, sigma_i) for _ in range(n_i))
+            if j_i >= j_b:
+                overtakes += 1
+        numeric = gaussian_overtake_probability(
+            mu_b, sigma_b, n_b, mu_i, sigma_i, n_i
+        )
+        assert overtakes / trials == pytest.approx(numeric, abs=0.02)
+
+    def test_gaussian_weights_best_is_one(self):
+        stats = [_stats("a", [1.0, 5.0, 3.0]), _stats("b", [0.5, 3.0, 2.0])]
+        weights = gaussian_weights(stats)
+        assert weights[0] == 1.0
+        assert 0.0 <= weights[1] <= 1.0
+
+
+class TestApportion:
+    def test_exact_split(self):
+        assert apportion([1.0, 1.0], 10) == [5, 5]
+
+    def test_sums_to_total(self):
+        shares = apportion([0.7, 0.2, 0.1], 17)
+        assert sum(shares) == 17
+
+    def test_zero_weights_even_split(self):
+        shares = apportion([0.0, 0.0, 0.0], 7)
+        assert sum(shares) == 7
+        assert max(shares) - min(shares) <= 1
+
+    def test_positive_weight_keeps_funding(self):
+        shares = apportion([1000.0, 0.001, 0.001], 10)
+        assert shares[1] >= 1 and shares[2] >= 1
+
+    def test_empty(self):
+        assert apportion([], 5) == []
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            apportion([1.0], -1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_sums_and_nonnegative(self, weights, total):
+        shares = apportion(weights, total)
+        assert sum(shares) == total
+        assert all(share >= 0 for share in shares)
+        assert len(shares) == len(weights)
+
+
+class TestStages:
+    def test_initial_budget_at_least_m(self):
+        assert initial_budget(10) >= 10
+
+    def test_initial_budget_single_start(self):
+        assert initial_budget(1) == 1
+
+    def test_initial_budget_validation(self):
+        with pytest.raises(ValueError):
+            initial_budget(0)
+        with pytest.raises(ValueError):
+            initial_budget(5, pb=1.0)
+        with pytest.raises(ValueError):
+            initial_budget(5, alpha=1.0)
+
+    def test_paper_example_stage_count(self):
+        """Example 1: T=20, n=10, k=5, Pb=0.7, alpha=0.9 -> r = 2."""
+        r = plan_stages(20, n=10, k=5, m=2, pb=0.7, alpha=0.9)
+        assert r == 2
+
+    def test_stage_count_clamped(self):
+        assert plan_stages(1000, n=100, k=10, m=10, max_stages=5) <= 5
+        assert plan_stages(5, n=100, k=10, m=10) >= 1
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            plan_stages(0, n=10, k=2, m=2)
+        with pytest.raises(ValueError):
+            plan_stages(10, n=1, k=2, m=2)
+        with pytest.raises(ValueError):
+            plan_stages(10, n=10, k=2, m=0)

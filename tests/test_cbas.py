@@ -1,0 +1,102 @@
+"""Tests for CBAS (budget allocation across start nodes)."""
+
+import pytest
+
+from repro.algorithms.cbas import CBAS
+from repro.core.problem import WASOProblem
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CBAS(budget=0)
+        with pytest.raises(ValueError):
+            CBAS(budget=10, m=0)
+        with pytest.raises(ValueError):
+            CBAS(budget=10, stages=0)
+        with pytest.raises(ValueError):
+            CBAS(budget=10, allocation="nope")
+
+
+class TestSolve:
+    def test_feasible_solution(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = CBAS(budget=100, m=10, stages=4).solve(problem, rng=3)
+        assert result.solution.is_feasible(problem)
+
+    def test_stage_count_reported(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = CBAS(budget=80, m=8, stages=4).solve(problem, rng=3)
+        assert result.stats.stages == 4
+
+    def test_reproducible(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        first = CBAS(budget=100, m=10, stages=4).solve(problem, rng=11)
+        second = CBAS(budget=100, m=10, stages=4).solve(problem, rng=11)
+        assert first.members == second.members
+
+    def test_budget_approximately_spent(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = CBAS(budget=120, m=10, stages=4).solve(problem, rng=3)
+        # Budget is quantized per stage; the total may differ by rounding
+        # and pruning but should stay in the right ballpark.
+        assert 60 <= result.stats.samples_drawn <= 130
+
+    def test_solution_is_best_sample(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        result = CBAS(budget=150, m=2, stages=3).solve(problem, rng=1)
+        # With this much budget on 10 nodes the optimum is reliably found.
+        assert result.willingness == pytest.approx(9.7)
+
+    def test_start_node_count_capped_by_graph(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        result = CBAS(budget=50, m=500, stages=2).solve(problem, rng=1)
+        assert result.stats.extra["start_nodes"] <= 10
+
+    def test_pruning_happens(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=8)
+        result = CBAS(budget=200, m=20, stages=5).solve(problem, rng=3)
+        # With heterogeneous start nodes, OCBA prunes hopeless ones.
+        assert result.stats.extra["pruned_start_nodes"] >= 0
+
+    def test_gaussian_allocation_runs(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = CBAS(
+            budget=100, m=10, stages=4, allocation="gaussian"
+        ).solve(problem, rng=3)
+        assert result.solution.is_feasible(problem)
+
+    def test_required_node(self, small_facebook):
+        anchor = next(iter(small_facebook.nodes()))
+        problem = WASOProblem(
+            graph=small_facebook, k=5, required=frozenset({anchor})
+        )
+        result = CBAS(budget=60, m=6, stages=3).solve(problem, rng=1)
+        assert anchor in result.members
+
+    def test_default_stage_plan_used(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = CBAS(budget=100, m=10).solve(problem, rng=3)
+        assert result.stats.stages >= 1
+
+    def test_wasodis(self, two_components_graph):
+        problem = WASOProblem(
+            graph=two_components_graph, k=4, connected=False
+        )
+        result = CBAS(budget=40, m=3, stages=2).solve(problem, rng=2)
+        assert result.solution.is_feasible(problem)
+
+
+class TestBudgetMonotonicity:
+    def test_more_budget_is_not_worse_on_average(self, small_facebook):
+        """Statistical: mean quality at T=150 >= mean quality at T=15."""
+        problem = WASOProblem(graph=small_facebook, k=8)
+        small_mean = sum(
+            CBAS(budget=15, m=5, stages=2).solve(problem, rng=s).willingness
+            for s in range(8)
+        )
+        large_mean = sum(
+            CBAS(budget=150, m=5, stages=4).solve(problem, rng=s).willingness
+            for s in range(8)
+        )
+        assert large_mean >= small_mean

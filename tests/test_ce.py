@@ -1,0 +1,208 @@
+"""Tests for the cross-entropy probability machinery."""
+
+import math
+
+import pytest
+
+from repro.algorithms.sampling import Sample
+from repro.ce.convergence import BacktrackController
+from repro.ce.probability import SelectionProbabilities, elite_threshold
+
+
+def _sample(members, willingness):
+    return Sample(members=frozenset(members), willingness=willingness)
+
+
+class TestEliteThreshold:
+    def test_paper_example2_quantile(self):
+        """Example 2: W = <9.2, 8.9, 8.9, 7.9, 5.9>, rho=0.5 -> gamma=8.9."""
+        values = [9.2, 8.9, 8.9, 7.9, 5.9]
+        assert elite_threshold(values, 0.5) == pytest.approx(8.9)
+
+    def test_rho_one_is_minimum(self):
+        assert elite_threshold([3.0, 1.0, 2.0], 1.0) == 1.0
+
+    def test_tiny_rho_is_maximum(self):
+        assert elite_threshold([3.0, 1.0, 2.0], 0.01) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            elite_threshold([], 0.5)
+        with pytest.raises(ValueError):
+            elite_threshold([1.0], 0.0)
+        with pytest.raises(ValueError):
+            elite_threshold([1.0], 1.5)
+
+
+class TestInitialization:
+    def test_homogeneous_initialization(self):
+        probs = SelectionProbabilities(range(10), k=5)
+        # (k - 1) / |V| = 4/10.
+        for node in range(10):
+            assert probs.probability(node) == pytest.approx(0.4)
+
+    def test_unknown_node_zero(self):
+        probs = SelectionProbabilities(range(3), k=2)
+        assert probs.probability(99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionProbabilities([], k=2)
+        with pytest.raises(ValueError):
+            SelectionProbabilities(range(3), k=0)
+
+
+class TestUpdateEquation4:
+    def test_elite_frequencies_with_full_smoothing(self):
+        """With w = 1 the vector equals the elite membership frequency."""
+        probs = SelectionProbabilities(range(4), k=2)
+        samples = [
+            _sample({0, 1}, 10.0),
+            _sample({0, 2}, 9.0),
+            _sample({2, 3}, 1.0),  # below gamma
+        ]
+        # rho = 0.5 over 3 samples -> rank ceil(1.5) = 2 -> gamma = 9.0.
+        probs.update(samples, rho=0.5, smoothing=1.0)
+        assert probs.probability(0) == pytest.approx(1.0)
+        assert probs.probability(1) == pytest.approx(0.5)
+        assert probs.probability(2) == pytest.approx(0.5)
+        assert probs.probability(3) == pytest.approx(0.0)
+
+    def test_paper_example2_smoothed_vector(self):
+        """Example 2's smoothing arithmetic:
+        p = 0.6*<2/3,1/3,1,...> + 0.4*<4/9,...> = <5.2/9, 3.4/9, 1, ...>."""
+        # The paper's Example sets the initial vector to 4/9 on every node
+        # except the start node v3 (probability 1).  (Its Definition 3 says
+        # (k-1)/|V| = 4/10 instead — a printed inconsistency; we follow the
+        # worked example here by installing the vector explicitly.)
+        probs = SelectionProbabilities(range(1, 11), k=5)
+        for node in range(1, 11):
+            probs._p[node] = 4.0 / 9.0
+        probs._p[3] = 1.0
+        elites_and_low = [
+            _sample({1, 3, 4, 5, 6}, 8.9),
+            _sample({1, 2, 3, 4, 5}, 8.9),
+            _sample({2, 3, 5, 6, 8}, 5.9),
+            _sample({2, 3, 4, 5, 7}, 7.9),
+            _sample({3, 5, 6, 7, 10}, 9.2),
+        ]
+        probs.update(elites_and_low, rho=0.5, smoothing=0.6)
+        # gamma = 8.9; elites = samples 1, 2, 5; frequencies:
+        # v1: 2/3, v2: 1/3, v3: 1, v4: 2/3, v5: 1, v6: 2/3, v7: 1/3,
+        # v8..v10: 0 except v10: 1/3.
+        assert probs.probability(1) == pytest.approx(0.6 * 2 / 3 + 0.4 * 4 / 9)
+        assert probs.probability(2) == pytest.approx(0.6 * 1 / 3 + 0.4 * 4 / 9)
+        assert probs.probability(3) == pytest.approx(1.0)
+        assert probs.probability(5) == pytest.approx(0.6 * 1.0 + 0.4 * 4 / 9)
+        assert probs.probability(8) == pytest.approx(0.6 * 0.0 + 0.4 * 4 / 9)
+
+    def test_smoothing_keeps_probabilities_interior(self):
+        probs = SelectionProbabilities(range(4), k=2)
+        samples = [_sample({0, 1}, 10.0)]
+        probs.update(samples, rho=0.5, smoothing=0.9)
+        for node in range(4):
+            assert 0.0 < probs.probability(node) < 1.0 or node in (0, 1)
+        # Nodes absent from elites keep a residue of the old probability.
+        assert probs.probability(3) > 0.0
+
+    def test_gamma_monotone_across_stages(self):
+        probs = SelectionProbabilities(range(4), k=2)
+        probs.update([_sample({0, 1}, 10.0)], rho=0.5, smoothing=0.5)
+        first_gamma = probs.gamma
+        probs.update([_sample({2, 3}, 1.0)], rho=0.5, smoothing=0.5)
+        assert probs.gamma == first_gamma  # did not decrease
+
+    def test_update_below_gamma_is_noop(self):
+        probs = SelectionProbabilities(range(4), k=2)
+        probs.update([_sample({0, 1}, 10.0)], rho=0.5, smoothing=0.5)
+        before = probs.as_dict()
+        movement = probs.update(
+            [_sample({2, 3}, 1.0)], rho=0.5, smoothing=0.5
+        )
+        assert movement == 0.0
+        assert probs.as_dict() == before
+
+    def test_empty_samples_noop(self):
+        probs = SelectionProbabilities(range(4), k=2)
+        assert probs.update([], rho=0.5, smoothing=0.5) == 0.0
+
+    def test_movement_is_squared_distance(self):
+        probs = SelectionProbabilities(range(2), k=2)
+        before = probs.as_dict()
+        movement = probs.update(
+            [_sample({0, 1}, 5.0)], rho=1.0, smoothing=1.0
+        )
+        expected = sum(
+            (1.0 - before[node]) ** 2 for node in range(2)
+        )
+        assert movement == pytest.approx(expected)
+
+    def test_validation(self):
+        probs = SelectionProbabilities(range(3), k=2)
+        with pytest.raises(ValueError):
+            probs.update([_sample({0}, 1.0)], rho=0.0, smoothing=0.5)
+        with pytest.raises(ValueError):
+            probs.update([_sample({0}, 1.0)], rho=0.5, smoothing=2.0)
+
+
+class TestSnapshots:
+    def test_snapshot_restore(self):
+        probs = SelectionProbabilities(range(3), k=2)
+        saved = probs.snapshot()
+        probs.update([_sample({0, 1}, 3.0)], rho=1.0, smoothing=1.0)
+        probs.restore(saved)
+        assert probs.as_dict() == saved
+
+    def test_kl_distance_zero_for_identical(self):
+        first = SelectionProbabilities(range(5), k=3)
+        second = SelectionProbabilities(range(5), k=3)
+        assert first.kl_distance(second) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_distance_positive_when_different(self):
+        first = SelectionProbabilities(range(5), k=3)
+        second = SelectionProbabilities(range(5), k=3)
+        second.update([_sample({0, 1, 2}, 5.0)], rho=1.0, smoothing=1.0)
+        assert first.kl_distance(second) > 0.0
+
+
+class TestBacktrackController:
+    def test_disabled_by_default(self):
+        controller = BacktrackController(threshold=None)
+        probs = SelectionProbabilities(range(3), k=2)
+        controller.remember(probs)
+        assert not controller.observe(probs, movement=0.0)
+
+    def test_backtracks_below_threshold(self):
+        controller = BacktrackController(threshold=0.5, max_backtracks=2)
+        probs = SelectionProbabilities(range(3), k=2)
+        controller.remember(probs)
+        saved = probs.snapshot()
+        probs.update([_sample({0, 1}, 5.0)], rho=1.0, smoothing=1.0)
+        assert controller.observe(probs, movement=0.1)
+        assert probs.as_dict() == saved
+        assert controller.backtracks_used == 1
+
+    def test_no_backtrack_above_threshold(self):
+        controller = BacktrackController(threshold=0.5)
+        probs = SelectionProbabilities(range(3), k=2)
+        controller.remember(probs)
+        assert not controller.observe(probs, movement=0.9)
+
+    def test_budget_of_backtracks(self):
+        controller = BacktrackController(threshold=1e9, max_backtracks=1)
+        probs = SelectionProbabilities(range(3), k=2)
+        controller.remember(probs)
+        assert controller.observe(probs, movement=0.0)
+        controller.remember(probs)
+        assert not controller.observe(probs, movement=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BacktrackController(threshold=-1.0)
+        with pytest.raises(ValueError):
+            BacktrackController(threshold=1.0, max_backtracks=-1)
+
+    def test_no_observe_before_remember(self):
+        controller = BacktrackController(threshold=0.5)
+        probs = SelectionProbabilities(range(3), k=2)
+        assert not controller.observe(probs, movement=0.0)

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestGenerate:
+    def test_generate_writes_graph(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        code = main(
+            [
+                "generate",
+                "--family",
+                "dblp",
+                "--size",
+                "80",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "dblp" in capsys.readouterr().out
+
+    def test_default_family(self, tmp_path):
+        out = tmp_path / "g.json"
+        assert main(["generate", "--size", "60", "--out", str(out)]) == 0
+
+
+class TestStats:
+    def test_stats_prints_summary(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        main(["generate", "--size", "60", "--seed", "1", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "n=" in printed
+
+
+class TestSolve:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        out = tmp_path / "g.json"
+        main(
+            [
+                "generate",
+                "--family",
+                "random",
+                "--size",
+                "40",
+                "--seed",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        return out
+
+    def test_solve_prints_members(self, graph_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(graph_file),
+                "--k",
+                "4",
+                "--solver",
+                "dgreedy",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "k=4" in printed
+        assert "W=" in printed
+
+    def test_solve_k_range(self, graph_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(graph_file),
+                "--k",
+                "3",
+                "--k-max",
+                "5",
+                "--solver",
+                "cbas-nd",
+                "--budget",
+                "30",
+                "--m",
+                "4",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "k=3" in printed and "k=5" in printed
+
+    def test_solve_disconnected(self, graph_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(graph_file),
+                "--k",
+                "3",
+                "--solver",
+                "dgreedy",
+                "--disconnected",
+            ]
+        )
+        assert code == 0
+
+    def test_require_flag(self, graph_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(graph_file),
+                "--k",
+                "3",
+                "--solver",
+                "dgreedy",
+                "--require",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "0" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_solver_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["solve", "g.json", "--k", "3", "--solver", "x"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

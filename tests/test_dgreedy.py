@@ -1,0 +1,78 @@
+"""Tests for the deterministic greedy baseline."""
+
+import pytest
+
+from repro.algorithms.dgreedy import DGreedy
+from repro.core.problem import WASOProblem
+from repro.exceptions import SolverError
+
+
+class TestFigure1Narrative:
+    """DGreedy must walk straight into the paper's Fig. 1 trap."""
+
+    def test_greedy_gets_trapped_at_27(self, fig1):
+        problem = WASOProblem(graph=fig1, k=3)
+        result = DGreedy().solve(problem)
+        assert result.members == frozenset({1, 2, 3})
+        assert result.willingness == pytest.approx(27.0)
+
+    def test_greedy_misses_the_optimum(self, fig1):
+        problem = WASOProblem(graph=fig1, k=3)
+        result = DGreedy().solve(problem)
+        from repro.core.willingness import willingness
+
+        optimum = willingness(fig1, {2, 3, 4})
+        assert optimum == pytest.approx(30.0)
+        assert result.willingness < optimum
+
+
+class TestBehaviour:
+    def test_deterministic(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=8)
+        first = DGreedy().solve(problem)
+        second = DGreedy().solve(problem, rng=999)  # rng must not matter
+        assert first.members == second.members
+
+    def test_feasible_on_random_graph(self, small_dblp, connectify):
+        graph = small_dblp.copy()
+        connectify(graph)
+        problem = WASOProblem(graph=graph, k=6)
+        result = DGreedy().solve(problem)
+        assert result.solution.is_feasible(problem)
+
+    def test_required_node_is_seed(self, fig1):
+        # Requiring v4 steers greedy away from the v1 anchor.
+        problem = WASOProblem(graph=fig1, k=3, required=frozenset({4}))
+        result = DGreedy().solve(problem)
+        assert 4 in result.members
+
+    def test_forbidden_respected(self, fig1):
+        problem = WASOProblem(graph=fig1, k=3, forbidden=frozenset({1}))
+        result = DGreedy().solve(problem)
+        assert 1 not in result.members
+        assert result.members == frozenset({2, 3, 4})
+
+    def test_k_equals_one_picks_max_interest(self, fig1):
+        problem = WASOProblem(graph=fig1, k=1)
+        result = DGreedy().solve(problem)
+        assert result.members == frozenset({1})
+
+    def test_wasodis_mode(self, two_components_graph):
+        problem = WASOProblem(
+            graph=two_components_graph, k=4, connected=False
+        )
+        result = DGreedy().solve(problem)
+        # Greedy should take the high-interest triangle plus one more.
+        assert {3, 4, 5} <= result.members
+
+    def test_stats_single_sample(self, fig1):
+        result = DGreedy().solve(WASOProblem(graph=fig1, k=3))
+        assert result.stats.samples_drawn == 1
+
+    def test_disconnected_required_seed_can_fail(self, path_graph):
+        # Required {0, 4} on a path with k=3 cannot be connected.
+        problem = WASOProblem(
+            graph=path_graph, k=3, required=frozenset({0, 4})
+        )
+        with pytest.raises(SolverError):
+            DGreedy().solve(problem)

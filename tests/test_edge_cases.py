@@ -1,0 +1,187 @@
+"""Edge cases and failure injection across the stack.
+
+Degenerate sizes (k = 1, k = n, single-node graphs), hostile scores
+(all-zero, all-negative), starved budgets, and misuse patterns — the
+inputs a deployed service would eventually receive.
+"""
+
+import pytest
+
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.dgreedy import DGreedy
+from repro.algorithms.exact import ExactBnB
+from repro.algorithms.ip import IPSolver
+from repro.algorithms.rgreedy import RGreedy
+from repro.core.problem import WASOProblem
+from repro.core.willingness import willingness
+from repro.exceptions import ProblemSpecificationError
+from repro.graph.generators import ring_graph
+from repro.graph.social_graph import SocialGraph
+
+ALL_SOLVERS = [
+    DGreedy(),
+    RGreedy(budget=10, m=2),
+    CBAS(budget=12, m=2, stages=2),
+    CBASND(budget=12, m=2, stages=2),
+    ExactBnB(),
+    IPSolver(),
+]
+
+
+def _single_node_graph():
+    graph = SocialGraph()
+    graph.add_node("only", interest=3.0)
+    return graph
+
+
+def _all_zero_graph():
+    graph = SocialGraph()
+    for node in range(5):
+        graph.add_node(node, interest=0.0)
+    for node in range(4):
+        graph.add_edge(node, node + 1, 0.0)
+    return graph
+
+
+def _negative_graph():
+    """Foes everywhere: every willingness value is negative."""
+    graph = SocialGraph()
+    for node in range(5):
+        graph.add_node(node, interest=-1.0)
+    for node in range(4):
+        graph.add_edge(node, node + 1, -2.0)
+    return graph
+
+
+class TestDegenerateSizes:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    def test_k_equals_one(self, solver, fig1):
+        result = solver.solve(WASOProblem(graph=fig1, k=1), rng=0)
+        assert len(result.members) == 1
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    def test_k_equals_n(self, solver, fig1):
+        result = solver.solve(WASOProblem(graph=fig1, k=4), rng=0)
+        assert result.members == frozenset({1, 2, 3, 4})
+        assert result.willingness == pytest.approx(
+            willingness(fig1, {1, 2, 3, 4})
+        )
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    def test_single_node_graph(self, solver):
+        graph = _single_node_graph()
+        result = solver.solve(WASOProblem(graph=graph, k=1), rng=0)
+        assert result.members == frozenset({"only"})
+        assert result.willingness == pytest.approx(3.0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ProblemSpecificationError):
+            WASOProblem(graph=SocialGraph(), k=1)
+
+
+class TestHostileScores:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    def test_all_zero_scores(self, solver):
+        graph = _all_zero_graph()
+        result = solver.solve(WASOProblem(graph=graph, k=3), rng=0)
+        assert len(result.members) == 3
+        assert result.willingness == pytest.approx(0.0)
+        assert graph.is_connected_subset(result.members)
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    def test_all_negative_scores(self, solver):
+        """Maximizing a negative objective must still work (least-bad)."""
+        graph = _negative_graph()
+        result = solver.solve(WASOProblem(graph=graph, k=2), rng=0)
+        assert len(result.members) == 2
+        assert result.willingness < 0
+
+    def test_negative_optimum_is_exact(self):
+        graph = _negative_graph()
+        problem = WASOProblem(graph=graph, k=2)
+        exact = ExactBnB().solve(problem)
+        milp = IPSolver().solve(problem)
+        assert milp.willingness == pytest.approx(exact.willingness)
+
+
+class TestStarvedBudgets:
+    def test_cbas_budget_below_stages(self, fig3):
+        problem = WASOProblem(graph=fig3, k=3)
+        result = CBAS(budget=2, m=2, stages=5).solve(problem, rng=0)
+        assert len(result.members) == 3
+
+    def test_cbasnd_budget_one(self, fig3):
+        problem = WASOProblem(graph=fig3, k=3)
+        result = CBASND(budget=1, m=1, stages=1).solve(problem, rng=0)
+        assert len(result.members) == 3
+
+    def test_rgreedy_budget_one(self, fig3):
+        problem = WASOProblem(graph=fig3, k=3)
+        result = RGreedy(budget=1, m=1).solve(problem, rng=0)
+        assert len(result.members) == 3
+
+    def test_single_start_node(self, fig3):
+        problem = WASOProblem(graph=fig3, k=3)
+        result = CBASND(budget=20, m=1, stages=2).solve(problem, rng=0)
+        assert len(result.members) == 3
+
+
+class TestStructuralTraps:
+    def test_ring_graph_all_solvers(self):
+        """A cycle: every k-group is a path segment; connectivity binds."""
+        graph = ring_graph(12, seed=3)
+        problem = WASOProblem(graph=graph, k=4)
+        for solver in ALL_SOLVERS:
+            result = solver.solve(problem, rng=1)
+            assert graph.is_connected_subset(result.members)
+
+    def test_star_graph_hub_required_for_big_k(self):
+        """On a star, any group with k >= 3 must include the hub."""
+        graph = SocialGraph()
+        graph.add_node("hub", interest=0.0)
+        for leaf in range(6):
+            graph.add_node(leaf, interest=1.0)
+            graph.add_edge("hub", leaf, 0.5)
+        problem = WASOProblem(graph=graph, k=4)
+        for solver in ALL_SOLVERS:
+            result = solver.solve(problem, rng=1)
+            assert "hub" in result.members
+
+    def test_bridge_heavy_graph(self):
+        """Two cliques joined by one bridge; groups spanning both must
+        include both bridge endpoints."""
+        graph = SocialGraph()
+        for node in range(8):
+            graph.add_node(node, interest=0.5)
+        for clique in (range(0, 4), range(4, 8)):
+            members = list(clique)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    graph.add_edge(u, v, 1.0)
+        graph.add_edge(3, 4, 0.1)
+        problem = WASOProblem(graph=graph, k=6)
+        result = ExactBnB().solve(problem)
+        if result.members & {0, 1, 2, 3} and result.members & {4, 5, 6, 7}:
+            assert {3, 4} <= result.members
+
+
+class TestMisuse:
+    def test_solver_rejects_infeasible_before_work(self, path_graph):
+        problem = WASOProblem(
+            graph=path_graph, k=4, forbidden=frozenset({2})
+        )
+        from repro.exceptions import InfeasibleProblemError
+
+        for solver in ALL_SOLVERS:
+            with pytest.raises(InfeasibleProblemError):
+                solver.solve(problem, rng=0)
+
+    def test_rng_accepts_int_none_and_random(self, fig3):
+        import random
+
+        problem = WASOProblem(graph=fig3, k=3)
+        solver = CBASND(budget=10, m=2, stages=2)
+        solver.solve(problem, rng=5)
+        solver.solve(problem, rng=None)
+        solver.solve(problem, rng=random.Random(5))

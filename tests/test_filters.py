@@ -1,0 +1,122 @@
+"""Tests for candidate pre-filtering (metadata, availability)."""
+
+import pytest
+
+from repro.algorithms.exact import ExactBnB
+from repro.exceptions import InfeasibleProblemError
+from repro.graph.social_graph import SocialGraph
+from repro.scenarios import (
+    attribute_filter,
+    availability_filter,
+    filtered_problem,
+)
+
+
+@pytest.fixture
+def city_graph() -> SocialGraph:
+    """Six people across two cities, fully scored."""
+    graph = SocialGraph()
+    cities = ["sf", "sf", "sf", "nyc", "nyc", "sf"]
+    for node, city in enumerate(cities):
+        graph.add_node(
+            node,
+            interest=1.0 + node * 0.1,
+            metadata={"city": city, "age": 20 + node * 5},
+        )
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (0, 5)]:
+        graph.add_edge(u, v, 0.5)
+    return graph
+
+
+class TestMetadata:
+    def test_metadata_roundtrip(self, city_graph):
+        assert city_graph.metadata(0)["city"] == "sf"
+        assert city_graph.metadata(3)["age"] == 35
+
+    def test_metadata_default_empty(self):
+        graph = SocialGraph()
+        graph.add_node(1)
+        assert graph.metadata(1) == {}
+
+    def test_set_metadata_merges(self, city_graph):
+        city_graph.set_metadata(0, vip=True)
+        assert city_graph.metadata(0)["vip"] is True
+        assert city_graph.metadata(0)["city"] == "sf"
+
+    def test_copy_preserves_metadata(self, city_graph):
+        clone = city_graph.copy()
+        clone.set_metadata(0, city="la")
+        assert city_graph.metadata(0)["city"] == "sf"
+
+    def test_subgraph_preserves_metadata(self, city_graph):
+        sub = city_graph.subgraph({0, 1})
+        assert sub.metadata(1)["city"] == "sf"
+
+
+class TestAttributeFilter:
+    def test_equality_filter(self, city_graph):
+        problem = filtered_problem(
+            city_graph, k=3, predicate=attribute_filter(city="sf")
+        )
+        assert set(problem.candidates()) == {0, 1, 2, 5}
+
+    def test_callable_filter(self, city_graph):
+        adults_over_30 = attribute_filter(age=lambda a: a >= 30)
+        problem = filtered_problem(city_graph, k=2, predicate=adults_over_30)
+        assert set(problem.candidates()) == {2, 3, 4, 5}
+
+    def test_combined_keys(self, city_graph):
+        predicate = attribute_filter(city="sf", age=lambda a: a >= 30)
+        problem = filtered_problem(city_graph, k=2, predicate=predicate)
+        assert set(problem.candidates()) == {2, 5}
+
+    def test_missing_key_fails(self):
+        graph = SocialGraph()
+        graph.add_node(1)
+        graph.add_node(2, metadata={"city": "sf"})
+        graph.add_edge(1, 2, 1.0)
+        predicate = attribute_filter(city="sf")
+        assert not predicate(graph, 1)
+        assert predicate(graph, 2)
+
+    def test_required_nodes_exempt(self, city_graph):
+        problem = filtered_problem(
+            city_graph,
+            k=3,
+            predicate=attribute_filter(city="nyc"),
+            required={0},
+        )
+        assert 0 in problem.candidates()
+        assert 0 in problem.required
+
+    def test_solve_filtered(self, city_graph):
+        problem = filtered_problem(
+            city_graph, k=3, predicate=attribute_filter(city="sf")
+        )
+        result = ExactBnB().solve(problem)
+        assert result.members <= {0, 1, 2, 5}
+
+    def test_over_filtering_is_infeasible(self, city_graph):
+        problem = filtered_problem(
+            city_graph, k=3, predicate=attribute_filter(city="nyc")
+        )
+        with pytest.raises(InfeasibleProblemError):
+            problem.ensure_feasible()
+
+
+class TestAvailabilityFilter:
+    def test_only_free_people_selectable(self, city_graph):
+        schedules = {
+            0: {"sat", "sun"},
+            1: {"sat"},
+            2: {"sun"},
+            5: {"sat", "sun"},
+        }
+        predicate = availability_filter(schedules, slot="sat")
+        problem = filtered_problem(city_graph, k=3, predicate=predicate)
+        assert set(problem.candidates()) == {0, 1, 5}
+
+    def test_unknown_people_unavailable(self, city_graph):
+        predicate = availability_filter({0: {"sat"}}, slot="sat")
+        problem = filtered_problem(city_graph, k=1, predicate=predicate)
+        assert set(problem.candidates()) == {0}

@@ -1,0 +1,113 @@
+"""Quantitative checks of the dataset-substitution claims (DESIGN.md §3).
+
+The benches' validity rests on the synthetic graphs actually being in the
+regimes claimed: crawl-matching average degrees, genuine community
+structure (high modularity under a standard detection algorithm), heavy
+upper tails in the interest distribution, and tightness that is higher
+inside cohesive neighbourhoods than across bridges.
+"""
+
+import statistics
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import (
+    community_social_graph,
+    dblp_like,
+    facebook_like,
+    flickr_like,
+)
+
+
+def _to_nx(graph) -> nx.Graph:
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+@pytest.fixture(scope="module")
+def fb():
+    return facebook_like(500, seed=1)
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return dblp_like(500, seed=1)
+
+
+class TestDegreeRegimes:
+    def test_facebook_matches_crawl(self, fb):
+        assert 19.0 <= fb.average_degree() <= 33.0  # crawl: 26.1
+
+    def test_dblp_matches_crawl(self, dblp):
+        assert 2.8 <= dblp.average_degree() <= 5.5  # crawl: 3.66
+
+    def test_flickr_matches_crawl(self):
+        graph = flickr_like(500, seed=1)
+        assert 17.0 <= graph.average_degree() <= 32.0  # crawl: ~24.5
+
+
+class TestCommunityStructure:
+    def test_facebook_modularity(self, fb):
+        """Greedy-modularity communities must find real structure."""
+        nx_graph = _to_nx(fb)
+        communities = nx.community.greedy_modularity_communities(nx_graph)
+        modularity = nx.community.modularity(nx_graph, communities)
+        assert modularity > 0.3, f"modularity {modularity:.3f}"
+
+    def test_dblp_modularity(self, dblp):
+        nx_graph = _to_nx(dblp)
+        giant = max(nx.connected_components(nx_graph), key=len)
+        sub = nx_graph.subgraph(giant)
+        communities = nx.community.greedy_modularity_communities(sub)
+        modularity = nx.community.modularity(sub, communities)
+        assert modularity > 0.5, f"modularity {modularity:.3f}"
+
+    def test_cohesion_heterogeneity(self):
+        """Per-community cohesion spread must vary local clustering."""
+        graph = community_social_graph(400, seed=4)
+        nx_graph = _to_nx(graph)
+        clustering = nx.clustering(nx_graph)
+        values = list(clustering.values())
+        assert statistics.pstdev(values) > 0.1
+
+
+class TestScoreRegimes:
+    def test_interest_heavy_tail(self, fb):
+        """Power-law interest: the top percentile dominates the median."""
+        interests = sorted(
+            (fb.interest(n) for n in fb.nodes()), reverse=True
+        )
+        top_percentile = interests[len(interests) // 100]
+        median = interests[len(interests) // 2]
+        assert top_percentile > 5 * median
+
+    def test_tightness_reflects_cohesion(self, fb):
+        """Edges inside triangles carry more tightness than bridges."""
+        nx_graph = _to_nx(fb)
+        in_triangle, no_triangle = [], []
+        for u, v in list(fb.edges())[:2000]:
+            common = len(
+                set(nx_graph.neighbors(u)) & set(nx_graph.neighbors(v))
+            )
+            pair = (fb.tightness(u, v) + fb.tightness(v, u)) / 2.0
+            (in_triangle if common > 2 else no_triangle).append(pair)
+        if in_triangle and no_triangle:
+            assert statistics.fmean(in_triangle) > statistics.fmean(
+                no_triangle
+            )
+
+    def test_tightness_asymmetry_tracks_degree(self, fb):
+        """τ_uv > τ_vu exactly when deg(u) < deg(v) (up to jitter)."""
+        agree, total = 0, 0
+        for u, v in list(fb.edges())[:500]:
+            du, dv = fb.degree(u), fb.degree(v)
+            if du == dv:
+                continue
+            total += 1
+            if (fb.tightness(u, v) > fb.tightness(v, u)) == (du < dv):
+                agree += 1
+        assert total > 0
+        assert agree / total > 0.8  # jitter flips only a small fraction

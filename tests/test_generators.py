@@ -1,0 +1,164 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.core.willingness import WillingnessEvaluator
+from repro.graph.generators import (
+    community_social_graph,
+    dblp_like,
+    facebook_like,
+    figure1_graph,
+    figure3_graph,
+    flickr_like,
+    grid_graph,
+    random_social_graph,
+    ring_graph,
+)
+
+
+class TestFamilies:
+    def test_facebook_regime(self):
+        graph = facebook_like(400, seed=1)
+        assert graph.number_of_nodes() >= 400
+        assert 18.0 < graph.average_degree() < 34.0  # crawl: 26.1
+
+    def test_dblp_regime(self):
+        graph = dblp_like(400, seed=1)
+        assert 2.5 < graph.average_degree() < 6.0  # crawl: 3.66
+
+    def test_flickr_regime(self):
+        graph = flickr_like(400, seed=1)
+        assert 17.0 < graph.average_degree() < 34.0  # crawl: ~24.5
+
+    def test_seed_determinism(self):
+        first = facebook_like(120, seed=42)
+        second = facebook_like(120, seed=42)
+        assert set(first.edges()) == set(second.edges())
+        for node in first.nodes():
+            assert first.interest(node) == second.interest(node)
+
+    def test_different_seeds_differ(self):
+        first = facebook_like(120, seed=1)
+        second = facebook_like(120, seed=2)
+        assert set(first.edges()) != set(second.edges())
+
+    def test_scores_normalized(self):
+        graph = facebook_like(200, seed=3)
+        interests = [graph.interest(n) for n in graph.nodes()]
+        assert max(interests) == pytest.approx(1.0)
+        assert min(interests) > 0.0
+        for u, v in graph.edges():
+            assert 0.0 <= graph.tightness(u, v) <= 1.0
+
+    def test_asymmetric_tightness_present(self):
+        graph = facebook_like(200, seed=3)
+        asymmetric = sum(
+            1
+            for u, v in graph.edges()
+            if graph.tightness(u, v) != graph.tightness(v, u)
+        )
+        assert asymmetric > 0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            facebook_like(10)
+        with pytest.raises(ValueError):
+            dblp_like(5)
+        with pytest.raises(ValueError):
+            flickr_like(10)
+        with pytest.raises(ValueError):
+            community_social_graph(5)
+
+
+class TestCommunityGraph:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            community_social_graph(100, mean_community_size=2)
+        with pytest.raises(ValueError):
+            community_social_graph(100, within_degree=0)
+        with pytest.raises(ValueError):
+            community_social_graph(100, between_degree=-1)
+
+    def test_rough_size(self):
+        graph = community_social_graph(300, seed=9)
+        # Sizes are drawn until they cover n; the last community may
+        # overshoot slightly.
+        assert 300 <= graph.number_of_nodes() <= 340
+
+
+class TestSimpleTopologies:
+    def test_random_graph(self):
+        graph = random_social_graph(50, average_degree=4.0, seed=1)
+        assert graph.number_of_nodes() == 50
+        assert 2.0 < graph.average_degree() < 7.0
+
+    def test_grid(self):
+        graph = grid_graph(4)
+        assert graph.number_of_nodes() == 16
+        assert graph.number_of_edges() == 24
+
+    def test_ring(self):
+        graph = ring_graph(10)
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 10
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+
+    def test_random_graph_validation(self):
+        with pytest.raises(ValueError):
+            random_social_graph(1)
+
+
+class TestFigure1:
+    """The reconstruction must reproduce the paper's narrated run."""
+
+    def test_interest_scores(self, fig1):
+        assert fig1.interest(1) == 8.0  # the greedy anchor (max interest)
+        assert all(fig1.interest(v) == 4.0 for v in (2, 3, 4))
+
+    def test_display_weights(self, fig1):
+        # Display weight = tau both directions summed.
+        assert fig1.pair_weight(2, 3) == pytest.approx(6.0)
+        assert fig1.pair_weight(3, 4) == pytest.approx(7.0)
+
+    def test_optimal_group_willingness(self, fig1):
+        evaluator = WillingnessEvaluator(fig1)
+        assert evaluator.value({2, 3, 4}) == pytest.approx(30.0)
+        assert evaluator.value({1, 2, 3}) == pytest.approx(27.0)
+
+
+class TestFigure3:
+    """Reconstruction anchored on every number the text states."""
+
+    def test_interest_scores(self, fig3):
+        assert fig3.interest(3) == pytest.approx(0.8)
+        assert fig3.interest(6) == pytest.approx(0.4)
+        assert fig3.interest(10) == pytest.approx(0.9)
+
+    def test_start_node_potentials_match_example1(self, fig3):
+        # Example 1: both v3 and v10 have potential 4.2 in display units
+        # (interest plus the display weight of each incident edge, where
+        # pair_weight reconstructs exactly the display weight).
+        def display_potential(node):
+            return fig3.interest(node) + sum(
+                fig3.pair_weight(node, other)
+                for other in fig3.neighbors(node)
+            )
+
+        assert display_potential(3) == pytest.approx(4.2)
+        assert display_potential(10) == pytest.approx(4.2)
+
+    def test_v3_neighbourhood(self, fig3):
+        assert set(fig3.neighbors(3)) == {1, 2, 4, 5, 6}
+
+    def test_adding_v6_extends_frontier(self, fig3):
+        new_neighbours = set(fig3.neighbors(6)) - {3}
+        assert {7, 8, 10} <= new_neighbours
+
+    def test_partial_willingness_from_example1(self, fig3):
+        evaluator = WillingnessEvaluator(fig3)
+        assert evaluator.value({3}) == pytest.approx(0.8)
+        assert evaluator.value({3, 6}) == pytest.approx(2.1)
+
+    def test_optimum_matches_example2(self, fig3):
+        evaluator = WillingnessEvaluator(fig3)
+        assert evaluator.value({3, 4, 5, 6, 7}) == pytest.approx(9.7)

@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise realistic user journeys rather than single modules:
+generate → persist → reload → solve → validate; scenario stacking
+(couple + foe + filter on one instance); and solver convergence traces.
+"""
+
+import pytest
+
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.exact import ExactBnB
+from repro.algorithms.ip import IPSolver
+from repro.core.api import recommend_group
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+from repro.graph.generators import dblp_like, facebook_like
+from repro.graph.io import load_json, save_json
+from repro.scenarios import (
+    attribute_filter,
+    filtered_problem,
+    mark_foes,
+    merge_couple,
+)
+from repro.scenarios.couples import expand_merged_members
+
+
+class TestPersistenceRoundtripPipeline:
+    def test_generate_save_load_solve(self, tmp_path):
+        graph = facebook_like(150, seed=31)
+        path = tmp_path / "network.json"
+        save_json(graph, path)
+        reloaded = load_json(path)
+
+        original = recommend_group(
+            graph, k=6, budget=80, m=8, stages=4, rng=5
+        )
+        replayed = recommend_group(
+            reloaded, k=6, budget=80, m=8, stages=4, rng=5
+        )
+        # Identical graph + identical seed -> identical recommendation.
+        assert original.members == replayed.members
+        assert original.willingness == pytest.approx(replayed.willingness)
+
+
+class TestScenarioStacking:
+    def test_couple_plus_foe_plus_filter(self):
+        graph = facebook_like(120, seed=8)
+        nodes = graph.node_list()
+        couple = (nodes[0], nodes[1])
+        foes = (nodes[2], nodes[3])
+
+        # Tag metadata: everyone is local except one foe.
+        for node in nodes:
+            graph.set_metadata(node, local=True)
+        graph.set_metadata(nodes[4], local=False)
+
+        hostile = mark_foes(graph, [foes])
+        base = filtered_problem(
+            hostile, k=6, predicate=attribute_filter(local=True)
+        )
+        merged_problem, merged_node = merge_couple(base, *couple)
+
+        result = CBASND(budget=150, m=10, stages=4).solve(
+            merged_problem, rng=8
+        )
+        attendees = expand_merged_members(result.members, merged_node, *couple)
+
+        # Constraints all hold simultaneously.
+        assert (couple[0] in attendees) == (couple[1] in attendees)
+        assert not (set(foes) <= attendees)
+        assert nodes[4] not in attendees
+
+    def test_solver_agreement_small_instance(self):
+        """CBAS-ND with a generous budget matches the exact optimum."""
+        graph = dblp_like(40, seed=77)
+        components = graph.connected_components()
+        anchor = next(iter(components[0]))
+        for component in components[1:]:
+            graph.add_edge(anchor, next(iter(component)), 0.05)
+        problem = WASOProblem(graph=graph, k=5)
+        optimum = ExactBnB().solve(problem)
+        milp = IPSolver().solve(problem)
+        assert milp.willingness == pytest.approx(optimum.willingness)
+        heuristic = CBASND(budget=600, m=8, stages=8).solve(problem, rng=1)
+        assert heuristic.willingness >= optimum.willingness * 0.9
+
+
+class TestConvergenceTrace:
+    def test_stage_best_recorded_and_monotone(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = CBASND(budget=120, m=8, stages=5).solve(problem, rng=2)
+        trace = result.stats.extra["stage_best"]
+        assert len(trace) == result.stats.stages
+        values = [v for v in trace if v is not None]
+        assert values == sorted(values)  # best-so-far never decreases
+        assert values[-1] == pytest.approx(result.willingness)
+
+    def test_trace_matches_final_quality(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = CBASND(budget=60, m=5, stages=3).solve(problem, rng=9)
+        evaluator = WillingnessEvaluator(small_facebook)
+        assert result.stats.extra["stage_best"][-1] == pytest.approx(
+            evaluator.value(result.members)
+        )

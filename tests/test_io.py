@@ -1,0 +1,122 @@
+"""Tests for graph persistence (edge list and JSON)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import facebook_like
+from repro.graph.io import load_edge_list, load_json, save_edge_list, save_json
+
+
+def _graphs_equal(first, second) -> bool:
+    if set(first.nodes()) != set(second.nodes()):
+        return False
+    for node in first.nodes():
+        if first.interest(node) != second.interest(node):
+            return False
+        if first.lam(node) != second.lam(node):
+            return False
+    if set(map(frozenset, first.edges())) != set(
+        map(frozenset, second.edges())
+    ):
+        return False
+    for u, v in first.edges():
+        if first.tightness(u, v) != second.tightness(u, v):
+            return False
+        if first.tightness(v, u) != second.tightness(v, u):
+            return False
+    return True
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, triangle_graph):
+        path = tmp_path / "graph.txt"
+        save_edge_list(triangle_graph, path)
+        loaded = load_edge_list(path, node_type=str)
+        assert _graphs_equal(triangle_graph, loaded)
+
+    def test_roundtrip_large(self, tmp_path):
+        graph = facebook_like(120, seed=8)
+        path = tmp_path / "fb.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert _graphs_equal(graph, loaded)
+
+    def test_raw_crawl_format(self, tmp_path):
+        # The MPI-SWS crawls are plain "u v" lines.
+        path = tmp_path / "crawl.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        graph = load_edge_list(path)
+        assert graph.number_of_nodes() == 3
+        assert graph.tightness(0, 1) == 1.0
+        assert graph.interest(0) == 0.0
+
+    def test_three_column_symmetric(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n")
+        graph = load_edge_list(path)
+        assert graph.tightness(0, 1) == 0.5
+        assert graph.tightness(1, 0) == 0.5
+
+    def test_four_column_asymmetric(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5 0.25\n")
+        graph = load_edge_list(path)
+        assert graph.tightness(0, 1) == 0.5
+        assert graph.tightness(1, 0) == 0.25
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        graph = load_edge_list(path)
+        assert graph.number_of_edges() == 1
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("\n0 1\n\n")
+        assert load_edge_list(path).number_of_edges() == 1
+
+    def test_malformed_edge_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("justonenumber\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_malformed_node_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# node 3\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_node_lambda_roundtrip(self, tmp_path, triangle_graph):
+        triangle_graph.set_lam("a", 0.3)
+        path = tmp_path / "g.txt"
+        save_edge_list(triangle_graph, path)
+        loaded = load_edge_list(path, node_type=str)
+        assert loaded.lam("a") == 0.3
+        assert loaded.lam("b") is None
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path, triangle_graph):
+        triangle_graph.set_lam("b", 0.8)
+        path = tmp_path / "graph.json"
+        save_json(triangle_graph, path)
+        loaded = load_json(path)
+        assert _graphs_equal(triangle_graph, loaded)
+
+    def test_roundtrip_asymmetric(self, tmp_path):
+        graph = facebook_like(80, seed=2)
+        path = tmp_path / "fb.json"
+        save_json(graph, path)
+        assert _graphs_equal(graph, load_json(path))
+
+    def test_default_lambda_preserved(self, tmp_path):
+        from repro.graph.social_graph import SocialGraph
+
+        graph = SocialGraph(default_lambda=0.6)
+        graph.add_node(1)
+        path = tmp_path / "g.json"
+        save_json(graph, path)
+        loaded = load_json(path)
+        assert loaded.default_lambda == 0.6
+        assert loaded.lam(1) == 0.6

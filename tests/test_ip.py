@@ -1,0 +1,130 @@
+"""Tests for the MILP solvers (compact flow encoding + paper's literal IP)."""
+
+import pytest
+
+from repro.algorithms.exact import ExactBnB
+from repro.algorithms.ip import IPSolver
+from repro.algorithms.paper_ip import PaperIPSolver
+from repro.core.problem import WASOProblem
+from repro.exceptions import SolverError
+from repro.graph.generators import random_social_graph
+from repro.scenarios.foes import mark_foes
+
+
+class TestKnownInstances:
+    def test_figure1(self, fig1):
+        result = IPSolver().solve(WASOProblem(graph=fig1, k=3))
+        assert result.members == frozenset({2, 3, 4})
+        assert result.willingness == pytest.approx(30.0)
+
+    def test_figure3(self, fig3):
+        result = IPSolver().solve(WASOProblem(graph=fig3, k=5))
+        assert result.willingness == pytest.approx(9.7)
+
+    def test_k_one(self, fig1):
+        result = IPSolver().solve(WASOProblem(graph=fig1, k=1))
+        assert result.members == frozenset({1})
+
+
+class TestAgainstBnB:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [3, 5])
+    def test_connected_instances(self, seed, k, connectify):
+        graph = random_social_graph(16, average_degree=4.0, seed=seed)
+        connectify(graph)
+        problem = WASOProblem(graph=graph, k=k)
+        exact = ExactBnB().solve(problem)
+        milp = IPSolver().solve(problem)
+        assert milp.willingness == pytest.approx(exact.willingness)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_wasodis_instances(self, seed):
+        graph = random_social_graph(14, average_degree=4.0, seed=seed)
+        problem = WASOProblem(graph=graph, k=4, connected=False)
+        exact = ExactBnB().solve(problem)
+        milp = IPSolver().solve(problem)
+        assert milp.willingness == pytest.approx(exact.willingness)
+
+    def test_asymmetric_tightness(self, connectify):
+        graph = random_social_graph(
+            12, average_degree=4.0, seed=9, asymmetric=True
+        )
+        connectify(graph)
+        problem = WASOProblem(graph=graph, k=4)
+        exact = ExactBnB().solve(problem)
+        milp = IPSolver().solve(problem)
+        assert milp.willingness == pytest.approx(exact.willingness)
+
+    def test_lambda_weights(self, connectify):
+        graph = random_social_graph(12, average_degree=4.0, seed=4)
+        connectify(graph)
+        for i, node in enumerate(graph.nodes()):
+            graph.set_lam(node, (i % 5) / 4.0)
+        problem = WASOProblem(graph=graph, k=4)
+        exact = ExactBnB().solve(problem)
+        milp = IPSolver().solve(problem)
+        assert milp.willingness == pytest.approx(exact.willingness)
+
+
+class TestConstraints:
+    def test_required_nodes(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5, required=frozenset({9}))
+        result = IPSolver().solve(problem)
+        assert 9 in result.members
+        exact = ExactBnB().solve(problem)
+        assert result.willingness == pytest.approx(exact.willingness)
+
+    def test_forbidden_nodes(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5, forbidden=frozenset({5}))
+        result = IPSolver().solve(problem)
+        assert 5 not in result.members
+
+    def test_foe_edges_negative_weights(self, fig3, connectify):
+        """Negative tightness must be honoured (y >= x_i + x_j - 1)."""
+        hostile = mark_foes(fig3, [(4, 5)], penalty=-100.0)
+        problem = WASOProblem(graph=hostile, k=5)
+        result = IPSolver().solve(problem)
+        assert not ({4, 5} <= result.members)
+        exact = ExactBnB().solve(problem)
+        assert result.willingness == pytest.approx(exact.willingness)
+
+    def test_connectivity_enforced(self, two_components_graph):
+        problem = WASOProblem(graph=two_components_graph, k=3)
+        result = IPSolver().solve(problem)
+        assert two_components_graph.is_connected_subset(result.members)
+        # The better triangle (3, 4, 5) wins.
+        assert result.members == frozenset({3, 4, 5})
+
+    def test_time_limit_validation(self):
+        with pytest.raises(ValueError):
+            IPSolver(time_limit=0)
+        with pytest.raises(ValueError):
+            IPSolver(mip_gap=-0.1)
+
+
+class TestPaperFormulation:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_compact_encoding(self, seed, connectify):
+        graph = random_social_graph(8, average_degree=3.0, seed=seed)
+        connectify(graph)
+        problem = WASOProblem(graph=graph, k=3)
+        compact = IPSolver().solve(problem)
+        literal = PaperIPSolver().solve(problem)
+        assert literal.willingness == pytest.approx(compact.willingness)
+
+    def test_figure1(self, fig1):
+        result = PaperIPSolver().solve(WASOProblem(graph=fig1, k=3))
+        assert result.willingness == pytest.approx(30.0)
+
+    def test_node_limit_guard(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=3)
+        with pytest.raises(SolverError):
+            PaperIPSolver().solve(problem)
+
+    def test_wasodis_drops_path_block(self, two_components_graph):
+        problem = WASOProblem(
+            graph=two_components_graph, k=4, connected=False
+        )
+        result = PaperIPSolver().solve(problem)
+        exact = ExactBnB().solve(problem)
+        assert result.willingness == pytest.approx(exact.willingness)

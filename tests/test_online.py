@@ -1,0 +1,107 @@
+"""Tests for the online re-planning state machine (§4.4.1)."""
+
+import pytest
+
+from repro.algorithms.cbas_nd import CBASND
+from repro.core.problem import WASOProblem
+from repro.exceptions import InfeasibleProblemError
+from repro.online import OnlinePlanner
+from repro.online.replanning import ResponseState
+
+
+def _planner(graph, k=5, rng=7):
+    problem = WASOProblem(graph=graph, k=k)
+    solver = CBASND(budget=60, m=6, stages=3)
+    return OnlinePlanner(problem, solver=solver, rng=rng)
+
+
+class TestPlanning:
+    def test_initial_plan_feasible(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        assert len(solution.members) == 5
+        assert small_facebook.is_connected_subset(solution.members)
+
+    def test_everyone_invited(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        assert set(planner.invitations) >= set(solution.members)
+
+    def test_accept_then_replan_keeps_confirmed(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        keeper = next(iter(solution.members))
+        planner.record_accept(keeper)
+        refreshed = planner.plan()
+        assert keeper in refreshed.members
+
+    def test_decline_removes_and_replans(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        victim = next(iter(solution.members))
+        refreshed = planner.record_decline(victim)
+        assert victim not in refreshed.members
+        assert len(refreshed.members) == 5
+
+    def test_decline_then_accept_conflicts(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        victim = next(iter(solution.members))
+        planner.record_decline(victim)
+        with pytest.raises(ValueError):
+            planner.record_accept(victim)
+
+    def test_accept_then_decline_conflicts(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        keeper = next(iter(solution.members))
+        planner.record_accept(keeper)
+        with pytest.raises(ValueError):
+            planner.record_decline(keeper)
+
+    def test_uninvited_person_rejected(self, small_facebook):
+        planner = _planner(small_facebook)
+        planner.plan()
+        with pytest.raises(ValueError):
+            planner.record_accept("nobody")
+
+    def test_finalize_accepts_pending(self, small_facebook):
+        planner = _planner(small_facebook)
+        planner.plan()
+        final = planner.finalize()
+        assert len(final.members) == 5
+        assert all(
+            planner.invitations[node].state is ResponseState.ACCEPTED
+            for node in final.members
+        )
+
+    def test_finalize_plans_if_needed(self, small_facebook):
+        planner = _planner(small_facebook)
+        final = planner.finalize()
+        assert len(final.members) == 5
+
+    def test_many_declines_eventually_infeasible(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=4)
+        planner = OnlinePlanner(
+            problem, solver=CBASND(budget=20, m=2, stages=2), rng=1
+        )
+        solution = planner.plan()
+        # Declining two of five path nodes leaves no connected 4-set.
+        victims = list(solution.members)[:2]
+        with pytest.raises(InfeasibleProblemError):
+            for victim in victims:
+                planner.record_decline(victim)
+
+    def test_base_required_nodes_preserved(self, small_facebook):
+        anchor = next(iter(small_facebook.nodes()))
+        problem = WASOProblem(
+            graph=small_facebook, k=5, required=frozenset({anchor})
+        )
+        planner = OnlinePlanner(
+            problem, solver=CBASND(budget=60, m=6, stages=3), rng=3
+        )
+        solution = planner.plan()
+        assert anchor in solution.members
+        victim = next(iter(solution.members - {anchor}))
+        refreshed = planner.record_decline(victim)
+        assert anchor in refreshed.members

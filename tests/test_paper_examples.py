@@ -1,0 +1,97 @@
+"""End-to-end replication of the paper's worked examples (Figs. 1 and 3).
+
+These tests tie the narrative of the paper to executable behaviour:
+Figure 1's greedy trap, Example 1's start-node selection and expansion
+bookkeeping, and Example 2's CBAS-ND outcome.
+"""
+
+import pytest
+
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.dgreedy import DGreedy
+from repro.algorithms.exact import ExactBnB
+from repro.algorithms.start_nodes import default_start_count, select_start_nodes
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+
+
+class TestFigure1Story:
+    """'The greedy algorithm ... is not able to find the optimal solution.'"""
+
+    def test_greedy_sequence(self, fig1):
+        """Greedy picks v1 (max interest), then v2, then v3."""
+        evaluator = WillingnessEvaluator(fig1)
+        # Step 1: v1 has the maximum interest score.
+        interests = {node: fig1.interest(node) for node in fig1.nodes()}
+        assert max(interests, key=interests.get) == 1
+        # Step 2: v2 is v1's only neighbour.
+        assert set(fig1.neighbors(1)) == {2}
+        # Step 3: v3's increment (10) beats v4's (9).
+        group = {1, 2}
+        assert evaluator.add_delta(3, group) == pytest.approx(10.0)
+        assert evaluator.add_delta(4, group) == pytest.approx(9.0)
+
+    def test_greedy_total_and_optimum(self, fig1):
+        problem = WASOProblem(graph=fig1, k=3)
+        greedy = DGreedy().solve(problem)
+        optimum = ExactBnB().solve(problem)
+        assert greedy.willingness == pytest.approx(27.0)
+        assert optimum.willingness == pytest.approx(30.0)
+        assert optimum.members == frozenset({2, 3, 4})
+
+
+class TestExample1Story:
+    """CBAS's phase 1 on Figure 3: m = 2, start nodes v3 and v10."""
+
+    def test_default_m_matches_paper(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        assert default_start_count(problem) == 2  # ceil(10/5)
+
+    def test_start_nodes_are_v3_and_v10(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        evaluator = WillingnessEvaluator(fig3)
+        starts = select_start_nodes(problem, evaluator, 2)
+        assert set(starts) == {3, 10}
+
+    def test_initial_frontier_of_v3(self, fig3):
+        """VA = {v1, v2, v4, v5, v6} after VS = {v3}."""
+        assert set(fig3.neighbors(3)) == {1, 2, 4, 5, 6}
+
+    def test_frontier_after_adding_v6(self, fig3):
+        """VA grows to {v1, v2, v4, v5, v7, v8, v10}."""
+        frontier = (set(fig3.neighbors(3)) | set(fig3.neighbors(6))) - {3, 6}
+        assert frontier == {1, 2, 4, 5, 7, 8, 10}
+
+    def test_cbas_finds_good_solution(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        result = CBAS(budget=20, m=2, stages=2).solve(problem, rng=7)
+        # The paper's Example 1 run ends at 9.2 (not optimal); any CBAS run
+        # must land between the worst and the optimal willingness.
+        assert 5.0 <= result.willingness <= 9.7 + 1e-9
+
+
+class TestExample2Story:
+    """CBAS-ND reaches the optimum {v3, v4, v5, v6, v7} with W = 9.7."""
+
+    def test_cbasnd_finds_the_optimum(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        result = CBASND(
+            budget=60, m=2, stages=3, rho=0.5, smoothing=0.6
+        ).solve(problem, rng=3)
+        assert result.members == frozenset({3, 4, 5, 6, 7})
+        assert result.willingness == pytest.approx(9.7)
+
+    def test_cbasnd_beats_or_ties_cbas_across_seeds(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        wins, losses = 0, 0
+        for seed in range(10):
+            cbas = CBAS(budget=30, m=2, stages=3).solve(problem, rng=seed)
+            nd = CBASND(
+                budget=30, m=2, stages=3, rho=0.5, smoothing=0.6
+            ).solve(problem, rng=seed)
+            if nd.willingness > cbas.willingness:
+                wins += 1
+            elif nd.willingness < cbas.willingness:
+                losses += 1
+        assert wins >= losses

@@ -1,0 +1,64 @@
+"""Tests for the parallel sampling pool."""
+
+import pytest
+
+from repro.algorithms.cbas_nd import CBASND
+from repro.core.problem import WASOProblem
+from repro.parallel import ParallelSolver, parallel_solve
+
+
+class TestParallelSolve:
+    def test_single_worker_inline(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        result = parallel_solve(
+            problem,
+            lambda budget: CBASND(budget=budget, m=5, stages=3),
+            total_budget=60,
+            workers=1,
+            rng=4,
+        )
+        assert result.solution.is_feasible(problem)
+
+    def test_two_workers(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        result = parallel_solve(
+            problem,
+            lambda budget: CBASND(budget=budget, m=5, stages=3),
+            total_budget=60,
+            workers=2,
+            rng=4,
+        )
+        assert result.solution.is_feasible(problem)
+        assert result.stats.extra["workers"] == 2
+        assert result.stats.samples_drawn > 0
+
+    def test_validation(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        factory = lambda budget: CBASND(budget=budget)  # noqa: E731
+        with pytest.raises(ValueError):
+            parallel_solve(problem, factory, total_budget=10, workers=0)
+        with pytest.raises(ValueError):
+            parallel_solve(problem, factory, total_budget=1, workers=4)
+
+
+class TestParallelSolver:
+    def test_solver_interface(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        solver = ParallelSolver(budget=60, workers=2, m=5, stages=3)
+        result = solver.solve(problem, rng=9)
+        assert result.solution.is_feasible(problem)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ParallelSolver(budget=0)
+        with pytest.raises(ValueError):
+            ParallelSolver(budget=10, workers=0)
+
+    def test_quality_comparable_to_serial(self, small_facebook):
+        """Splitting the budget must not collapse quality (statistical)."""
+        problem = WASOProblem(graph=small_facebook, k=6)
+        serial = CBASND(budget=120, m=6, stages=4).solve(problem, rng=2)
+        parallel = ParallelSolver(
+            budget=120, workers=2, m=6, stages=4
+        ).solve(problem, rng=2)
+        assert parallel.willingness >= serial.willingness * 0.5

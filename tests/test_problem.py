@@ -1,0 +1,115 @@
+"""Tests for the WASOProblem specification and validation."""
+
+import pytest
+
+from repro.core.problem import WASOProblem
+from repro.exceptions import InfeasibleProblemError, ProblemSpecificationError
+
+
+class TestValidation:
+    def test_valid_problem(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=3)
+        assert problem.k == 3
+        assert problem.connected
+
+    def test_k_too_small(self, path_graph):
+        with pytest.raises(ProblemSpecificationError):
+            WASOProblem(graph=path_graph, k=0)
+
+    def test_k_exceeds_graph(self, path_graph):
+        with pytest.raises(ProblemSpecificationError):
+            WASOProblem(graph=path_graph, k=6)
+
+    def test_unknown_required_node(self, path_graph):
+        with pytest.raises(ProblemSpecificationError):
+            WASOProblem(graph=path_graph, k=2, required=frozenset({99}))
+
+    def test_unknown_forbidden_node(self, path_graph):
+        with pytest.raises(ProblemSpecificationError):
+            WASOProblem(graph=path_graph, k=2, forbidden=frozenset({99}))
+
+    def test_required_forbidden_overlap(self, path_graph):
+        with pytest.raises(ProblemSpecificationError):
+            WASOProblem(
+                graph=path_graph,
+                k=2,
+                required=frozenset({1}),
+                forbidden=frozenset({1}),
+            )
+
+    def test_too_many_required(self, path_graph):
+        with pytest.raises(ProblemSpecificationError):
+            WASOProblem(graph=path_graph, k=2, required=frozenset({0, 1, 2}))
+
+    def test_sets_coerced_to_frozensets(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=2, required={0})
+        assert isinstance(problem.required, frozenset)
+
+
+class TestCandidates:
+    def test_forbidden_excluded(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=2, forbidden=frozenset({2}))
+        assert 2 not in problem.candidates()
+        assert not problem.is_candidate(2)
+        assert problem.is_candidate(1)
+
+    def test_unknown_not_candidate(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=2)
+        assert not problem.is_candidate(99)
+
+
+class TestFeasibility:
+    def test_connected_feasible(self, path_graph):
+        WASOProblem(graph=path_graph, k=5).ensure_feasible()
+
+    def test_too_few_allowed(self, path_graph):
+        problem = WASOProblem(
+            graph=path_graph, k=4, forbidden=frozenset({0, 1})
+        )
+        with pytest.raises(InfeasibleProblemError):
+            problem.ensure_feasible()
+
+    def test_component_too_small(self, two_components_graph):
+        problem = WASOProblem(graph=two_components_graph, k=4)
+        with pytest.raises(InfeasibleProblemError):
+            problem.ensure_feasible()
+
+    def test_disconnected_ok_for_wasodis(self, two_components_graph):
+        WASOProblem(
+            graph=two_components_graph, k=4, connected=False
+        ).ensure_feasible()
+
+    def test_required_split_across_components(self, two_components_graph):
+        problem = WASOProblem(
+            graph=two_components_graph, k=3, required=frozenset({0, 3})
+        )
+        with pytest.raises(InfeasibleProblemError):
+            problem.ensure_feasible()
+
+    def test_forbidden_can_cut_component(self, path_graph):
+        # Forbidding the middle node splits the path; k=3 no longer fits.
+        problem = WASOProblem(
+            graph=path_graph, k=3, forbidden=frozenset({2})
+        )
+        with pytest.raises(InfeasibleProblemError):
+            problem.ensure_feasible()
+
+    def test_required_in_big_enough_component(self, two_components_graph):
+        WASOProblem(
+            graph=two_components_graph, k=3, required=frozenset({3})
+        ).ensure_feasible()
+
+
+class TestDerivedProblems:
+    def test_with_k(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=2, required=frozenset({0}))
+        bigger = problem.with_k(4)
+        assert bigger.k == 4
+        assert bigger.required == frozenset({0})
+
+    def test_without_nodes(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=2, required=frozenset({0}))
+        reduced = problem.without_nodes({0, 4})
+        assert 0 in reduced.forbidden
+        assert 4 in reduced.forbidden
+        assert 0 not in reduced.required

@@ -1,0 +1,100 @@
+"""Cross-cutting property-based tests over the whole solver stack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.dgreedy import DGreedy
+from repro.algorithms.rgreedy import RGreedy
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+from repro.exceptions import SolverError
+from repro.graph.generators import random_social_graph
+
+
+@st.composite
+def solvable_instance(draw):
+    """A random connected WASO instance and a seed."""
+    n = draw(st.integers(min_value=8, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_social_graph(n, average_degree=4.0, seed=seed)
+    components = graph.connected_components()
+    anchor = next(iter(components[0]))
+    for component in components[1:]:
+        graph.add_edge(anchor, next(iter(component)), 0.05)
+    k = draw(st.integers(min_value=2, max_value=min(6, n)))
+    return WASOProblem(graph=graph, k=k), seed
+
+
+SOLVER_FACTORIES = [
+    lambda: DGreedy(),
+    lambda: RGreedy(budget=15, m=3),
+    lambda: CBAS(budget=20, m=4, stages=2),
+    lambda: CBASND(budget=20, m=4, stages=2),
+]
+
+
+class TestSolverInvariants:
+    @given(solvable_instance(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_every_solver_returns_feasible(self, payload, which):
+        problem, seed = payload
+        solver = SOLVER_FACTORIES[which]()
+        result = solver.solve(problem, rng=seed)
+        assert result.solution.is_feasible(problem)
+
+    @given(solvable_instance(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_reported_willingness_is_correct(self, payload, which):
+        """No solver may misreport its own solution's objective value."""
+        problem, seed = payload
+        solver = SOLVER_FACTORIES[which]()
+        result = solver.solve(problem, rng=seed)
+        evaluator = WillingnessEvaluator(problem.graph)
+        assert result.willingness == pytest.approx(
+            evaluator.value(result.members), abs=1e-6
+        )
+
+    @given(solvable_instance())
+    @settings(max_examples=25, deadline=None)
+    def test_required_node_honoured(self, payload):
+        problem, seed = payload
+        # Pick a required node inside the largest component.
+        rng = random.Random(seed)
+        anchor = rng.choice(problem.graph.node_list())
+        constrained = WASOProblem(
+            graph=problem.graph,
+            k=problem.k,
+            required=frozenset({anchor}),
+        )
+        result = CBASND(budget=20, m=3, stages=2).solve(constrained, rng=seed)
+        assert anchor in result.members
+
+    @given(solvable_instance())
+    @settings(max_examples=25, deadline=None)
+    def test_wasodis_never_worse_than_connected(self, payload):
+        """Relaxing connectivity can only help an exact optimizer."""
+        from repro.algorithms.exact import ExactBnB
+
+        problem, _ = payload
+        if problem.graph.number_of_nodes() > 14 or problem.k > 4:
+            return  # keep exact enumeration cheap
+        connected = ExactBnB().solve(problem)
+        relaxed = ExactBnB().solve(
+            WASOProblem(graph=problem.graph, k=problem.k, connected=False)
+        )
+        assert relaxed.willingness >= connected.willingness - 1e-9
+
+
+class TestRngDiscipline:
+    @given(solvable_instance())
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_answer(self, payload):
+        problem, seed = payload
+        first = CBASND(budget=25, m=3, stages=2).solve(problem, rng=seed)
+        second = CBASND(budget=25, m=3, stages=2).solve(problem, rng=seed)
+        assert first.members == second.members

@@ -1,0 +1,62 @@
+"""Tests for the randomized greedy baseline."""
+
+import pytest
+
+from repro.algorithms.dgreedy import DGreedy
+from repro.algorithms.rgreedy import RGreedy
+from repro.core.problem import WASOProblem
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RGreedy(budget=0)
+        with pytest.raises(ValueError):
+            RGreedy(budget=10, m=0)
+
+
+class TestSolve:
+    def test_feasible_solution(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = RGreedy(budget=40, m=8).solve(problem, rng=3)
+        assert result.solution.is_feasible(problem)
+
+    def test_budget_respected(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        result = RGreedy(budget=25, m=5).solve(problem, rng=3)
+        assert result.stats.samples_drawn <= 25
+
+    def test_reproducible_with_seed(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        first = RGreedy(budget=30, m=6).solve(problem, rng=7)
+        second = RGreedy(budget=30, m=6).solve(problem, rng=7)
+        assert first.members == second.members
+
+    def test_escapes_figure1_trap_with_enough_budget(self, fig1):
+        """Randomization lets RGreedy beat the deterministic trap."""
+        problem = WASOProblem(graph=fig1, k=3)
+        greedy = DGreedy().solve(problem)
+        randomized = RGreedy(budget=60, m=4).solve(problem, rng=0)
+        assert randomized.willingness >= greedy.willingness
+        assert randomized.willingness == pytest.approx(30.0)
+
+    def test_required_node_always_included(self, small_facebook):
+        anchor = next(iter(small_facebook.nodes()))
+        problem = WASOProblem(
+            graph=small_facebook, k=5, required=frozenset({anchor})
+        )
+        result = RGreedy(budget=20, m=4).solve(problem, rng=1)
+        assert anchor in result.members
+
+    def test_wasodis(self, two_components_graph):
+        problem = WASOProblem(
+            graph=two_components_graph, k=4, connected=False
+        )
+        result = RGreedy(budget=30, m=3).solve(problem, rng=2)
+        assert result.solution.is_feasible(problem)
+
+    def test_default_m_is_n_over_k(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=10)
+        result = RGreedy(budget=40).solve(problem, rng=1)
+        expected_m = -(-small_facebook.number_of_nodes() // 10)
+        assert result.stats.extra["start_nodes"] == expected_m

@@ -1,0 +1,117 @@
+"""Property-based round-trip tests: persistence and transformations.
+
+Hypothesis generates arbitrary small social graphs (random topology,
+asymmetric tightness, mixed λ, metadata) and checks that save/load and
+copy/subgraph are lossless, and that the couple merge obeys its algebra.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.willingness import willingness
+from repro.graph.io import load_edge_list, load_json, save_edge_list, save_json
+from repro.graph.social_graph import SocialGraph
+
+
+@st.composite
+def social_graphs(draw):
+    """Arbitrary small social graph with fully general attributes."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    for node in range(n):
+        lam = rng.choice([None, round(rng.random(), 3)])
+        graph.add_node(
+            node,
+            interest=round(rng.uniform(-5.0, 5.0), 4),
+            lam=lam,
+        )
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.4:
+                graph.add_edge(
+                    u,
+                    v,
+                    round(rng.uniform(-1.0, 1.0), 4),
+                    reverse_tightness=round(rng.uniform(-1.0, 1.0), 4),
+                )
+    return graph
+
+
+def _assert_same(first: SocialGraph, second: SocialGraph) -> None:
+    assert set(first.nodes()) == set(second.nodes())
+    for node in first.nodes():
+        assert first.interest(node) == second.interest(node)
+        assert first.lam(node) == second.lam(node)
+    assert set(map(frozenset, first.edges())) == set(
+        map(frozenset, second.edges())
+    )
+    for u, v in first.edges():
+        assert first.tightness(u, v) == second.tightness(u, v)
+        assert first.tightness(v, u) == second.tightness(v, u)
+
+
+class TestPersistenceProperties:
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_json_roundtrip(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("json") / "g.json"
+        save_json(graph, path)
+        _assert_same(graph, load_json(path))
+
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_list_roundtrip(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("edges") / "g.txt"
+        save_edge_list(graph, path)
+        _assert_same(graph, load_edge_list(path))
+
+
+class TestTransformationProperties:
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_preserves_willingness(self, graph):
+        members = set(graph.nodes())
+        assert willingness(graph.copy(), members) == pytest.approx(
+            willingness(graph, members)
+        )
+
+    @given(social_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_of_everything_is_identity(self, graph):
+        _assert_same(graph, graph.subgraph(graph.nodes()))
+
+    @given(social_graphs(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_algebra(self, graph, seed):
+        """W(merged, F∪{a}) == W(original, F∪{i,j}) − pair_weight(i, j)
+        for any outside set F.
+
+        The identity holds for the plain Eq.-1 weighting: the merge sums
+        interests and tightness, which only commutes with the objective
+        when every node weighs them equally — so λ is cleared first.
+        """
+        if graph.number_of_nodes() < 3:
+            return
+        graph = graph.copy()
+        for node in graph.nodes():
+            graph.set_lam(node, None)
+        rng = random.Random(seed)
+        nodes = graph.node_list()
+        i, j = rng.sample(nodes, 2)
+        others = [n for n in nodes if n not in (i, j)]
+        subset = {n for n in others if rng.random() < 0.5}
+
+        internal = (
+            graph.pair_weight(i, j) if graph.has_edge(i, j) else 0.0
+        )
+        original = willingness(graph, subset | {i, j})
+
+        merged_graph = graph.copy()
+        merged = merged_graph.merge_nodes(i, j, merged="merged")
+        via_merge = willingness(merged_graph, subset | {merged})
+        assert via_merge == pytest.approx(original - internal, abs=1e-9)

@@ -1,0 +1,207 @@
+"""Tests for the §2.2 / §4.4.3 scenario transformations."""
+
+import pytest
+
+from repro.algorithms.exact import ExactBnB
+from repro.core.problem import WASOProblem
+from repro.core.willingness import willingness
+from repro.exceptions import ProblemSpecificationError
+from repro.scenarios import (
+    VIRTUAL_NODE,
+    add_virtual_node,
+    exhibition_problem,
+    housewarming_problem,
+    invitation_problem,
+    mark_foes,
+    merge_couple,
+    reduce_wasodis,
+    strip_virtual_node,
+)
+from repro.scenarios.couples import expand_merged_members
+
+
+class TestCouples:
+    def test_merge_reduces_k(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        merged_problem, merged_node = merge_couple(problem, 3, 5)
+        assert merged_problem.k == 4
+        assert merged_problem.graph.has_node(merged_node)
+        assert not merged_problem.graph.has_node(5)
+
+    def test_merged_willingness_matches_original(self, fig3):
+        """W(couple graph, F') equals W(original, F' expanded) minus the
+        couple's own mutual tightness — the paper's merge (τ_a,b sums only
+        tightness toward *outside* neighbours) deliberately drops the
+        internal couple edge, since the pair attends together regardless.
+        """
+        problem = WASOProblem(graph=fig3, k=5)
+        merged_problem, merged_node = merge_couple(problem, 3, 5)
+        group_merged = {merged_node, 4, 6, 7}
+        expanded = expand_merged_members(
+            frozenset(group_merged), merged_node, 3, 5
+        )
+        assert expanded == frozenset({3, 5, 4, 6, 7})
+        internal = fig3.pair_weight(3, 5)
+        assert willingness(
+            merged_problem.graph, group_merged
+        ) == pytest.approx(willingness(fig3, expanded) - internal)
+
+    def test_original_problem_untouched(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        merge_couple(problem, 3, 5)
+        assert fig3.has_node(5)
+        assert problem.k == 5
+
+    def test_required_remapped(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5, required=frozenset({5}))
+        merged_problem, merged_node = merge_couple(problem, 3, 5)
+        assert merged_node in merged_problem.required
+
+    def test_expand_without_merged_node(self):
+        members = frozenset({1, 2})
+        assert expand_merged_members(members, 99, 3, 5) == members
+
+    def test_solve_with_couple(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        merged_problem, merged_node = merge_couple(problem, 6, 7)
+        result = ExactBnB().solve(merged_problem)
+        attendees = expand_merged_members(result.members, merged_node, 6, 7)
+        # Either both or neither of the couple attends.
+        assert (6 in attendees) == (7 in attendees)
+
+
+class TestFoes:
+    def test_existing_edge_penalized(self, fig3):
+        hostile = mark_foes(fig3, [(3, 5)])
+        assert hostile.tightness(3, 5) < 0
+        assert hostile.tightness(5, 3) < 0
+
+    def test_new_edge_created(self, fig3):
+        hostile = mark_foes(fig3, [(1, 10)])
+        assert hostile.has_edge(1, 10)
+        assert hostile.tightness(1, 10) < 0
+
+    def test_positive_penalty_rejected(self, fig3):
+        with pytest.raises(ValueError):
+            mark_foes(fig3, [(1, 2)], penalty=1.0)
+
+    def test_foes_never_grouped(self, fig3):
+        hostile = mark_foes(fig3, [(4, 5)])
+        result = ExactBnB().solve(WASOProblem(graph=hostile, k=5))
+        assert not ({4, 5} <= result.members)
+
+    def test_original_untouched(self, fig3):
+        before = fig3.tightness(3, 5)
+        mark_foes(fig3, [(3, 5)])
+        assert fig3.tightness(3, 5) == before
+
+
+class TestInvitation:
+    def test_candidates_restricted_to_neighbourhood(self, fig3):
+        problem = invitation_problem(fig3, host=3, k=4)
+        allowed = set(problem.candidates())
+        assert allowed == {3, 1, 2, 4, 5, 6}
+        assert 3 in problem.required
+
+    def test_guests_weighted_by_tightness_only(self, fig3):
+        problem = invitation_problem(fig3, host=3, k=4)
+        for guest in (1, 2, 4, 5, 6):
+            assert problem.graph.lam(guest) == 0.0
+        assert problem.graph.lam(3) is None  # host keeps own weighting
+
+    def test_solution_contains_host(self, fig3):
+        problem = invitation_problem(fig3, host=3, k=4)
+        result = ExactBnB().solve(problem)
+        assert 3 in result.members
+        for guest in result.members - {3}:
+            assert fig3.has_edge(3, guest)
+
+    def test_validation(self, fig3):
+        with pytest.raises(ValueError):
+            invitation_problem(fig3, host=999, k=3)
+        with pytest.raises(ValueError):
+            invitation_problem(fig3, host=3, k=1)
+
+    def test_k_capped_by_neighbourhood(self, fig3):
+        # v1 has two neighbours -> at most k=3 feasible.
+        with pytest.raises(ProblemSpecificationError):
+            invitation_problem(fig3, host=1, k=9)
+
+
+class TestThemed:
+    def test_exhibition_lambda_one(self, fig3):
+        problem = exhibition_problem(fig3, k=4)
+        assert all(problem.graph.lam(n) == 1.0 for n in problem.graph.nodes())
+        assert not problem.connected
+
+    def test_exhibition_optimum_is_top_interest(self, fig3):
+        problem = exhibition_problem(fig3, k=3)
+        result = ExactBnB().solve(problem)
+        top3 = sorted(
+            fig3.nodes(), key=fig3.interest, reverse=True
+        )[:3]
+        assert result.willingness == pytest.approx(
+            sum(fig3.interest(n) for n in top3)
+        )
+
+    def test_housewarming_lambda_zero(self, fig3):
+        problem = housewarming_problem(fig3, k=4)
+        assert all(problem.graph.lam(n) == 0.0 for n in problem.graph.nodes())
+        assert problem.connected
+
+    def test_housewarming_ignores_interest(self, fig3):
+        problem = housewarming_problem(fig3, k=3)
+        result = ExactBnB().solve(problem)
+        # Changing all interests must not change the objective value.
+        boosted = fig3.copy()
+        for node in boosted.nodes():
+            boosted.set_interest(node, 100.0)
+        boosted_problem = housewarming_problem(boosted, k=3)
+        boosted_result = ExactBnB().solve(boosted_problem)
+        assert boosted_result.willingness == pytest.approx(result.willingness)
+
+
+class TestSeparateGroups:
+    def test_virtual_node_dominates(self, fig3):
+        augmented = add_virtual_node(fig3)
+        total = willingness(fig3, set(fig3.nodes()))
+        assert augmented.interest(VIRTUAL_NODE) > total
+        assert augmented.degree(VIRTUAL_NODE) == fig3.number_of_nodes()
+
+    def test_zero_tightness_edges(self, fig3):
+        augmented = add_virtual_node(fig3)
+        for node in fig3.nodes():
+            assert augmented.tightness(VIRTUAL_NODE, node) == 0.0
+            assert augmented.tightness(node, VIRTUAL_NODE) == 0.0
+
+    def test_reduce_requires_wasodis(self, fig3):
+        problem = WASOProblem(graph=fig3, k=3, connected=True)
+        with pytest.raises(ValueError):
+            reduce_wasodis(problem)
+
+    def test_duplicate_virtual_node_rejected(self, fig3):
+        augmented = add_virtual_node(fig3)
+        with pytest.raises(ValueError):
+            add_virtual_node(augmented)
+
+    def test_epsilon_validation(self, fig3):
+        with pytest.raises(ValueError):
+            add_virtual_node(fig3, epsilon=0.0)
+
+    def test_strip(self):
+        members = frozenset({1, 2, VIRTUAL_NODE})
+        assert strip_virtual_node(members) == frozenset({1, 2})
+
+    def test_reduction_solves_disconnected_instance(
+        self, two_components_graph
+    ):
+        problem = WASOProblem(
+            graph=two_components_graph, k=4, connected=False
+        )
+        direct = ExactBnB().solve(problem)
+        reduced = reduce_wasodis(problem)
+        via = ExactBnB().solve(reduced)
+        members = strip_virtual_node(via.members)
+        assert willingness(
+            two_components_graph, members
+        ) == pytest.approx(direct.willingness)

@@ -1,0 +1,129 @@
+"""Tests for the interest / tightness score models."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import grid_graph
+from repro.graph.scores import (
+    CommonNeighbourTightness,
+    PowerLawInterestModel,
+    empirical_power_law_exponent,
+    normalize_scores,
+    power_law_sample,
+)
+from repro.graph.social_graph import SocialGraph
+
+
+class TestPowerLaw:
+    def test_samples_at_least_x_min(self, rng):
+        for _ in range(200):
+            assert power_law_sample(rng, beta=2.5, x_min=1.0) >= 1.0
+
+    def test_invalid_exponent(self, rng):
+        with pytest.raises(ValueError):
+            power_law_sample(rng, beta=1.0)
+
+    def test_hill_estimator_recovers_exponent(self):
+        rng = random.Random(7)
+        values = [power_law_sample(rng, beta=2.5) for _ in range(20000)]
+        beta_hat = empirical_power_law_exponent(values)
+        assert 2.35 < beta_hat < 2.65
+
+    def test_model_normalizes_to_unit_max(self, rng):
+        scores = PowerLawInterestModel().sample(500, rng)
+        assert max(scores) == pytest.approx(1.0)
+        assert all(0.0 < s <= 1.0 for s in scores)
+
+    def test_model_cap_applies(self, rng):
+        model = PowerLawInterestModel(beta=1.5, cap=10.0)
+        scores = model.sample(1000, rng)
+        assert min(scores) >= 1.0 / 10.0  # raw values in [1, cap]
+
+    def test_assign_covers_all_nodes(self, rng):
+        graph = grid_graph(4)
+        PowerLawInterestModel().assign(graph, rng)
+        assert all(graph.interest(node) > 0 for node in graph.nodes())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PowerLawInterestModel(beta=0.9)
+        with pytest.raises(ValueError):
+            PowerLawInterestModel(cap=0.5)
+        with pytest.raises(ValueError):
+            PowerLawInterestModel().sample(-1, random.Random(0))
+
+
+class TestNormalize:
+    def test_scales_max_to_one(self):
+        normalized = normalize_scores({"a": 2.0, "b": 4.0})
+        assert normalized == {"a": 0.5, "b": 1.0}
+
+    def test_empty_and_zero(self):
+        assert normalize_scores({}) == {}
+        assert normalize_scores({"a": 0.0}) == {"a": 0.0}
+
+
+def _two_triangles_with_bridge() -> SocialGraph:
+    """Nodes 0-1-2 and 3-4-5 triangles joined by the bridge 2-3."""
+    graph = SocialGraph()
+    for node in range(6):
+        graph.add_node(node, interest=0.1)
+    for u, v in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+        graph.add_edge(u, v, 1.0)
+    return graph
+
+
+class TestCommonNeighbourTightness:
+    def test_symmetric_normalized_by_max(self, rng):
+        graph = _two_triangles_with_bridge()
+        CommonNeighbourTightness().assign(graph, rng)
+        # Triangle edges have 1 common neighbour (raw 2); bridge has none
+        # (raw 1); max raw is 2.
+        assert graph.tightness(0, 1) == pytest.approx(1.0)
+        assert graph.tightness(2, 3) == pytest.approx(0.5)
+        assert graph.tightness(1, 0) == graph.tightness(0, 1)
+
+    def test_asymmetric_normalized_by_degree(self, rng):
+        graph = _two_triangles_with_bridge()
+        CommonNeighbourTightness(asymmetric=True).assign(graph, rng)
+        # Edge (0, 1): 1 common neighbour, deg(0) = 2 -> 2/2 = 1.0.
+        assert graph.tightness(0, 1) == pytest.approx(1.0)
+        # Edge (2, 3): no common neighbour, deg(2) = 3 -> 1/3.
+        assert graph.tightness(2, 3) == pytest.approx(1.0 / 3.0)
+        # Asymmetry shows on edges with different endpoint degrees:
+        # deg(1) = 2 vs deg(2) = 3 on edge (1, 2).
+        assert graph.tightness(1, 2) != graph.tightness(2, 1)
+
+    def test_jitter_keeps_scores_in_unit_interval(self, rng):
+        graph = _two_triangles_with_bridge()
+        CommonNeighbourTightness(asymmetric=True, jitter=0.5).assign(
+            graph, rng
+        )
+        for u, v in graph.edges():
+            assert 0.0 <= graph.tightness(u, v) <= 1.0
+            assert 0.0 <= graph.tightness(v, u) <= 1.0
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            CommonNeighbourTightness(jitter=1.0)
+        with pytest.raises(ValueError):
+            CommonNeighbourTightness(jitter=-0.1)
+
+    def test_deterministic_without_jitter(self):
+        first = _two_triangles_with_bridge()
+        second = _two_triangles_with_bridge()
+        CommonNeighbourTightness().assign(first, random.Random(1))
+        CommonNeighbourTightness().assign(second, random.Random(2))
+        for u, v in first.edges():
+            assert first.tightness(u, v) == second.tightness(u, v)
+
+
+class TestHillEstimator:
+    def test_needs_two_positive_values(self):
+        with pytest.raises(ValueError):
+            empirical_power_law_exponent([1.0])
+
+    def test_identical_values_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_power_law_exponent([2.0, 2.0, 2.0])

@@ -1,0 +1,234 @@
+"""Unit tests for the SocialGraph substrate."""
+
+import math
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+)
+from repro.graph.social_graph import SocialGraph
+
+
+class TestNodes:
+    def test_add_and_query(self):
+        graph = SocialGraph()
+        graph.add_node("x", interest=0.5)
+        assert graph.has_node("x")
+        assert "x" in graph
+        assert graph.interest("x") == 0.5
+        assert graph.lam("x") is None
+        assert len(graph) == 1
+
+    def test_duplicate_node_rejected(self):
+        graph = SocialGraph()
+        graph.add_node(1)
+        with pytest.raises(DuplicateNodeError):
+            graph.add_node(1)
+
+    def test_unknown_node_raises(self):
+        graph = SocialGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.interest("ghost")
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node("ghost")
+        with pytest.raises(NodeNotFoundError):
+            list(graph.neighbors("ghost"))
+
+    def test_remove_node_drops_incident_edges(self, triangle_graph):
+        triangle_graph.remove_node("b")
+        assert not triangle_graph.has_node("b")
+        assert not triangle_graph.has_edge("a", "b")
+        assert triangle_graph.has_edge("a", "c")
+        assert triangle_graph.number_of_edges() == 1
+
+    def test_interest_must_be_finite(self):
+        graph = SocialGraph()
+        with pytest.raises(GraphError):
+            graph.add_node(1, interest=math.inf)
+        graph.add_node(1)
+        with pytest.raises(GraphError):
+            graph.set_interest(1, math.nan)
+
+    def test_lambda_validation(self):
+        graph = SocialGraph()
+        with pytest.raises(GraphError):
+            graph.add_node(1, lam=1.5)
+        graph.add_node(1, lam=0.25)
+        assert graph.weights(1) == (0.25, 0.75)
+        graph.set_lam(1, None)
+        assert graph.weights(1) == (1.0, 1.0)
+        with pytest.raises(GraphError):
+            graph.set_lam(1, -0.1)
+
+    def test_default_lambda_applies_to_new_nodes(self):
+        graph = SocialGraph(default_lambda=0.4)
+        graph.add_node(1)
+        assert graph.lam(1) == 0.4
+        graph.add_node(2, lam=0.9)
+        assert graph.lam(2) == 0.9
+
+    def test_invalid_default_lambda(self):
+        with pytest.raises(GraphError):
+            SocialGraph(default_lambda=2.0)
+
+
+class TestEdges:
+    def test_symmetric_default(self, triangle_graph):
+        assert triangle_graph.tightness("a", "b") == 0.5
+        assert triangle_graph.tightness("b", "a") == 0.5
+
+    def test_asymmetric_edge(self):
+        graph = SocialGraph()
+        graph.add_node(1)
+        graph.add_node(2)
+        graph.add_edge(1, 2, 0.9, reverse_tightness=0.1)
+        assert graph.tightness(1, 2) == 0.9
+        assert graph.tightness(2, 1) == 0.1
+
+    def test_self_loop_rejected(self):
+        graph = SocialGraph()
+        graph.add_node(1)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1, 1.0)
+
+    def test_edge_requires_nodes(self):
+        graph = SocialGraph()
+        graph.add_node(1)
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge(1, 2, 1.0)
+
+    def test_missing_edge_raises(self, triangle_graph):
+        triangle_graph.remove_edge("a", "b")
+        with pytest.raises(EdgeNotFoundError):
+            triangle_graph.tightness("a", "b")
+        with pytest.raises(EdgeNotFoundError):
+            triangle_graph.remove_edge("a", "b")
+
+    def test_edges_reported_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        assert triangle_graph.number_of_edges() == 3
+        as_sets = {frozenset(edge) for edge in edges}
+        assert len(as_sets) == 3
+
+    def test_set_tightness_one_direction(self, triangle_graph):
+        triangle_graph.set_tightness("a", "b", 0.99)
+        assert triangle_graph.tightness("a", "b") == 0.99
+        assert triangle_graph.tightness("b", "a") == 0.5
+
+    def test_degree_and_average(self, triangle_graph):
+        assert triangle_graph.degree("a") == 2
+        assert triangle_graph.average_degree() == 2.0
+
+    def test_tightness_must_be_finite(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.set_tightness("a", "b", math.inf)
+
+
+class TestDerived:
+    def test_node_potential(self, triangle_graph):
+        # a: interest 1.0 + outgoing 0.5 + 0.75
+        assert triangle_graph.node_potential("a") == pytest.approx(2.25)
+
+    def test_node_potential_with_lambda(self, triangle_graph):
+        triangle_graph.set_lam("a", 1.0)  # interest only
+        assert triangle_graph.node_potential("a") == pytest.approx(1.0)
+
+    def test_pair_weight(self, triangle_graph):
+        assert triangle_graph.pair_weight("a", "b") == pytest.approx(1.0)
+        triangle_graph.set_lam("a", 1.0)  # a's tightness weight becomes 0
+        assert triangle_graph.pair_weight("a", "b") == pytest.approx(0.5)
+
+
+class TestConnectivity:
+    def test_component_of(self, two_components_graph):
+        assert two_components_graph.component_of(0) == {0, 1, 2}
+        assert two_components_graph.component_of(4) == {3, 4, 5}
+
+    def test_connected_components_sorted_by_size(self, two_components_graph):
+        two_components_graph.add_node(99)
+        components = two_components_graph.connected_components()
+        assert [len(c) for c in components] == [3, 3, 1]
+
+    def test_is_connected_subset(self, path_graph):
+        assert path_graph.is_connected_subset({0, 1, 2})
+        assert not path_graph.is_connected_subset({0, 2})
+        assert path_graph.is_connected_subset({3})
+        assert path_graph.is_connected_subset(set())
+
+    def test_is_connected_subset_unknown_node(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            path_graph.is_connected_subset({0, 99})
+
+
+class TestTransformations:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.set_interest("a", 42.0)
+        clone.remove_edge("a", "b")
+        assert triangle_graph.interest("a") == 1.0
+        assert triangle_graph.has_edge("a", "b")
+
+    def test_subgraph(self, path_graph):
+        sub = path_graph.subgraph({1, 2, 3})
+        assert sub.number_of_nodes() == 3
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(2, 3)
+        assert not sub.has_node(0)
+        assert sub.number_of_edges() == 2
+
+    def test_merge_nodes_couple_semantics(self):
+        graph = SocialGraph()
+        for node, interest in [(1, 1.0), (2, 2.0), (3, 0.5)]:
+            graph.add_node(node, interest=interest)
+        graph.add_edge(1, 3, 0.3, reverse_tightness=0.4)
+        graph.add_edge(2, 3, 0.5, reverse_tightness=0.6)
+        graph.add_edge(1, 2, 0.9)
+
+        merged = graph.merge_nodes(1, 2)
+        assert merged == 1
+        assert graph.interest(1) == pytest.approx(3.0)
+        # outgoing = 0.3 + 0.5, incoming = 0.4 + 0.6
+        assert graph.tightness(1, 3) == pytest.approx(0.8)
+        assert graph.tightness(3, 1) == pytest.approx(1.0)
+        assert not graph.has_node(2)
+
+    def test_merge_with_new_id(self, triangle_graph):
+        merged = triangle_graph.merge_nodes("a", "b", merged="ab")
+        assert merged == "ab"
+        assert triangle_graph.has_node("ab")
+        assert triangle_graph.interest("ab") == pytest.approx(3.0)
+
+    def test_merge_self_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.merge_nodes("a", "a")
+
+    def test_merge_to_existing_id_rejected(self, triangle_graph):
+        with pytest.raises(DuplicateNodeError):
+            triangle_graph.merge_nodes("a", "b", merged="c")
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, triangle_graph):
+        nx_graph = triangle_graph.to_networkx()
+        back = SocialGraph.from_networkx(nx_graph)
+        assert set(back.nodes()) == set(triangle_graph.nodes())
+        assert back.interest("b") == 2.0
+        assert back.tightness("a", "c") == 0.75
+
+    def test_from_undirected_networkx(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_node(0, interest=0.7)
+        nx_graph.add_node(1)
+        nx_graph.add_edge(0, 1, tightness=0.2)
+        graph = SocialGraph.from_networkx(nx_graph)
+        assert graph.interest(0) == 0.7
+        assert graph.interest(1) == 0.0
+        assert graph.tightness(0, 1) == 0.2
+        assert graph.tightness(1, 0) == 0.2

@@ -1,0 +1,81 @@
+"""Tests for GroupSolution feasibility checking."""
+
+import pytest
+
+from repro.core.problem import WASOProblem
+from repro.core.solution import GroupSolution
+
+
+class TestEvaluate:
+    def test_computes_willingness(self, triangle_graph):
+        problem = WASOProblem(graph=triangle_graph, k=2)
+        solution = GroupSolution.evaluate(problem, {"a", "b"})
+        assert solution.willingness == pytest.approx(1.0 + 2.0 + 0.5 + 0.5)
+
+    def test_members_frozen(self, triangle_graph):
+        problem = WASOProblem(graph=triangle_graph, k=2)
+        solution = GroupSolution.evaluate(problem, ["a", "b"])
+        assert isinstance(solution.members, frozenset)
+
+
+class TestFeasibility:
+    def test_feasible(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=3)
+        solution = GroupSolution.evaluate(problem, {0, 1, 2})
+        assert solution.is_feasible(problem)
+        assert solution.check_feasible(problem) == []
+
+    def test_wrong_size(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=3)
+        solution = GroupSolution.evaluate(problem, {0, 1})
+        assert any("size" in v for v in solution.check_feasible(problem))
+
+    def test_unknown_member(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=2)
+        solution = GroupSolution(members=frozenset({0, 99}), willingness=0.0)
+        assert any("unknown" in v for v in solution.check_feasible(problem))
+
+    def test_missing_required(self, path_graph):
+        problem = WASOProblem(
+            graph=path_graph, k=2, required=frozenset({4})
+        )
+        solution = GroupSolution.evaluate(problem, {0, 1})
+        assert any("required" in v for v in solution.check_feasible(problem))
+
+    def test_forbidden_present(self, path_graph):
+        problem = WASOProblem(
+            graph=path_graph, k=2, forbidden=frozenset({0})
+        )
+        solution = GroupSolution.evaluate(problem, {0, 1})
+        assert any("forbidden" in v for v in solution.check_feasible(problem))
+
+    def test_disconnected(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=2)
+        solution = GroupSolution.evaluate(problem, {0, 4})
+        assert any("connected" in v for v in solution.check_feasible(problem))
+
+    def test_disconnected_ok_for_wasodis(self, path_graph):
+        problem = WASOProblem(graph=path_graph, k=2, connected=False)
+        solution = GroupSolution.evaluate(problem, {0, 4})
+        assert solution.is_feasible(problem)
+
+    def test_multiple_violations_reported(self, path_graph):
+        problem = WASOProblem(
+            graph=path_graph,
+            k=3,
+            required=frozenset({2}),
+            forbidden=frozenset({0}),
+        )
+        solution = GroupSolution.evaluate(problem, {0, 4})
+        violations = solution.check_feasible(problem)
+        assert len(violations) >= 3
+
+
+class TestPresentation:
+    def test_sorted_members(self, path_graph):
+        solution = GroupSolution(members=frozenset({3, 1, 2}), willingness=1.0)
+        assert solution.sorted_members() == [1, 2, 3]
+
+    def test_str(self, path_graph):
+        solution = GroupSolution(members=frozenset({1}), willingness=2.5)
+        assert "2.5" in str(solution)

@@ -1,0 +1,73 @@
+"""Tests for start-node selection (CBAS phase 1)."""
+
+import pytest
+
+from repro.algorithms.start_nodes import default_start_count, select_start_nodes
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+
+
+class TestDefaultCount:
+    def test_ceil_n_over_k(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=7)
+        n = small_facebook.number_of_nodes()
+        assert default_start_count(problem) == -(-n // 7)
+
+    def test_at_least_one(self, fig3):
+        problem = WASOProblem(graph=fig3, k=10)
+        assert default_start_count(problem) == 1
+
+
+class TestSelection:
+    def test_orders_by_potential(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        evaluator = WillingnessEvaluator(fig3)
+        starts = select_start_nodes(problem, evaluator, 3)
+        potentials = [evaluator.node_potential(node) for node in starts]
+        # Required-free selection: strictly the top-m by potential.
+        all_potentials = sorted(
+            (evaluator.node_potential(n) for n in fig3.nodes()), reverse=True
+        )
+        assert sorted(potentials, reverse=True) == all_potentials[:3]
+
+    def test_required_comes_first(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5, required=frozenset({9}))
+        evaluator = WillingnessEvaluator(fig3)
+        starts = select_start_nodes(problem, evaluator, 2)
+        assert starts[0] == 9
+
+    def test_required_fills_quota(self, fig3):
+        problem = WASOProblem(
+            graph=fig3, k=5, required=frozenset({1, 2, 9})
+        )
+        evaluator = WillingnessEvaluator(fig3)
+        starts = select_start_nodes(problem, evaluator, 2)
+        assert len(starts) == 2
+        assert set(starts) <= {1, 2, 9}
+
+    def test_forbidden_excluded(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5, forbidden=frozenset({5, 10}))
+        evaluator = WillingnessEvaluator(fig3)
+        starts = select_start_nodes(problem, evaluator, 8)
+        assert 5 not in starts
+        assert 10 not in starts
+
+    def test_m_larger_than_graph(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        evaluator = WillingnessEvaluator(fig3)
+        starts = select_start_nodes(problem, evaluator, 50)
+        assert len(starts) == 10
+        assert len(set(starts)) == 10
+
+    def test_m_validation(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        evaluator = WillingnessEvaluator(fig3)
+        with pytest.raises(ValueError):
+            select_start_nodes(problem, evaluator, 0)
+
+    def test_deterministic(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        evaluator = WillingnessEvaluator(small_facebook)
+        first = select_start_nodes(problem, evaluator, 10)
+        second = select_start_nodes(problem, evaluator, 10)
+        assert first == second

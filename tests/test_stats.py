@@ -1,0 +1,64 @@
+"""Tests for graph summary statistics."""
+
+import pytest
+
+from repro.graph.generators import facebook_like, grid_graph, ring_graph
+from repro.graph.social_graph import SocialGraph
+from repro.graph.stats import degree_histogram, summarize
+
+
+class TestSummarize:
+    def test_triangle(self, triangle_graph):
+        summary = summarize(triangle_graph)
+        assert summary.nodes == 3
+        assert summary.edges == 3
+        assert summary.average_degree == pytest.approx(2.0)
+        assert summary.max_degree == 2
+        assert summary.clustering == pytest.approx(1.0)
+        assert summary.components == 1
+        assert summary.largest_component == 3
+        assert summary.interest_mean == pytest.approx(2.0)
+        assert summary.interest_max == 3.0
+
+    def test_two_components(self, two_components_graph):
+        summary = summarize(two_components_graph)
+        assert summary.components == 2
+        assert summary.largest_component == 3
+
+    def test_empty_graph(self):
+        summary = summarize(SocialGraph())
+        assert summary.nodes == 0
+        assert summary.edges == 0
+        assert summary.average_degree == 0.0
+
+    def test_ring_clustering_zero(self):
+        summary = summarize(ring_graph(12))
+        assert summary.clustering == pytest.approx(0.0)
+
+    def test_as_dict_and_str(self, triangle_graph):
+        summary = summarize(triangle_graph)
+        data = summary.as_dict()
+        assert data["nodes"] == 3
+        assert "n=3" in str(summary)
+
+    def test_facebook_clustering_positive(self):
+        summary = summarize(facebook_like(150, seed=4))
+        assert summary.clustering > 0.05  # community structure present
+
+
+class TestDegreeHistogram:
+    def test_grid(self):
+        histogram = degree_histogram(grid_graph(3), bins=5)
+        assert sum(histogram) == 9
+
+    def test_empty(self):
+        assert degree_histogram(SocialGraph(), bins=4) == [0, 0, 0, 0]
+
+    def test_bins_validation(self, triangle_graph):
+        with pytest.raises(ValueError):
+            degree_histogram(triangle_graph, bins=0)
+
+    def test_all_mass_counted(self):
+        graph = facebook_like(100, seed=1)
+        histogram = degree_histogram(graph, bins=8)
+        assert sum(histogram) == graph.number_of_nodes()

@@ -1,0 +1,160 @@
+"""Executable checks of the paper's theorems.
+
+Theorem 1 (NP-hardness) is checked through its reduction *construction*:
+optimal WASO on a DkS-shaped instance recovers the densest k-subgraph.
+Theorems 2–6 are checked directly (exactly where possible, statistically
+where the claim is about expectations).
+"""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.exact import ExactBnB
+from repro.core.problem import WASOProblem
+from repro.core.willingness import WillingnessEvaluator
+from repro.graph.generators import random_social_graph
+from repro.graph.social_graph import SocialGraph
+from repro.scenarios.separate_groups import (
+    reduce_wasodis,
+    strip_virtual_node,
+)
+
+
+class TestTheorem1Reduction:
+    """DkS -> WASO: eta = 0, tau = 1 makes W(F) count F's internal edges."""
+
+    def _dks_instance(self, seed):
+        rng = random.Random(seed)
+        graph = SocialGraph()
+        for node in range(9):
+            graph.add_node(node, interest=0.0)
+        for u in range(9):
+            for v in range(u + 1, 9):
+                if rng.random() < 0.45:
+                    # tau = 0.5 per direction -> each edge contributes 1,
+                    # exactly the DkS edge count.
+                    graph.add_edge(u, v, 0.5)
+        return graph
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_waso_optimum_is_densest_subgraph(self, seed):
+        graph = self._dks_instance(seed)
+        k = 4
+        problem = WASOProblem(graph=graph, k=k, connected=False)
+        result = ExactBnB().solve(problem)
+
+        def edges_inside(members):
+            return sum(
+                1
+                for u, v in itertools.combinations(members, 2)
+                if graph.has_edge(u, v)
+            )
+
+        densest = max(
+            edges_inside(set(combo))
+            for combo in itertools.combinations(range(9), k)
+        )
+        assert result.willingness == pytest.approx(float(densest))
+        assert edges_inside(result.members) == densest
+
+
+class TestTheorem2VirtualNode:
+    """WASO-dis optimum == (k+1)-node WASO optimum on the augmented graph."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_reduction_equivalence(self, seed):
+        graph = random_social_graph(10, average_degree=2.5, seed=seed)
+        problem = WASOProblem(graph=graph, k=3, connected=False)
+        direct = ExactBnB().solve(problem)
+
+        reduced = reduce_wasodis(problem)
+        reduced_result = ExactBnB().solve(reduced)
+        members = strip_virtual_node(reduced_result.members)
+
+        evaluator = WillingnessEvaluator(graph)
+        assert evaluator.value(members) == pytest.approx(direct.willingness)
+
+    def test_virtual_node_always_selected(self):
+        graph = random_social_graph(8, average_degree=2.0, seed=5)
+        problem = WASOProblem(graph=graph, k=2, connected=False)
+        reduced = reduce_wasodis(problem)
+        result = ExactBnB().solve(reduced)
+        assert "__waso_virtual__" in result.members
+
+
+class TestTheorem3Allocation:
+    """The overtake-probability bound behind the allocation ratio."""
+
+    @pytest.mark.parametrize(
+        "c_i,d_i,n_b,n_i",
+        [(-1.0, 0.5, 3, 5), (0.1, 0.9, 6, 2), (-0.2, 0.99, 10, 10)],
+    )
+    def test_bound(self, c_i, d_i, n_b, n_i):
+        rng = random.Random(99)
+        c_b, d_b = 0.0, 1.0
+        trials = 15000
+        overtakes = sum(
+            1
+            for _ in range(trials)
+            if max(rng.uniform(c_i, d_i) for _ in range(n_i))
+            >= max(rng.uniform(c_b, d_b) for _ in range(n_b))
+        )
+        bound = 0.5 * ((d_i - c_b) / (d_b - c_b)) ** n_b
+        assert overtakes / trials <= bound + 0.01
+
+
+class TestTheorem5Approximation:
+    """E[Q] >= N_b (1/(N_b+1))^((N_b+1)/N_b) * Q* for CBAS."""
+
+    def test_lower_bound_on_fig3(self, fig3):
+        problem = WASOProblem(graph=fig3, k=5)
+        optimum = ExactBnB().solve(problem).willingness
+
+        budget, stages, m = 20, 2, 2
+        runs = 40
+        total = 0.0
+        for seed in range(runs):
+            result = CBAS(budget=budget, m=m, stages=stages).solve(
+                problem, rng=seed
+            )
+            total += result.willingness
+        mean_quality = total / runs
+
+        # N_b after r stages is (4 + m(r-1))/(4 r m) * T (Theorem 5).
+        n_b = (4 + m * (stages - 1)) / (4 * stages * m) * budget
+        ratio = n_b * (1.0 / (n_b + 1.0)) ** ((n_b + 1.0) / n_b)
+        assert mean_quality >= ratio * optimum * 0.9  # Monte-Carlo slack
+
+    def test_ratio_improves_with_budget(self):
+        """The guarantee itself is monotone in N_b."""
+
+        def guarantee(n_b):
+            return n_b * (1.0 / (n_b + 1.0)) ** ((n_b + 1.0) / n_b)
+
+        values = [guarantee(n) for n in (1, 2, 5, 10, 50)]
+        assert values == sorted(values)
+        assert values[-1] > 0.9  # approaches 1
+
+
+class TestTheorem6Dominance:
+    """CBAS-ND's expected quality >= CBAS's at equal budget."""
+
+    def test_mean_quality_dominance(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=8)
+        seeds = range(8)
+        cbas = [
+            CBAS(budget=120, m=8, stages=5).solve(problem, rng=s).willingness
+            for s in seeds
+        ]
+        cbasnd = [
+            CBASND(budget=120, m=8, stages=5)
+            .solve(problem, rng=s)
+            .willingness
+            for s in seeds
+        ]
+        assert sum(cbasnd) / len(seeds) >= sum(cbas) / len(seeds) * 0.97

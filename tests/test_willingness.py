@@ -1,0 +1,167 @@
+"""Tests for the willingness objective, including hypothesis properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.willingness import WillingnessEvaluator, willingness
+from repro.exceptions import NodeNotFoundError
+from repro.graph.generators import random_social_graph
+from repro.graph.social_graph import SocialGraph
+
+
+class TestBasics:
+    def test_empty_group(self, triangle_graph):
+        assert willingness(triangle_graph, set()) == 0.0
+
+    def test_single_node(self, triangle_graph):
+        assert willingness(triangle_graph, {"b"}) == 2.0
+
+    def test_pair_counts_both_directions(self):
+        graph = SocialGraph()
+        graph.add_node(1, interest=1.0)
+        graph.add_node(2, interest=2.0)
+        graph.add_edge(1, 2, 0.3, reverse_tightness=0.7)
+        # W = 1 + 2 + 0.3 + 0.7
+        assert willingness(graph, {1, 2}) == pytest.approx(4.0)
+
+    def test_full_triangle(self, triangle_graph):
+        # interests 1+2+3 plus each edge twice (symmetric).
+        expected = 6.0 + 2 * (0.5 + 0.25 + 0.75)
+        assert willingness(triangle_graph, {"a", "b", "c"}) == pytest.approx(
+            expected
+        )
+
+    def test_unknown_member_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            willingness(triangle_graph, {"a", "zzz"})
+
+    def test_edges_outside_group_ignored(self, path_graph):
+        assert willingness(path_graph, {0, 2}) == pytest.approx(2.0)
+
+
+class TestLambdaWeighting:
+    def test_interest_only(self, triangle_graph):
+        for node in triangle_graph.nodes():
+            triangle_graph.set_lam(node, 1.0)
+        assert willingness(
+            triangle_graph, {"a", "b", "c"}
+        ) == pytest.approx(6.0)
+
+    def test_tightness_only(self, triangle_graph):
+        for node in triangle_graph.nodes():
+            triangle_graph.set_lam(node, 0.0)
+        assert willingness(
+            triangle_graph, {"a", "b", "c"}
+        ) == pytest.approx(2 * 1.5)
+
+    def test_mixed_weights(self):
+        graph = SocialGraph()
+        graph.add_node(1, interest=10.0, lam=0.5)
+        graph.add_node(2, interest=4.0)  # plain Eq. 1 weights
+        graph.add_edge(1, 2, 1.0)
+        # node 1: 0.5*10 + 0.5*1; node 2: 4 + 1
+        assert willingness(graph, {1, 2}) == pytest.approx(10.5)
+
+
+class TestIncremental:
+    def test_add_delta_matches_difference(self, triangle_graph):
+        evaluator = WillingnessEvaluator(triangle_graph)
+        group = {"a"}
+        delta = evaluator.add_delta("b", group)
+        assert delta == pytest.approx(
+            evaluator.value({"a", "b"}) - evaluator.value({"a"})
+        )
+
+    def test_remove_delta_matches_difference(self, triangle_graph):
+        evaluator = WillingnessEvaluator(triangle_graph)
+        group = {"a", "b", "c"}
+        delta = evaluator.remove_delta("c", group)
+        assert delta == pytest.approx(
+            evaluator.value({"a", "b"}) - evaluator.value(group)
+        )
+
+    def test_add_delta_unknown_node(self, triangle_graph):
+        evaluator = WillingnessEvaluator(triangle_graph)
+        with pytest.raises(NodeNotFoundError):
+            evaluator.add_delta("zzz", set())
+
+    def test_node_potential_upper_bounds_delta(self, small_facebook):
+        evaluator = WillingnessEvaluator(small_facebook)
+        rng = random.Random(0)
+        nodes = small_facebook.node_list()
+        for _ in range(50):
+            group = set(rng.sample(nodes, 8))
+            outside = rng.choice([n for n in nodes if n not in group])
+            delta = evaluator.add_delta(outside, group)
+            assert delta <= evaluator.node_potential(outside) + 1e-9
+
+
+@st.composite
+def graph_and_sequence(draw):
+    """Random small social graph plus a node insertion order."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_social_graph(n, average_degree=3.0, seed=seed)
+    rng = random.Random(seed + 1)
+    # Random asymmetric tightness and random lambdas for full generality.
+    for u, v in graph.edges():
+        graph.set_tightness(u, v, rng.uniform(-1.0, 1.0))
+        graph.set_tightness(v, u, rng.uniform(-1.0, 1.0))
+    for node in graph.nodes():
+        graph.set_lam(node, rng.choice([None, rng.random()]))
+    order = list(graph.nodes())
+    rng.shuffle(order)
+    size = draw(st.integers(min_value=1, max_value=n))
+    return graph, order[:size]
+
+
+class TestHypothesisProperties:
+    @given(graph_and_sequence())
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_matches_full(self, payload):
+        """Building W via add_delta equals recomputing from scratch."""
+        graph, sequence = payload
+        evaluator = WillingnessEvaluator(graph)
+        group: set = set()
+        total = 0.0
+        for node in sequence:
+            total += evaluator.add_delta(node, group)
+            group.add(node)
+        assert total == pytest.approx(evaluator.value(group), abs=1e-9)
+
+    @given(graph_and_sequence(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_scores_scales_willingness(self, payload, factor):
+        """W is linear in the scores: scaling all scores scales W."""
+        graph, members = payload
+        scaled = graph.copy()
+        for node in scaled.nodes():
+            scaled.set_interest(node, graph.interest(node) * factor)
+        for u, v in scaled.edges():
+            scaled.set_tightness(u, v, graph.tightness(u, v) * factor)
+            scaled.set_tightness(v, u, graph.tightness(v, u) * factor)
+        original = willingness(graph, members)
+        assert willingness(scaled, members) == pytest.approx(
+            original * factor, rel=1e-9, abs=1e-9
+        )
+
+    @given(graph_and_sequence())
+    @settings(max_examples=40, deadline=None)
+    def test_add_then_remove_is_identity(self, payload):
+        graph, sequence = payload
+        evaluator = WillingnessEvaluator(graph)
+        group = set(sequence[:-1])
+        node = sequence[-1]
+        if node in group:
+            group.remove(node)
+        before = evaluator.value(group)
+        delta_in = evaluator.add_delta(node, group)
+        group.add(node)
+        delta_out = evaluator.remove_delta(node, group)
+        group.remove(node)
+        assert before + delta_in + delta_out == pytest.approx(
+            before, abs=1e-9
+        )
