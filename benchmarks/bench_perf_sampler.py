@@ -1,0 +1,170 @@
+"""Tier-2 perf benchmark: compiled sampling kernel vs dict-based reference.
+
+Measures, on synthetic Facebook-regime graphs of n ∈ {1k, 10k}:
+
+* ``add_delta`` micro-kernel throughput (calls/sec) for both evaluators —
+  a tracking metric: with pair weights cached, the dict path is already
+  near-optimal for single id-keyed probes, so no speedup is asserted
+  here (the compiled layout's win is the sampler's int-indexed loop,
+  where generation stamps replace hashing entirely);
+* raw sampler ``draw`` throughput (samples/sec, uniform expansion from the
+  CBAS start-node pool) for both paths;
+* end-to-end uniform CBAS solve throughput (samples drawn per second of
+  solve time) for both engines — this is where the compiled index's
+  amortization (frozen evaluator, O(1) start ranking, cached seed state,
+  skipped per-draw connectivity BFS) compounds with the fast kernel.
+
+Results are persisted to ``BENCH_sampler.json`` next to the repo root so
+future PRs can diff against them.  The headline acceptance gate: the
+compiled engine delivers ≥3× samples/sec for uniform CBAS expansion on
+the n=10k graph versus the dict-based path measured in the same run, and
+both engines return identical seeded solutions.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from pathlib import Path
+
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.sampling import ExpansionSampler, seed_for_start
+from repro.algorithms.start_nodes import select_start_nodes
+from repro.bench.datasets import bench_graph
+from repro.bench.harness import dump_json
+from repro.core.problem import WASOProblem
+from repro.core.willingness import evaluator_for
+
+NS = (1000, 10000)
+K = 10
+START_NODES = 30
+DRAWS_PER_START = {1000: 60, 10000: 60}
+ADD_DELTA_CALLS = 20_000
+CBAS_BUDGET = 600
+JSON_PATH = Path(__file__).parent.parent / "BENCH_sampler.json"
+
+#: Acceptance gate for the n=10k uniform-CBAS expansion speedup.
+MIN_CBAS_SPEEDUP = 3.0
+
+
+def _bench_add_delta(problem: WASOProblem, engine: str) -> float:
+    """add_delta calls/sec against a fixed random group."""
+    graph = problem.graph
+    evaluator = evaluator_for(graph, engine)
+    rng = random.Random(11)
+    nodes = graph.node_list()
+    group = set(rng.sample(nodes, K))
+    probes = [node for node in rng.choices(nodes, k=500) if node not in group]
+    add_delta = evaluator.add_delta
+    calls = 0
+    started = time.perf_counter()
+    while calls < ADD_DELTA_CALLS:
+        for node in probes:
+            add_delta(node, group)
+        calls += len(probes)
+    elapsed = time.perf_counter() - started
+    return calls / elapsed
+
+
+def _bench_draw(problem: WASOProblem, engine: str, n: int) -> float:
+    """Uniform draw samples/sec from the CBAS start-node pool."""
+    evaluator = evaluator_for(problem.graph, engine)
+    sampler = ExpansionSampler(problem, evaluator)
+    starts = select_start_nodes(problem, evaluator, START_NODES)
+    seeds = [seed_for_start(problem, start) for start in starts]
+    rng = random.Random(7)
+    for seed in seeds:  # warm caches outside the timed region
+        sampler.draw(seed, rng)
+    per_start = DRAWS_PER_START[n]
+    drawn = 0
+    started = time.perf_counter()
+    for seed in seeds:
+        for _ in range(per_start):
+            if sampler.draw(seed, rng) is not None:
+                drawn += 1
+    elapsed = time.perf_counter() - started
+    return drawn / elapsed
+
+
+def _bench_cbas(problem: WASOProblem, engine: str) -> tuple[float, object]:
+    """End-to-end uniform CBAS: (samples/sec of solve time, solution)."""
+    solver = CBAS(budget=CBAS_BUDGET, m=START_NODES, stages=8, engine=engine)
+    solver.solve(problem, rng=1)  # warm-up solve
+    best_rate, solution = 0.0, None
+    for _ in range(3):
+        started = time.perf_counter()
+        result = solver.solve(problem, rng=7)
+        elapsed = time.perf_counter() - started
+        best_rate = max(best_rate, result.stats.samples_drawn / elapsed)
+        solution = result
+    return best_rate, solution
+
+
+def run_experiment() -> dict:
+    payload: dict = {"k": K, "start_nodes": START_NODES, "sizes": {}}
+    for n in NS:
+        problem = WASOProblem(graph=bench_graph("facebook", n), k=K)
+        problem.compiled()  # one-shot freeze, reused by every compiled run
+        entry: dict = {}
+        for engine in ("reference", "compiled"):
+            entry[engine] = {
+                "add_delta_per_sec": _bench_add_delta(problem, engine),
+                "draw_samples_per_sec": _bench_draw(problem, engine, n),
+            }
+            rate, result = _bench_cbas(problem, engine)
+            entry[engine]["cbas_samples_per_sec"] = rate
+            entry[engine]["cbas_willingness"] = result.willingness
+            entry[engine]["cbas_members"] = sorted(
+                map(repr, result.members)
+            )
+        for metric in (
+            "add_delta_per_sec",
+            "draw_samples_per_sec",
+            "cbas_samples_per_sec",
+        ):
+            entry[f"speedup_{metric}"] = (
+                entry["compiled"][metric] / entry["reference"][metric]
+            )
+        entry["identical_solutions"] = (
+            entry["compiled"]["cbas_willingness"]
+            == entry["reference"]["cbas_willingness"]
+            and entry["compiled"]["cbas_members"]
+            == entry["reference"]["cbas_members"]
+        )
+        payload["sizes"][str(n)] = entry
+    dump_json(str(JSON_PATH), payload)
+    return payload
+
+
+def test_perf_sampler(benchmark):
+    payload = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for n, entry in payload["sizes"].items():
+        print(
+            f"n={n}: add_delta {entry['speedup_add_delta_per_sec']:.2f}x, "
+            f"draw {entry['speedup_draw_samples_per_sec']:.2f}x, "
+            f"cbas {entry['speedup_cbas_samples_per_sec']:.2f}x"
+        )
+        # Seeded solutions must agree bit-for-bit between the engines.
+        assert entry["identical_solutions"]
+        # The compiled sampler must never lose to the dict path.
+        assert entry["speedup_draw_samples_per_sec"] > 1.0
+        assert entry["speedup_cbas_samples_per_sec"] > 1.0
+    # Headline gate: uniform CBAS expansion at n=10k.
+    big = payload["sizes"]["10000"]
+    assert big["speedup_cbas_samples_per_sec"] >= MIN_CBAS_SPEEDUP, (
+        "compiled CBAS expansion fell below the 3x acceptance gate: "
+        f"{big['speedup_cbas_samples_per_sec']:.2f}x"
+    )
+    assert JSON_PATH.exists()
+
+
+if __name__ == "__main__":
+    result = run_experiment()
+    for n, entry in result["sizes"].items():
+        print(
+            f"n={n}: add_delta {entry['speedup_add_delta_per_sec']:.2f}x, "
+            f"draw {entry['speedup_draw_samples_per_sec']:.2f}x, "
+            f"cbas {entry['speedup_cbas_samples_per_sec']:.2f}x, "
+            f"identical={entry['identical_solutions']}"
+        )
+    print(f"wrote {JSON_PATH}")

@@ -28,7 +28,12 @@ from repro.budget.ocba import (
 from repro.budget.stages import plan_stages
 from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
-from repro.core.willingness import WillingnessEvaluator
+from repro.core.willingness import (
+    FastWillingnessEvaluator,
+    WillingnessEvaluator,
+    evaluator_for,
+    validate_engine,
+)
 from repro.exceptions import BudgetExhaustedError
 
 __all__ = ["CBAS"]
@@ -53,6 +58,11 @@ class CBAS(Solver):
     pb, alpha:
         Confidence and closeness-ratio parameters used only to derive the
         default ``stages``.
+    engine:
+        ``"compiled"`` (default) runs sampling on the flat-array
+        :class:`~repro.graph.compiled.CompiledGraph` index;
+        ``"reference"`` keeps the dict-based path.  Seeded results are
+        identical on both engines.
     """
 
     name = "cbas"
@@ -66,6 +76,7 @@ class CBAS(Solver):
         alpha: float = 0.9,
         allocation: str = "uniform",
         start_selection: str = "potential",
+        engine: str = "compiled",
     ) -> None:
         if budget < 1:
             raise ValueError(f"budget must be positive, got {budget}")
@@ -89,10 +100,11 @@ class CBAS(Solver):
         self.alpha = alpha
         self.allocation = allocation
         self.start_selection = start_selection
+        self.engine = validate_engine(engine)
 
     # ------------------------------------------------------------------
     def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
-        evaluator = WillingnessEvaluator(problem.graph)
+        evaluator = evaluator_for(problem.graph, self.engine)
         sampler = ExpansionSampler(problem, evaluator)
         m = self.m if self.m is not None else default_start_count(problem)
         if self.start_selection == "random":
@@ -106,12 +118,18 @@ class CBAS(Solver):
         stats = SolveStats()
         best_sample: Optional[Sample] = None
         self._prepare(problem, starts, evaluator)
+        self._prune_undersized_components(problem, starts, node_stats, stats)
 
         per_stage = max(1, self.budget // stage_total)
         for stage in range(stage_total):
             stats.stages += 1
             if stage == 0:
-                shares = apportion([1.0] * len(starts), per_stage)
+                # Zero weight for starts pruned up front (sub-k components)
+                # so their stage-0 share is redirected, not discarded.
+                shares = apportion(
+                    [0.0 if stat.pruned else 1.0 for stat in node_stats],
+                    per_stage,
+                )
             else:
                 if self.allocation == "gaussian":
                     weights = gaussian_weights(node_stats)
@@ -167,13 +185,46 @@ class CBAS(Solver):
         return SolveResult(solution=solution, stats=stats)
 
     # ------------------------------------------------------------------
+    def _prune_undersized_components(
+        self,
+        problem: WASOProblem,
+        starts: list,
+        node_stats: list[StartNodeStats],
+        stats: SolveStats,
+    ) -> None:
+        """Write off start nodes whose component cannot hold ``k`` members.
+
+        Every expansion from such a start is doomed; pruning them up front
+        redirects their budget instead of burning it on
+        ``_MAX_CONSECUTIVE_FAILURES`` stalls per start.
+        """
+        if not problem.connected:
+            return
+        if self.engine == "compiled" and not problem.forbidden:
+            # No forbidden nodes: allowed-induced components equal the
+            # graph's components, which the frozen index already labelled.
+            compiled = problem.compiled()
+            by_index = compiled.component_size_by_index()
+            index_of = compiled.index_of
+            sizes = {start: by_index[index_of[start]] for start in starts}
+        else:
+            sizes = problem.allowed_component_sizes()
+        skipped = 0
+        for index, start in enumerate(starts):
+            if sizes.get(start, 0) < problem.k:
+                node_stats[index].pruned = True
+                skipped += 1
+        if skipped:
+            stats.extra["skipped_small_components"] = skipped
+
+    # ------------------------------------------------------------------
     # Hooks overridden by CBAS-ND
     # ------------------------------------------------------------------
     def _prepare(
         self,
         problem: WASOProblem,
         starts: list,
-        evaluator: WillingnessEvaluator,
+        evaluator: "WillingnessEvaluator | FastWillingnessEvaluator",
     ) -> None:
         """Per-solve setup hook (CBAS-ND builds its probability vectors)."""
 

@@ -31,7 +31,10 @@ from repro.algorithms.sampling import ExpansionSampler, Sample
 from repro.ce.convergence import BacktrackController
 from repro.ce.probability import SelectionProbabilities
 from repro.core.problem import WASOProblem
-from repro.core.willingness import WillingnessEvaluator
+from repro.core.willingness import (
+    FastWillingnessEvaluator,
+    WillingnessEvaluator,
+)
 
 __all__ = ["CBASND", "cbas_nd_g"]
 
@@ -61,6 +64,7 @@ class CBASND(CBAS):
         alpha: float = 0.99,
         allocation: str = "uniform",
         start_selection: str = "potential",
+        engine: str = "compiled",
         rho: float = 0.3,
         smoothing: float = 0.9,
         backtrack_threshold: Optional[float] = None,
@@ -74,6 +78,7 @@ class CBASND(CBAS):
             alpha=alpha,
             allocation=allocation,
             start_selection=start_selection,
+            engine=engine,
         )
         if not 0.0 < rho <= 1.0:
             raise ValueError(f"rho must lie in (0, 1], got {rho}")
@@ -93,7 +98,7 @@ class CBASND(CBAS):
         self,
         problem: WASOProblem,
         starts: list,
-        evaluator: WillingnessEvaluator,
+        evaluator: "WillingnessEvaluator | FastWillingnessEvaluator",
     ) -> None:
         candidates = problem.candidates()
         self._vectors = [

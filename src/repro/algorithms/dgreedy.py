@@ -18,7 +18,7 @@ import random
 from repro.algorithms.base import Solver, SolveResult, SolveStats
 from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
-from repro.core.willingness import WillingnessEvaluator
+from repro.core.willingness import evaluator_for, validate_engine
 from repro.exceptions import SolverError
 from repro.graph.social_graph import NodeId
 
@@ -26,12 +26,20 @@ __all__ = ["DGreedy"]
 
 
 class DGreedy(Solver):
-    """Deterministic greedy construction (one start node, one sequence)."""
+    """Deterministic greedy construction (one start node, one sequence).
+
+    ``engine="compiled"`` (default) reuses the graph's frozen flat-array
+    index across solves; deltas are bit-identical to the reference path,
+    so the deterministic result is engine-independent.
+    """
 
     name = "dgreedy"
 
+    def __init__(self, engine: str = "compiled") -> None:
+        self.engine = validate_engine(engine)
+
     def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
-        evaluator = WillingnessEvaluator(problem.graph)
+        evaluator = evaluator_for(problem.graph, self.engine)
         graph = problem.graph
         allowed = set(problem.candidates())
 
@@ -71,9 +79,7 @@ class DGreedy(Solver):
         return SolveResult(solution=solution, stats=SolveStats(samples_drawn=1))
 
     # ------------------------------------------------------------------
-    def _best_first_node(
-        self, problem: WASOProblem, evaluator: WillingnessEvaluator
-    ) -> NodeId:
+    def _best_first_node(self, problem: WASOProblem, evaluator) -> NodeId:
         """Highest weighted-interest allowed node (deterministic ties)."""
         best_node = None
         best_score = -float("inf")

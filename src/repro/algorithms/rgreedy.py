@@ -25,7 +25,7 @@ from repro.algorithms.sampling import ExpansionSampler, seed_for_start
 from repro.algorithms.start_nodes import default_start_count, select_start_nodes
 from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
-from repro.core.willingness import WillingnessEvaluator
+from repro.core.willingness import evaluator_for, validate_engine
 from repro.exceptions import BudgetExhaustedError
 
 __all__ = ["RGreedy"]
@@ -40,20 +40,29 @@ class RGreedy(Solver):
         Total number of complete samples ``T``.
     m:
         Number of start nodes; defaults to the paper's ``⌈n/k⌉``.
+    engine:
+        ``"compiled"`` (default) or ``"reference"`` sampling path; seeded
+        results are identical on both.
     """
 
     name = "rgreedy"
 
-    def __init__(self, budget: int = 100, m: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        budget: int = 100,
+        m: Optional[int] = None,
+        engine: str = "compiled",
+    ) -> None:
         if budget < 1:
             raise ValueError(f"budget must be positive, got {budget}")
         if m is not None and m < 1:
             raise ValueError(f"m must be positive, got {m}")
         self.budget = budget
         self.m = m
+        self.engine = validate_engine(engine)
 
     def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
-        evaluator = WillingnessEvaluator(problem.graph)
+        evaluator = evaluator_for(problem.graph, self.engine)
         sampler = ExpansionSampler(problem, evaluator)
         m = self.m if self.m is not None else default_start_count(problem)
         starts = select_start_nodes(problem, evaluator, m)

@@ -15,17 +15,35 @@ solvers differ only in *how* the draw is biased:
 Willingness is maintained incrementally (O(deg) per step), which is exactly
 why the paper calls the uniform variant cheaper than greedy: no willingness
 computation is needed *during* selection, only one delta after it.
+
+The sampler has two execution paths sharing one behaviour:
+
+* the **reference** path over the dict-based graph (used when constructed
+  with a :class:`WillingnessEvaluator`);
+* the **fast** path over :class:`~repro.graph.compiled.CompiledGraph`
+  flat arrays (used with a :class:`FastWillingnessEvaluator`): an int
+  frontier with O(1) swap-pop, generation-stamp membership tests instead
+  of hash sets, an inlined pair-weight delta scan, a per-seed cached base
+  willingness, and a skipped final connectivity BFS whenever the seed is
+  already connected (connected expansion preserves connectivity).
+
+The fast path mirrors the reference path's neighbour order and RNG
+consumption exactly, so seeded draws — and therefore seeded solver runs —
+produce identical results on either path.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.core.problem import WASOProblem
-from repro.core.willingness import WillingnessEvaluator
+from repro.core.willingness import (
+    FastWillingnessEvaluator,
+    WillingnessEvaluator,
+)
 from repro.graph.social_graph import NodeId
 
 __all__ = [
@@ -36,9 +54,12 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class Sample:
-    """One complete k-node candidate group drawn by a sampler."""
+class Sample(NamedTuple):
+    """One complete k-node candidate group drawn by a sampler.
+
+    A named tuple rather than a dataclass: samplers create one per draw,
+    and the tuple constructor is measurably cheaper on the hot path.
+    """
 
     members: frozenset
     willingness: float
@@ -51,22 +72,26 @@ def weighted_pick(
 
     Non-positive weights are treated as zero; if every weight is zero the
     pick degrades to uniform (keeps samplers alive when a probability
-    vector collapses).
+    vector collapses).  The cumulative sums are built in a single pass and
+    the threshold located by bisection.
     """
+    cumulative: list[float] = []
     total = 0.0
     for weight in weights:
         if weight > 0.0:
             total += weight
+        cumulative.append(total)
     if total <= 0.0:
         return rng.randrange(len(items))
     threshold = rng.random() * total
-    cumulative = 0.0
-    for index, weight in enumerate(weights):
-        if weight > 0.0:
-            cumulative += weight
-            if cumulative >= threshold:
+    if threshold <= 0.0:
+        # Degenerate draw: the first positive-weight item wins, never a
+        # zero-weight one that happens to share its cumulative value.
+        for index, weight in enumerate(weights):
+            if weight > 0.0:
                 return index
-    return len(items) - 1  # numerical tail guard
+    index = bisect_left(cumulative, threshold)
+    return min(index, len(items) - 1)  # numerical tail guard
 
 
 def seed_for_start(problem: WASOProblem, start: NodeId) -> set[NodeId]:
@@ -88,16 +113,40 @@ class ExpansionSampler:
         frontier is the neighbourhood of the partial solution or simply
         every remaining allowed node — the WASO-dis case).
     evaluator:
-        Shared willingness evaluator (built once per solve).
+        Shared willingness evaluator (built once per solve).  Passing a
+        :class:`FastWillingnessEvaluator` switches draws to the compiled
+        int-indexed kernel.
     """
 
     def __init__(
-        self, problem: WASOProblem, evaluator: WillingnessEvaluator
+        self,
+        problem: WASOProblem,
+        evaluator: "WillingnessEvaluator | FastWillingnessEvaluator",
     ) -> None:
         self.problem = problem
         self.evaluator = evaluator
         self.graph = problem.graph
         self._allowed = set(problem.candidates())
+        compiled = getattr(evaluator, "compiled", None)
+        self._compiled = compiled
+        if compiled is not None:
+            n = compiled.number_of_nodes
+            # Generation stamps: per draw ``t`` the token pair is
+            # ``(2t, 2t + 1)`` — ``status[i] == 2t + 1`` marks a member,
+            # ``status[i] == 2t`` a frontier entry, anything smaller is
+            # untouched this draw.  No per-draw clearing needed.
+            self._status = [0] * n
+            self._draw_serial = 0
+            allowed_mask = bytearray(n)
+            index_of = compiled.index_of
+            for node in self._allowed:
+                allowed_mask[index_of[node]] = 1
+            self._allowed_mask = allowed_mask
+            self._check_allowed = bool(problem.forbidden)
+            # Per-seed cache: (base willingness, seed connected,
+            # member indices, initial frontier) — all deterministic
+            # functions of the seed set, shared by every draw from it.
+            self._seed_cache: dict[frozenset, tuple] = {}
 
     # ------------------------------------------------------------------
     def draw(
@@ -116,6 +165,8 @@ class ExpansionSampler:
         """
         if weight_of is not None and greedy_bias:
             raise ValueError("weight_of and greedy_bias are mutually exclusive")
+        if self._compiled is not None:
+            return self._draw_fast(seed, rng, weight_of, greedy_bias)
         k = self.problem.k
         members = set(seed)
         if len(members) > k:
@@ -147,6 +198,159 @@ class ExpansionSampler:
             # expansion failed to bridge it.
             return None
         return Sample(members=frozenset(members), willingness=current)
+
+    # ------------------------------------------------------------------
+    # Fast path (compiled flat arrays, int index space)
+    # ------------------------------------------------------------------
+    def _seed_state(self, seed: set[NodeId]) -> tuple:
+        """Cached per-seed state shared by every draw from one seed.
+
+        ``(base willingness, seed connected, member index tuple, initial
+        frontier tuple)`` — the base value, connectivity, and the initial
+        frontier (built in the reference path's exact order) are the same
+        for all draws from a given seed, so they are computed once.
+        """
+        key = frozenset(seed)
+        state = self._seed_cache.get(key)
+        if state is not None:
+            return state
+        # Copy the seed exactly like the reference path does: the copy's
+        # iteration order is the canonical member order both paths share.
+        members = set(seed)
+        value = self.evaluator.value(members)
+        seed_connected = len(members) <= 1 or (
+            self.graph.is_connected_subset(members)
+        )
+        comp = self._compiled
+        index_of = comp.index_of
+        # Same member iteration order as the reference path (a copy of the
+        # same seed set) so the frontier fills in the same sequence.
+        member_indices = tuple(index_of[node] for node in members)
+        member_set = set(member_indices)
+        frontier: list[int] = []
+        if self.problem.connected:
+            allowed = self._allowed_mask
+            row_targets = comp.row_targets
+            seen = set(member_set)
+            for index in member_indices:
+                for other in row_targets[index]:
+                    if other not in seen and allowed[other]:
+                        seen.add(other)
+                        frontier.append(other)
+        else:
+            # WASO-dis: every remaining allowed node is selectable;
+            # populated once, in the reference path's set order.
+            for node in self._allowed:
+                other = index_of[node]
+                if other not in member_set:
+                    frontier.append(other)
+        state = (value, seed_connected, member_indices, tuple(frontier))
+        self._seed_cache[key] = state
+        return state
+
+    def _draw_fast(
+        self,
+        seed: set[NodeId],
+        rng: random.Random,
+        weight_of: Optional[Callable[[NodeId], float]],
+        greedy_bias: bool,
+    ) -> Optional[Sample]:
+        problem = self.problem
+        k = problem.k
+        if len(seed) > k:
+            return None
+        current, seed_connected, seed_indices, seed_frontier = (
+            self._seed_state(seed)
+        )
+
+        comp = self._compiled
+        row_edges = comp.row_edges
+        weighted_interest = comp.weighted_interest
+        nodes = comp.nodes
+        allowed = self._allowed_mask
+        status = self._status
+        self._draw_serial += 1
+        frontier_token = 2 * self._draw_serial
+        member_token = frontier_token + 1
+        connected = problem.connected
+
+        member_indices = list(seed_indices)
+        for index in member_indices:
+            status[index] = member_token
+        frontier = list(seed_frontier)
+        for index in frontier:
+            status[index] = frontier_token
+
+        count = len(member_indices)
+        # random.Random.randrange(n) is a validation wrapper around
+        # _randbelow(n); calling the latter directly consumes the identical
+        # random stream (so reference/fast runs stay bit-identical) while
+        # skipping the per-call argument checks.
+        randbelow = getattr(rng, "_randbelow", rng.randrange)
+        append = frontier.append
+        uniform = weight_of is None and not greedy_bias
+        check_allowed = self._check_allowed
+        while count < k:
+            if not frontier:
+                return None
+            if uniform:
+                pick = randbelow(len(frontier))
+            elif weight_of is not None:
+                weights = [weight_of(nodes[index]) for index in frontier]
+                pick = weighted_pick(rng, frontier, weights)
+            else:
+                weights = []
+                for index in frontier:
+                    delta = weighted_interest[index]
+                    for other, pair in row_edges[index]:
+                        if status[other] == member_token:
+                            delta += pair
+                    weights.append(max(0.0, current + delta))
+                pick = weighted_pick(rng, frontier, weights)
+            index = frontier[pick]
+            # Swap-pop keeps the uniform draw O(1).
+            frontier[pick] = frontier[-1]
+            frontier.pop()
+            status[index] = member_token
+            member_indices.append(index)
+            count += 1
+
+            # One merged pass over the new member's row: accumulate the
+            # willingness delta from member neighbours and push fresh
+            # allowed neighbours onto the frontier.  Branch order favours
+            # the common untouched-neighbour case.
+            delta = weighted_interest[index]
+            if connected:
+                if check_allowed:
+                    for other, pair in row_edges[index]:
+                        state = status[other]
+                        if state < frontier_token:
+                            if allowed[other]:
+                                status[other] = frontier_token
+                                append(other)
+                        elif state == member_token:
+                            delta += pair
+                else:
+                    for other, pair in row_edges[index]:
+                        state = status[other]
+                        if state < frontier_token:
+                            status[other] = frontier_token
+                            append(other)
+                        elif state == member_token:
+                            delta += pair
+            else:
+                for other, pair in row_edges[index]:
+                    if status[other] == member_token:
+                        delta += pair
+            current += delta
+
+        group = frozenset(map(nodes.__getitem__, member_indices))
+        if connected and not seed_connected:
+            # A connected expansion of a connected seed stays connected;
+            # only a disconnected seed needs the per-draw bridge check.
+            if not self.graph.is_connected_subset(group):
+                return None
+        return Sample(members=group, willingness=current)
 
     # ------------------------------------------------------------------
     def _extend_frontier(

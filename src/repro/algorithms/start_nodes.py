@@ -14,7 +14,10 @@ import heapq
 import math
 
 from repro.core.problem import WASOProblem
-from repro.core.willingness import WillingnessEvaluator
+from repro.core.willingness import (
+    FastWillingnessEvaluator,
+    WillingnessEvaluator,
+)
 from repro.graph.social_graph import NodeId
 
 __all__ = ["select_start_nodes", "default_start_count"]
@@ -27,7 +30,7 @@ def default_start_count(problem: WASOProblem) -> int:
 
 def select_start_nodes(
     problem: WASOProblem,
-    evaluator: WillingnessEvaluator,
+    evaluator: "WillingnessEvaluator | FastWillingnessEvaluator",
     m: int,
 ) -> list[NodeId]:
     """Pick ``m`` start nodes by descending node potential.
@@ -35,7 +38,9 @@ def select_start_nodes(
     Node potential is ``a_v·η_v + b_v·Σ τ_vj + Σ b_j·τ_jv`` — the weighted
     interest plus incident weighted tightness.  Required nodes come first
     regardless of score.  Returns fewer than ``m`` nodes only when the
-    graph has fewer candidates.
+    graph has fewer candidates.  With a :class:`FastWillingnessEvaluator`
+    each potential is an O(1) lookup into the compiled index's
+    precomputed array.
     """
     if m < 1:
         raise ValueError(f"m must be positive, got {m}")

@@ -10,6 +10,7 @@ datasets are synthetic stand-ins at laptop scale); the shapes are.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from collections.abc import Callable, Sequence
@@ -28,6 +29,7 @@ __all__ = [
     "shape_ratio",
     "shape_nondecreasing",
     "geometric_speedup",
+    "dump_json",
 ]
 
 
@@ -36,6 +38,17 @@ def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
     started = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - started
+
+
+def dump_json(path: str, payload: dict) -> None:
+    """Write a bench result payload as pretty-printed JSON.
+
+    Perf benches persist their measured series (e.g. ``BENCH_sampler.json``)
+    so later PRs can diff against them and catch regressions.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def format_seconds(seconds: float) -> str:

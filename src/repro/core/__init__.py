@@ -11,13 +11,20 @@ are the high-level one-call entry points.
 
 from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
-from repro.core.willingness import WillingnessEvaluator, willingness
+from repro.core.willingness import (
+    FastWillingnessEvaluator,
+    WillingnessEvaluator,
+    evaluator_for,
+    willingness,
+)
 from repro.core.api import recommend_group, solve_k_range
 
 __all__ = [
     "WASOProblem",
     "GroupSolution",
     "WillingnessEvaluator",
+    "FastWillingnessEvaluator",
+    "evaluator_for",
     "willingness",
     "recommend_group",
     "solve_k_range",

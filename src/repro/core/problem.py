@@ -123,6 +123,29 @@ class WASOProblem:
                 f"no connected component of allowed nodes has >= {self.k} nodes"
             )
 
+    def compiled(self):
+        """Compiled flat-array index of this problem's graph.
+
+        The freeze is cached on the graph (mutation-aware), so repeated
+        solves and online re-planning rounds on the same network share one
+        index, and pickling the problem for the process pool ships the
+        frozen arrays along.
+        """
+        return self.graph.compiled()
+
+    def allowed_component_sizes(self) -> dict[NodeId, int]:
+        """Size of each allowed node's connected component (allowed-induced).
+
+        CBAS uses this to skip start nodes whose component cannot hold a
+        ``k``-group instead of burning budget on doomed expansions.
+        """
+        sizes: dict[NodeId, int] = {}
+        for component in self._allowed_components(set(self.candidates())):
+            size = len(component)
+            for node in component:
+                sizes[node] = size
+        return sizes
+
     def _allowed_components(self, allowed: set[NodeId]) -> list[set[NodeId]]:
         """Connected components of the subgraph induced by allowed nodes."""
         remaining = set(allowed)

@@ -9,29 +9,57 @@ where ``(a_i, b_i) = (1, 1)`` for the plain Eq. (1) objective (node's
 edge contribute, matching the paper's remark that ``τ_ij`` and ``τ_ji``
 are counted separately.
 
-:class:`WillingnessEvaluator` is the hot path of every solver: it caches
-the per-node weighted interest and supports O(deg(v)) *incremental* deltas
-for adding or removing a node from a partial group — the same trick that
-makes the randomized algorithms cheap compared to recomputing W from
-scratch at every expansion step.
+Two evaluators implement the objective:
+
+* :class:`WillingnessEvaluator` — the dict-based **reference** path.  It
+  caches per-node weighted interests and, per edge, the *combined* pair
+  weight ``w_uv = b_u·τ_uv + b_v·τ_vu`` so the O(deg(v)) incremental
+  deltas need no reverse adjacency probe.  Exact/IP solvers and the
+  differential tests use this path.
+* :class:`FastWillingnessEvaluator` — the same quantities served from a
+  :class:`~repro.graph.compiled.CompiledGraph` flat-array index.  The
+  randomized solvers' hot loops run on it; it is engineered to reproduce
+  the reference results bit-for-bit (same neighbour order, same
+  floating-point expressions), so seeded solver runs are identical on
+  either engine.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.exceptions import NodeNotFoundError
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graph.compiled import CompiledGraph
 from repro.graph.social_graph import NodeId, SocialGraph
 
-__all__ = ["WillingnessEvaluator", "willingness"]
+__all__ = [
+    "WillingnessEvaluator",
+    "FastWillingnessEvaluator",
+    "ENGINES",
+    "validate_engine",
+    "evaluator_for",
+    "willingness",
+]
+
+#: Evaluator/sampler execution paths solvers can run on.
+ENGINES = ("compiled", "reference")
+
+
+def validate_engine(engine: str) -> str:
+    """Validate and return an engine name (raises ``ValueError`` otherwise)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be 'compiled' or 'reference', got {engine!r}"
+        )
+    return engine
 
 
 class WillingnessEvaluator:
-    """Cached evaluator for one graph.
+    """Cached dict-based evaluator for one graph (the reference path).
 
-    The evaluator snapshots per-node weights at construction; if the graph's
-    scores are mutated afterwards, build a fresh evaluator (solvers always
-    do).
+    The evaluator snapshots per-node weights and per-edge pair weights at
+    construction; if the graph's scores are mutated afterwards, build a
+    fresh evaluator (solvers always do).
     """
 
     def __init__(self, graph: SocialGraph) -> None:
@@ -43,6 +71,19 @@ class WillingnessEvaluator:
             a, b = graph.weights(node)
             self._weighted_interest[node] = a * graph.interest(node)
             self._tightness_weight[node] = b
+        # Combined pair weight per directed adjacency slot:
+        # _pairs[u][v] == b_u·τ_uv + b_v·τ_vu.  Cached once so add_delta /
+        # node_potential never probe the reverse inner dict again.
+        weight = self._tightness_weight
+        self._pairs: dict[NodeId, dict[NodeId, float]] = {}
+        for node in graph.nodes():
+            b_node = weight[node]
+            adjacency = graph.neighbor_tightness(node)
+            self._pairs[node] = {
+                neighbour: b_node * tau
+                + weight[neighbour] * graph.neighbor_tightness(neighbour)[node]
+                for neighbour, tau in adjacency.items()
+            }
 
     # ------------------------------------------------------------------
     # Full evaluation
@@ -69,21 +110,16 @@ class WillingnessEvaluator:
     def add_delta(self, node: NodeId, group: set[NodeId]) -> float:
         """Increment of W when ``node`` joins ``group`` (node not in group).
 
-        ``Δ = a_v·η_v + b_v·Σ_{j∈S} τ_vj + Σ_{j∈S} b_j·τ_jv`` — both the
+        ``Δ = a_v·η_v + Σ_{j∈S} (b_v·τ_vj + b_j·τ_jv)`` — both the
         newcomer's outgoing tightness toward the group and the group's
-        tightness toward the newcomer.
+        tightness toward the newcomer, taken from the cached pair weights.
         """
         if node not in self._weighted_interest:
             raise NodeNotFoundError(node)
         delta = self._weighted_interest[node]
-        b_node = self._tightness_weight[node]
-        adjacency = self.graph.neighbor_tightness(node)
-        for neighbour, tau_out in adjacency.items():
+        for neighbour, pair in self._pairs[node].items():
             if neighbour in group:
-                delta += b_node * tau_out
-                delta += self._tightness_weight[neighbour] * (
-                    self.graph.neighbor_tightness(neighbour)[node]
-                )
+                delta += pair
         return delta
 
     def remove_delta(self, node: NodeId, group: set[NodeId]) -> float:
@@ -104,11 +140,13 @@ class WillingnessEvaluator:
     def pair_weight(self, source: NodeId, target: NodeId) -> float:
         """Objective weight of edge ``{source, target}``:
         ``b_s·τ_st + b_t·τ_ts``."""
-        return self._tightness_weight[source] * self.graph.tightness(
-            source, target
-        ) + self._tightness_weight[target] * self.graph.tightness(
-            target, source
-        )
+        for node in (source, target):
+            if node not in self._weighted_interest:
+                raise NodeNotFoundError(node)
+        try:
+            return self._pairs[source][target]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
 
     def node_potential(self, node: NodeId) -> float:
         """Upper-bound style score: weighted interest plus *all* incident
@@ -119,13 +157,123 @@ class WillingnessEvaluator:
         with.
         """
         total = self.weighted_interest(node)
-        b_node = self._tightness_weight[node]
-        for neighbour, tau_out in self.graph.neighbor_tightness(node).items():
-            total += b_node * tau_out
-            total += self._tightness_weight[neighbour] * (
-                self.graph.neighbor_tightness(neighbour)[node]
-            )
+        for pair in self._pairs[node].values():
+            total += pair
         return total
+
+
+class FastWillingnessEvaluator:
+    """Flat-array evaluator over a :class:`CompiledGraph` (the fast path).
+
+    Drop-in for :class:`WillingnessEvaluator` at the same node-id API, and
+    bit-identical to it: the CSR slot order matches the adjacency-dict
+    order, and every per-term floating-point expression is the same, so
+    sums accumulate identically.  :class:`~repro.algorithms.sampling.
+    ExpansionSampler` additionally recognises this evaluator and switches
+    its draw loop to the int-indexed kernel.
+    """
+
+    def __init__(self, compiled: "CompiledGraph | SocialGraph") -> None:
+        if isinstance(compiled, SocialGraph):
+            compiled = compiled.compiled()
+        self.compiled = compiled
+        self.graph = compiled.graph
+
+    # ------------------------------------------------------------------
+    # Full evaluation
+    # ------------------------------------------------------------------
+    def value(self, group: Iterable[NodeId]) -> float:
+        """Willingness of ``group`` (single scan over member CSR rows)."""
+        members = set(group)
+        comp = self.compiled
+        index_of = comp.index_of
+        try:
+            member_indices = {index_of[node] for node in members}
+        except KeyError as exc:
+            raise NodeNotFoundError(exc.args[0]) from None
+        offsets = comp.offsets
+        targets = comp.targets
+        out_w = comp.out_w
+        weighted_interest = comp.weighted_interest
+        tightness_weight = comp.tightness_weight
+        total = 0.0
+        # Iterate in the same set order as the reference evaluator so the
+        # floating-point accumulation is bit-identical.
+        for node in members:
+            index = index_of[node]
+            total += weighted_interest[index]
+            if tightness_weight[index] == 0.0:
+                continue
+            for slot in range(offsets[index], offsets[index + 1]):
+                if targets[slot] in member_indices:
+                    total += out_w[slot]
+        return total
+
+    # ------------------------------------------------------------------
+    # Incremental evaluation
+    # ------------------------------------------------------------------
+    def add_delta(self, node: NodeId, group: set[NodeId]) -> float:
+        """Increment of W when ``node`` joins ``group`` (node not in group)."""
+        comp = self.compiled
+        try:
+            index = comp.index_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        delta = comp.weighted_interest[index]
+        for neighbour, pair in comp.row_id_edges[index]:
+            if neighbour in group:
+                delta += pair
+        return delta
+
+    def remove_delta(self, node: NodeId, group: set[NodeId]) -> float:
+        """Decrement of W when ``node`` leaves ``group`` (node in group)."""
+        others = group - {node}
+        return -self.add_delta(node, others)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def weighted_interest(self, node: NodeId) -> float:
+        """``a_v · η_v`` for ``node``."""
+        try:
+            return self.compiled.weighted_interest[self.compiled.index_of[node]]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def pair_weight(self, source: NodeId, target: NodeId) -> float:
+        """Objective weight of edge ``{source, target}``:
+        ``b_s·τ_st + b_t·τ_ts``."""
+        comp = self.compiled
+        try:
+            source_index = comp.index_of[source]
+            target_index = comp.index_of[target]
+        except KeyError as exc:
+            raise NodeNotFoundError(exc.args[0]) from None
+        for slot in range(comp.offsets[source_index], comp.offsets[source_index + 1]):
+            if comp.targets[slot] == target_index:
+                return comp.pair_w[slot]
+        raise EdgeNotFoundError(source, target)
+
+    def node_potential(self, node: NodeId) -> float:
+        """CBAS phase-1 ranking score, precomputed at freeze time (O(1))."""
+        try:
+            return self.compiled.potential[self.compiled.index_of[node]]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+
+def evaluator_for(
+    graph: SocialGraph, engine: str = "compiled"
+) -> "WillingnessEvaluator | FastWillingnessEvaluator":
+    """Build the evaluator for the requested engine.
+
+    ``"compiled"`` serves the flat-array fast path (freezing — or reusing
+    the cached freeze of — the graph); ``"reference"`` the dict-based
+    reference implementation.
+    """
+    if validate_engine(engine) == "compiled":
+        return FastWillingnessEvaluator(graph.compiled())
+    return WillingnessEvaluator(graph)
 
 
 def willingness(graph: SocialGraph, group: Iterable[NodeId]) -> float:

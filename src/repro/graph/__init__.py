@@ -5,6 +5,9 @@ This subpackage provides:
 * :class:`~repro.graph.social_graph.SocialGraph` — the weighted social
   network (interest scores on nodes, possibly-asymmetric tightness scores on
   edges) that every solver operates on;
+* :class:`~repro.graph.compiled.CompiledGraph` — the one-shot flat-array
+  (CSR) freeze of a graph that the randomized solvers' hot paths run on
+  (see the module docstring for the performance architecture);
 * :mod:`~repro.graph.scores` — the interest / tightness score models the
   paper cites (power-law interest, common-neighbour tightness);
 * :mod:`~repro.graph.generators` — synthetic stand-ins for the paper's
@@ -15,6 +18,7 @@ This subpackage provides:
 """
 
 from repro.graph.social_graph import SocialGraph
+from repro.graph.compiled import CompiledGraph
 from repro.graph.scores import (
     CommonNeighbourTightness,
     PowerLawInterestModel,
@@ -41,6 +45,7 @@ from repro.graph.stats import GraphSummary, summarize
 
 __all__ = [
     "SocialGraph",
+    "CompiledGraph",
     "PowerLawInterestModel",
     "CommonNeighbourTightness",
     "normalize_scores",

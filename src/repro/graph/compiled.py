@@ -1,0 +1,265 @@
+"""Compiled flat-array graph index — the performance architecture.
+
+Performance architecture
+------------------------
+Every randomized WASO solver spends essentially all of its time in two
+kernels: the frontier expansion of :class:`~repro.algorithms.sampling.
+ExpansionSampler` and the incremental willingness delta of the evaluator.
+On the dict-of-dict :class:`~repro.graph.social_graph.SocialGraph` those
+kernels pay, per visited neighbour, two hash probes plus a *reverse*
+inner-dict probe (``neighbor_tightness(neighbour)[node]``) to pick up the
+opposite-direction tightness.  The access pattern, however, is completely
+regular: scan one node's incident edges, test membership, accumulate a
+per-edge constant.
+
+:class:`CompiledGraph` specializes the data layout to that access pattern.
+A one-shot ``freeze`` of a :class:`SocialGraph` produces int-indexed CSR
+arrays:
+
+* ``offsets`` / ``targets`` — the adjacency structure.  The directed slot
+  range of node ``i`` is ``offsets[i]:offsets[i + 1]``, and the slot order
+  is exactly the adjacency-dict insertion order, so array scans visit
+  neighbours in the same sequence (and produce bit-identical floating-point
+  sums) as the dict-based reference path;
+* ``weighted_interest`` (``a_i·η_i``) and ``tightness_weight`` (``b_i``) —
+  the per-node constants of the Eq. (1) objective with footnote-7 weights;
+* ``pair_w`` — the per-edge *combined* pair weight ``b_u·τ_uv + b_v·τ_vu``.
+  With it the willingness delta of adding node ``u`` to a group ``S``
+  collapses to ``a_u·η_u + Σ_{slots e of u : targets[e] ∈ S} pair_w[e]`` —
+  a single array scan against a stamp/mask membership test, with no
+  reverse probe at all;
+* ``out_w`` — the directed contribution ``b_u·τ_uv`` (used by full
+  re-evaluation, which mirrors the reference accumulation order);
+* ``potential`` — the CBAS phase-1 start-node ranking score
+  ``a_i·η_i + Σ pair_w``, precomputed so ranking is an array lookup.
+
+The index is built in one pass over the adjacency dicts, is reused across
+repeated solves and re-planning rounds on the same graph (it is cached on
+the graph keyed by a mutation counter — see ``SocialGraph.compiled()``),
+and is plain-picklable so :mod:`repro.parallel.pool` workers receive the
+frozen arrays instead of re-hashing the dicts.
+
+The dict-based :class:`~repro.core.willingness.WillingnessEvaluator`
+remains the reference implementation; the compiled path is engineered to
+reproduce its results bit-for-bit (same neighbour order, same
+floating-point expression per term) so seeded solver runs are identical on
+both engines — differential tests in ``tests/test_compiled.py`` hold that
+line.
+"""
+
+from __future__ import annotations
+
+from repro.graph.social_graph import NodeId, SocialGraph
+
+__all__ = ["CompiledGraph"]
+
+
+class CompiledGraph:
+    """One-shot frozen CSR view of a :class:`SocialGraph`.
+
+    Build with :meth:`from_graph` (or the cached ``graph.compiled()`` /
+    ``problem.compiled()`` accessors).  The instance is immutable by
+    convention: mutating the source graph invalidates the graph-side cache
+    and a fresh freeze is produced on the next access.
+    """
+
+    __slots__ = (
+        "graph",
+        "nodes",
+        "index_of",
+        "offsets",
+        "targets",
+        "out_w",
+        "pair_w",
+        "weighted_interest",
+        "tightness_weight",
+        "potential",
+        "row_targets",
+        "row_edges",
+        "row_id_edges",
+        "_component_sizes",
+    )
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        nodes: list,
+        index_of: dict,
+        offsets: list,
+        targets: list,
+        out_w: list,
+        pair_w: list,
+        weighted_interest: list,
+        tightness_weight: list,
+        potential: list,
+    ) -> None:
+        self.graph = graph
+        self.nodes = nodes
+        self.index_of = index_of
+        self.offsets = offsets
+        self.targets = targets
+        self.out_w = out_w
+        self.pair_w = pair_w
+        self.weighted_interest = weighted_interest
+        self.tightness_weight = tightness_weight
+        self.potential = potential
+        self._component_sizes: "list[int] | None" = None
+        self._build_row_views()
+
+    def _build_row_views(self) -> None:
+        """Per-row views of the CSR slots.
+
+        Direct iteration over a prebuilt list/tuple is the cheapest scan
+        CPython offers, so the sampler's hot kernels use these instead of
+        offsets/targets index arithmetic.  ``row_edges`` interleaves
+        ``(target, pair_w)`` so the merged delta-and-extend pass touches
+        each slot exactly once.
+        """
+        offsets, targets, pair_w = self.offsets, self.targets, self.pair_w
+        self.row_targets = [
+            targets[offsets[i] : offsets[i + 1]]
+            for i in range(len(self.nodes))
+        ]
+        self.row_edges = [
+            tuple(
+                zip(row_t, pair_w[offsets[i] : offsets[i + 1]])
+            )
+            for i, row_t in enumerate(self.row_targets)
+        ]
+        # Id-space twin of row_edges for callers whose groups are node-id
+        # sets (the evaluator API): no per-slot index→id conversion.
+        nodes = self.nodes
+        self.row_id_edges = [
+            tuple((nodes[target], pair) for target, pair in row)
+            for row in self.row_edges
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: SocialGraph) -> "CompiledGraph":
+        """Freeze ``graph`` into flat arrays (one pass over the adjacency)."""
+        nodes = list(graph.nodes())
+        index_of = {node: index for index, node in enumerate(nodes)}
+        n = len(nodes)
+
+        weighted_interest = [0.0] * n
+        tightness_weight = [0.0] * n
+        adjacencies = []
+        for index, node in enumerate(nodes):
+            a, b = graph.weights(node)
+            weighted_interest[index] = a * graph.interest(node)
+            tightness_weight[index] = b
+            adjacencies.append(graph.neighbor_tightness(node))
+
+        offsets = [0] * (n + 1)
+        targets: list[int] = []
+        out_w: list[float] = []
+        pair_w: list[float] = []
+        potential = [0.0] * n
+        for index, node in enumerate(nodes):
+            b_node = tightness_weight[index]
+            total = weighted_interest[index]
+            for neighbour, tau in adjacencies[index].items():
+                other = index_of[neighbour]
+                outgoing = b_node * tau
+                # Same expression (and evaluation order) as the reference
+                # evaluator's cached pair weight: bit-identical sums.
+                combined = outgoing + tightness_weight[other] * (
+                    adjacencies[other][node]
+                )
+                targets.append(other)
+                out_w.append(outgoing)
+                pair_w.append(combined)
+                total += combined
+            offsets[index + 1] = len(targets)
+            potential[index] = total
+
+        return cls(
+            graph=graph,
+            nodes=nodes,
+            index_of=index_of,
+            offsets=offsets,
+            targets=targets,
+            out_w=out_w,
+            pair_w=pair_w,
+            weighted_interest=weighted_interest,
+            tightness_weight=tightness_weight,
+            potential=potential,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def number_of_directed_slots(self) -> int:
+        return len(self.targets)
+
+    def neighbor_slots(self, index: int) -> range:
+        """Directed slot range of node ``index`` (CSR row)."""
+        return range(self.offsets[index], self.offsets[index + 1])
+
+    def degree(self, index: int) -> int:
+        return self.offsets[index + 1] - self.offsets[index]
+
+    def component_size_by_index(self) -> list[int]:
+        """Connected-component size of every node, indexed by int id.
+
+        Computed lazily with one index-space BFS pass and cached; CBAS
+        uses it to skip start nodes whose component cannot hold a
+        ``k``-group without re-deriving components per solve.
+        """
+        sizes = self._component_sizes
+        if sizes is not None:
+            return sizes
+        n = len(self.nodes)
+        sizes = [0] * n
+        label = [-1] * n
+        row_targets = self.row_targets
+        for root in range(n):
+            if label[root] != -1:
+                continue
+            stack = [root]
+            label[root] = root
+            component = [root]
+            while stack:
+                current = stack.pop()
+                for other in row_targets[current]:
+                    if label[other] == -1:
+                        label[other] = root
+                        stack.append(other)
+                        component.append(other)
+            size = len(component)
+            for index in component:
+                sizes[index] = size
+        self._component_sizes = sizes
+        return sizes
+
+    # ------------------------------------------------------------------
+    # Pickle support: __slots__ classes need explicit state handling.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # Row views are derivable from the flat arrays; keep the payload
+        # shipped to pool workers lean.
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name
+            not in ("row_targets", "row_edges", "row_id_edges")
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._build_row_views()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledGraph(nodes={len(self.nodes)}, "
+            f"directed_slots={len(self.targets)})"
+        )
+
+    def index(self, node: NodeId) -> int:
+        """Int index of ``node`` (KeyError when unknown)."""
+        return self.index_of[node]

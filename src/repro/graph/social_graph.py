@@ -82,6 +82,9 @@ class SocialGraph:
         self._nodes: dict[NodeId, NodeData] = {}
         # _adj[u][v] == tau_{u,v} (tightness *from* u's perspective).
         self._adj: dict[NodeId, dict[NodeId, float]] = {}
+        # Mutation counter keying the compiled-index cache (see compiled()).
+        self._mutation_count = 0
+        self._compiled_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Node operations
@@ -111,6 +114,7 @@ class SocialGraph:
             metadata=dict(metadata) if metadata else None,
         )
         self._adj[node] = {}
+        self._mutation_count += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove ``node`` and all incident edges."""
@@ -119,6 +123,7 @@ class SocialGraph:
             del self._adj[neighbour][node]
         del self._adj[node]
         del self._nodes[node]
+        self._mutation_count += 1
 
     def has_node(self, node: NodeId) -> bool:
         return node in self._nodes
@@ -148,6 +153,7 @@ class SocialGraph:
         if not math.isfinite(interest):
             raise GraphError(f"interest score must be finite, got {interest}")
         self._require_node(node).interest = float(interest)
+        self._mutation_count += 1
 
     def lam(self, node: NodeId) -> Optional[float]:
         """Per-node weighting ``λ`` (``None`` = plain Eq. 1)."""
@@ -157,6 +163,7 @@ class SocialGraph:
         if lam is not None and not 0.0 <= lam <= 1.0:
             raise GraphError(f"lambda must lie in [0, 1], got {lam}")
         self._require_node(node).lam = lam
+        self._mutation_count += 1
 
     def weights(self, node: NodeId) -> tuple[float, float]:
         """``(interest_weight, tightness_weight)`` for ``node``."""
@@ -201,11 +208,13 @@ class SocialGraph:
                 raise GraphError(f"tightness must be finite, got {value}")
         self._adj[source][target] = float(tightness)
         self._adj[target][source] = float(reverse_tightness)
+        self._mutation_count += 1
 
     def remove_edge(self, source: NodeId, target: NodeId) -> None:
         self._require_edge(source, target)
         del self._adj[source][target]
         del self._adj[target][source]
+        self._mutation_count += 1
 
     def has_edge(self, source: NodeId, target: NodeId) -> bool:
         return source in self._adj and target in self._adj[source]
@@ -223,6 +232,7 @@ class SocialGraph:
         if not math.isfinite(tightness):
             raise GraphError(f"tightness must be finite, got {tightness}")
         self._adj[source][target] = float(tightness)
+        self._mutation_count += 1
 
     def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
         """Iterate over undirected edges, each reported once."""
@@ -325,6 +335,27 @@ class SocialGraph:
                     seen.add(neighbour)
                     queue.append(neighbour)
         return len(seen) == len(subset)
+
+    # ------------------------------------------------------------------
+    # Compiled index
+    # ------------------------------------------------------------------
+    def compiled(self):
+        """Cached :class:`~repro.graph.compiled.CompiledGraph` of this graph.
+
+        The flat-array index is frozen on first access and reused across
+        repeated solves / re-planning rounds; any structural or score
+        mutation invalidates it (keyed by an internal mutation counter).
+        The cache travels with the graph when pickled, so process-pool
+        workers receive the arrays instead of re-freezing the dicts.
+        """
+        cache = self._compiled_cache
+        if cache is not None and cache[0] == self._mutation_count:
+            return cache[1]
+        from repro.graph.compiled import CompiledGraph
+
+        compiled = CompiledGraph.from_graph(self)
+        self._compiled_cache = (self._mutation_count, compiled)
+        return compiled
 
     # ------------------------------------------------------------------
     # Transformations

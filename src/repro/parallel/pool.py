@@ -64,6 +64,10 @@ def parallel_solve(
     if workers == 1:
         return solver_factory(total_budget).solve(problem, rng=seeds[0])
 
+    # Freeze the compiled index once before pickling: the cache rides on
+    # the graph, so every worker receives the flat arrays ready-made
+    # instead of re-freezing the adjacency dicts per process.
+    problem.compiled()
     tasks = [(problem, solver_factory(share), seed) for seed in seeds]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         outcomes = list(pool.map(_worker, tasks))
