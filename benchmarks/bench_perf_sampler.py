@@ -12,12 +12,21 @@ Measures, on synthetic Facebook-regime graphs of n ∈ {1k, 10k}:
 * end-to-end uniform CBAS solve throughput (samples drawn per second of
   solve time) for both engines — this is where the compiled index's
   amortization (frozen evaluator, O(1) start ranking, cached seed state,
-  skipped per-draw connectivity BFS) compounds with the fast kernel.
+  skipped per-draw connectivity BFS) compounds with the fast kernel;
+* end-to-end CBAS-ND solve throughput for both engines — this adds the
+  cross-entropy machinery on top: the elite refit after every stage and
+  the weighted frontier draw, which the compiled engine serves from the
+  array-backed ``SelectionProbabilities`` (one list index per frontier
+  slot, elite counts off ``Sample.indices``) versus the reference
+  engine's per-node dict probes;
+* pool worker payload sizes: the detached compiled-arrays payload
+  (``WASOProblem.detached()``) versus the historical dict-graph pickle.
 
 Results are persisted to ``BENCH_sampler.json`` next to the repo root so
-future PRs can diff against them.  The headline acceptance gate: the
-compiled engine delivers ≥3× samples/sec for uniform CBAS expansion on
-the n=10k graph versus the dict-based path measured in the same run, and
+future PRs can diff against them.  Acceptance gates, all measured in the
+same run: the compiled engine delivers ≥3× samples/sec for uniform CBAS
+expansion on the n=10k graph, ≥2× for CBAS-ND on the n=10k graph, the
+slim worker payload is strictly smaller than the dict-graph pickle, and
 both engines return identical seeded solutions.
 """
 
@@ -28,12 +37,14 @@ import time
 from pathlib import Path
 
 from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
 from repro.algorithms.sampling import ExpansionSampler, seed_for_start
 from repro.algorithms.start_nodes import select_start_nodes
 from repro.bench.datasets import bench_graph
 from repro.bench.harness import dump_json
 from repro.core.problem import WASOProblem
 from repro.core.willingness import evaluator_for
+from repro.parallel.pool import worker_payload_bytes
 
 NS = (1000, 10000)
 K = 10
@@ -41,10 +52,14 @@ START_NODES = 30
 DRAWS_PER_START = {1000: 60, 10000: 60}
 ADD_DELTA_CALLS = 20_000
 CBAS_BUDGET = 600
+CBASND_BUDGET = 600
+CBASND_STAGES = 6
 JSON_PATH = Path(__file__).parent.parent / "BENCH_sampler.json"
 
 #: Acceptance gate for the n=10k uniform-CBAS expansion speedup.
 MIN_CBAS_SPEEDUP = 3.0
+#: Acceptance gate for the n=10k CBAS-ND (CE update + weighted frontier).
+MIN_CBASND_SPEEDUP = 2.0
 
 
 def _bench_add_delta(problem: WASOProblem, engine: str) -> float:
@@ -100,6 +115,25 @@ def _bench_cbas(problem: WASOProblem, engine: str) -> tuple[float, object]:
     return best_rate, solution
 
 
+def _bench_cbas_nd(problem: WASOProblem, engine: str) -> tuple[float, object]:
+    """End-to-end CBAS-ND: CE elite refit + weighted frontier draws."""
+    solver = CBASND(
+        budget=CBASND_BUDGET,
+        m=START_NODES,
+        stages=CBASND_STAGES,
+        engine=engine,
+    )
+    solver.solve(problem, rng=1)  # warm-up solve
+    best_rate, solution = 0.0, None
+    for _ in range(3):
+        started = time.perf_counter()
+        result = solver.solve(problem, rng=7)
+        elapsed = time.perf_counter() - started
+        best_rate = max(best_rate, result.stats.samples_drawn / elapsed)
+        solution = result
+    return best_rate, solution
+
+
 def run_experiment() -> dict:
     payload: dict = {"k": K, "start_nodes": START_NODES, "sizes": {}}
     for n in NS:
@@ -117,10 +151,17 @@ def run_experiment() -> dict:
             entry[engine]["cbas_members"] = sorted(
                 map(repr, result.members)
             )
+            nd_rate, nd_result = _bench_cbas_nd(problem, engine)
+            entry[engine]["cbas_nd_samples_per_sec"] = nd_rate
+            entry[engine]["cbas_nd_willingness"] = nd_result.willingness
+            entry[engine]["cbas_nd_members"] = sorted(
+                map(repr, nd_result.members)
+            )
         for metric in (
             "add_delta_per_sec",
             "draw_samples_per_sec",
             "cbas_samples_per_sec",
+            "cbas_nd_samples_per_sec",
         ):
             entry[f"speedup_{metric}"] = (
                 entry["compiled"][metric] / entry["reference"][metric]
@@ -130,7 +171,12 @@ def run_experiment() -> dict:
             == entry["reference"]["cbas_willingness"]
             and entry["compiled"]["cbas_members"]
             == entry["reference"]["cbas_members"]
+            and entry["compiled"]["cbas_nd_willingness"]
+            == entry["reference"]["cbas_nd_willingness"]
+            and entry["compiled"]["cbas_nd_members"]
+            == entry["reference"]["cbas_nd_members"]
         )
+        entry["worker_payload"] = worker_payload_bytes(problem)
         payload["sizes"][str(n)] = entry
     dump_json(str(JSON_PATH), payload)
     return payload
@@ -142,18 +188,31 @@ def test_perf_sampler(benchmark):
         print(
             f"n={n}: add_delta {entry['speedup_add_delta_per_sec']:.2f}x, "
             f"draw {entry['speedup_draw_samples_per_sec']:.2f}x, "
-            f"cbas {entry['speedup_cbas_samples_per_sec']:.2f}x"
+            f"cbas {entry['speedup_cbas_samples_per_sec']:.2f}x, "
+            f"cbas-nd {entry['speedup_cbas_nd_samples_per_sec']:.2f}x"
         )
         # Seeded solutions must agree bit-for-bit between the engines.
         assert entry["identical_solutions"]
         # The compiled sampler must never lose to the dict path.
         assert entry["speedup_draw_samples_per_sec"] > 1.0
         assert entry["speedup_cbas_samples_per_sec"] > 1.0
-    # Headline gate: uniform CBAS expansion at n=10k.
+        assert entry["speedup_cbas_nd_samples_per_sec"] > 1.0
+        # The slim pool payload must undercut the dict-graph pickle.
+        sizes = entry["worker_payload"]
+        assert sizes["compiled_arrays_bytes"] < sizes["dict_graph_bytes"], (
+            "compiled-arrays worker payload is not smaller than the "
+            f"dict-graph pickle: {sizes}"
+        )
+    # Headline gates at n=10k: uniform CBAS expansion and CBAS-ND's
+    # CE update + weighted frontier.
     big = payload["sizes"]["10000"]
     assert big["speedup_cbas_samples_per_sec"] >= MIN_CBAS_SPEEDUP, (
         "compiled CBAS expansion fell below the 3x acceptance gate: "
         f"{big['speedup_cbas_samples_per_sec']:.2f}x"
+    )
+    assert big["speedup_cbas_nd_samples_per_sec"] >= MIN_CBASND_SPEEDUP, (
+        "compiled CBAS-ND fell below the 2x acceptance gate: "
+        f"{big['speedup_cbas_nd_samples_per_sec']:.2f}x"
     )
     assert JSON_PATH.exists()
 
@@ -161,10 +220,14 @@ def test_perf_sampler(benchmark):
 if __name__ == "__main__":
     result = run_experiment()
     for n, entry in result["sizes"].items():
+        sizes = entry["worker_payload"]
         print(
             f"n={n}: add_delta {entry['speedup_add_delta_per_sec']:.2f}x, "
             f"draw {entry['speedup_draw_samples_per_sec']:.2f}x, "
             f"cbas {entry['speedup_cbas_samples_per_sec']:.2f}x, "
-            f"identical={entry['identical_solutions']}"
+            f"cbas-nd {entry['speedup_cbas_nd_samples_per_sec']:.2f}x, "
+            f"identical={entry['identical_solutions']}, "
+            f"payload {sizes['compiled_arrays_bytes']}B vs "
+            f"{sizes['dict_graph_bytes']}B dict"
         )
     print(f"wrote {JSON_PATH}")

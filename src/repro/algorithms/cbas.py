@@ -14,6 +14,7 @@ The solution quality is the maximum willingness over all samples
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.algorithms.base import Solver, SolveResult, SolveStats
@@ -36,11 +37,35 @@ from repro.core.willingness import (
 )
 from repro.exceptions import BudgetExhaustedError
 
-__all__ = ["CBAS"]
+__all__ = ["CBAS", "CBASWarmState"]
 
 #: A start node whose expansions keep failing (its component is smaller
 #: than k) is written off after this many consecutive failures.
 _MAX_CONSECUTIVE_FAILURES = 5
+
+
+@dataclass
+class CBASWarmState:
+    """Reusable cross-solve state for §4.4.1 online re-planning.
+
+    After every solve a :class:`CBAS` (or subclass) exports one of these
+    as ``solver.last_warm_state``; installing it as ``solver.warm_state``
+    before the next solve on the *same graph* skips the phase-1 start
+    ranking (the paper: "the start nodes of phase 1 need not be
+    recomputed") and, for CBAS-ND, carries the surviving cross-entropy
+    vectors forward instead of resetting them to the homogeneous prior.
+    The frozen compiled index is reused automatically — it is cached on
+    the shared graph — so a warm re-plan never re-freezes.
+    """
+
+    #: Phase-1 start nodes in ranked order (required nodes first).
+    starts: list = field(default_factory=list)
+    #: CBAS-ND only: start node -> its SelectionProbabilities vector.
+    vectors: dict = field(default_factory=dict)
+    #: Identity + mutation stamp of the graph this state was earned on;
+    #: vectors are only reused when it still matches (both engines drop
+    #: them in lockstep, keeping seeded runs engine-identical).
+    graph_state: "tuple | None" = None
 
 
 class CBAS(Solver):
@@ -101,16 +126,30 @@ class CBAS(Solver):
         self.allocation = allocation
         self.start_selection = start_selection
         self.engine = validate_engine(engine)
+        #: Install a :class:`CBASWarmState` here (online re-planning) to
+        #: reuse phase-1 starts / CE vectors; cleared by the caller, not
+        #: by the solver, so one state can serve several re-plans.
+        self.warm_state: Optional[CBASWarmState] = None
+        #: Exported after every solve; feed back via ``warm_state``.
+        self.last_warm_state: Optional[CBASWarmState] = None
 
     # ------------------------------------------------------------------
     def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
         evaluator = evaluator_for(problem.graph, self.engine)
         sampler = ExpansionSampler(problem, evaluator)
         m = self.m if self.m is not None else default_start_count(problem)
-        if self.start_selection == "random":
-            starts = self._random_starts(problem, m, rng)
-        else:
-            starts = select_start_nodes(problem, evaluator, m)
+        warm = self.warm_state
+        starts = (
+            self._warm_start_nodes(problem, warm, m)
+            if warm is not None
+            else []
+        )
+        warm_used = bool(starts)
+        if not starts:
+            if self.start_selection == "random":
+                starts = self._random_starts(problem, m, rng)
+            else:
+                starts = select_start_nodes(problem, evaluator, m)
         stage_total = self._stage_count(problem, len(starts))
 
         node_stats = [StartNodeStats(node=start) for start in starts]
@@ -119,6 +158,23 @@ class CBAS(Solver):
         best_sample: Optional[Sample] = None
         self._prepare(problem, starts, evaluator)
         self._prune_undersized_components(problem, starts, node_stats, stats)
+        if warm_used and all(stat.pruned for stat in node_stats):
+            # Declines can shrink the previous solution's region below k
+            # while another component stays viable: every reused start
+            # just got written off, so fall back to a cold ranking
+            # instead of burning the whole budget on zero draws.
+            warm_used = False
+            if self.start_selection == "random":
+                starts = self._random_starts(problem, m, rng)
+            else:
+                starts = select_start_nodes(problem, evaluator, m)
+            stage_total = self._stage_count(problem, len(starts))
+            node_stats = [StartNodeStats(node=start) for start in starts]
+            failures = [0] * len(starts)
+            self._prepare(problem, starts, evaluator)
+            self._prune_undersized_components(
+                problem, starts, node_stats, stats
+            )
 
         per_stage = max(1, self.budget // stage_total)
         for stage in range(stage_total):
@@ -144,16 +200,21 @@ class CBAS(Solver):
                 if share == 0 or node_stats[index].pruned:
                     continue
                 seed = seed_for_start(problem, starts[index])
+                # One batch per (start, stage): the sampler resolves the
+                # cached seed state once and stops early at the
+                # consecutive-failure cap, so stats and RNG consumption
+                # match the historical draw-at-a-time loop exactly.
+                batch = self._draw_batch(
+                    sampler, seed, rng, index, share, failures[index]
+                )
                 stage_samples: list[Sample] = []
-                for _ in range(share):
-                    sample = self._draw(sampler, seed, rng, index)
+                for sample in batch:
                     stats.samples_drawn += 1
                     if sample is None:
                         stats.failed_samples += 1
                         failures[index] += 1
                         if failures[index] >= _MAX_CONSECUTIVE_FAILURES:
                             node_stats[index].pruned = True
-                            break
                         continue
                     failures[index] = 0
                     node_stats[index].record(sample.willingness)
@@ -175,6 +236,10 @@ class CBAS(Solver):
             raise BudgetExhaustedError(
                 "CBAS drew no feasible sample within its budget"
             )
+        self.last_warm_state = self._export_warm_state(starts)
+        self.last_warm_state.graph_state = self._graph_state(problem)
+        if warm_used:
+            stats.extra["warm_start"] = True
         stats.extra["start_nodes"] = len(starts)
         stats.extra["pruned_start_nodes"] = sum(
             1 for stat in node_stats if stat.pruned
@@ -218,6 +283,51 @@ class CBAS(Solver):
             stats.extra["skipped_small_components"] = skipped
 
     # ------------------------------------------------------------------
+    # Warm start (§4.4.1 online re-planning)
+    # ------------------------------------------------------------------
+    def _warm_start_nodes(
+        self, problem: WASOProblem, warm: CBASWarmState, m: int
+    ) -> list:
+        """Reuse a previous solve's phase-1 start nodes.
+
+        Required attendees (the online planner's confirmed set) are
+        promoted to the front and the list is truncated to ``m`` — the
+        same contract ``select_start_nodes`` honours, so replans keep the
+        configured OCBA concentration instead of diluting the per-stage
+        budget over an ever-growing start list.  Starts that have since
+        become forbidden are dropped; an empty result makes the caller
+        fall back to a cold start ranking.
+        """
+        chosen = list(problem.required)
+        if len(chosen) >= m:
+            return chosen[:m]
+        taken = set(chosen)
+        for start in warm.starts:
+            if len(chosen) >= m:
+                break
+            if start not in taken and problem.is_candidate(start):
+                taken.add(start)
+                chosen.append(start)
+        return chosen
+
+    def _export_warm_state(self, starts: list) -> CBASWarmState:
+        """Snapshot reusable state after a solve (CBAS-ND adds vectors)."""
+        return CBASWarmState(starts=list(starts))
+
+    @staticmethod
+    def _graph_state(problem: WASOProblem) -> tuple:
+        """Identity + mutation stamp of the problem's graph.
+
+        A warm state whose stamp no longer matches was earned on a
+        different (or since-mutated) graph; its vectors are then dropped
+        on *both* engines — mirroring the compiled engine's behaviour,
+        where any mutation produces a fresh freeze and a new ``index_of``
+        object.
+        """
+        graph = problem.graph
+        return (id(graph), getattr(graph, "_mutation_count", None))
+
+    # ------------------------------------------------------------------
     # Hooks overridden by CBAS-ND
     # ------------------------------------------------------------------
     def _prepare(
@@ -228,15 +338,23 @@ class CBAS(Solver):
     ) -> None:
         """Per-solve setup hook (CBAS-ND builds its probability vectors)."""
 
-    def _draw(
+    def _draw_batch(
         self,
         sampler: ExpansionSampler,
         seed: set,
         rng: random.Random,
         start_index: int,
-    ) -> Optional[Sample]:
-        """One expansion; CBAS uses the uniform frontier draw."""
-        return sampler.draw(seed, rng)
+        count: int,
+        failures: int,
+    ) -> list[Optional[Sample]]:
+        """One start node's expansions for a stage; CBAS draws uniformly."""
+        return sampler.draw_batch(
+            seed,
+            rng,
+            count,
+            failures=failures,
+            max_failures=_MAX_CONSECUTIVE_FAILURES,
+        )
 
     def _after_start_stage(
         self,

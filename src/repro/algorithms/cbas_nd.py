@@ -26,7 +26,11 @@ import random
 from typing import Optional
 
 from repro.algorithms.base import SolveStats
-from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas import (
+    _MAX_CONSECUTIVE_FAILURES,
+    CBAS,
+    CBASWarmState,
+)
 from repro.algorithms.sampling import ExpansionSampler, Sample
 from repro.ce.convergence import BacktrackController
 from repro.ce.probability import SelectionProbabilities
@@ -100,10 +104,52 @@ class CBASND(CBAS):
         starts: list,
         evaluator: "WillingnessEvaluator | FastWillingnessEvaluator",
     ) -> None:
-        candidates = problem.candidates()
-        self._vectors = [
-            SelectionProbabilities(candidates, problem.k) for _ in starts
-        ]
+        # On the compiled engine the vectors live in the compiled int-id
+        # domain: one float slot per graph node, shared index mapping, so
+        # the sampler weights frontier draws by plain list indexing.
+        compiled = getattr(evaluator, "compiled", None)
+        index_of = compiled.index_of if compiled is not None else None
+        warm = self.warm_state
+        if warm is not None and warm.graph_state != self._graph_state(
+            problem
+        ):
+            # Earned on a different (or since-mutated) graph: both
+            # engines drop the vectors so seeded runs stay identical —
+            # the compiled engine would rebuild anyway (new freeze, new
+            # index_of), the reference engine has no other tripwire.
+            warm = None
+        template: Optional[SelectionProbabilities] = None
+        vectors: list[SelectionProbabilities] = []
+        for start in starts:
+            vector = warm.vectors.get(start) if warm is not None else None
+            if vector is not None and vector.index_map is index_of:
+                # Surviving vector from the previous re-planning round,
+                # same id domain (same freeze or both local): keep
+                # refining it instead of resetting to the homogeneous
+                # prior (§4.4.1 — this is what makes replans converge
+                # faster than cold solves).  The elite threshold does NOT
+                # survive: it was earned against the previous problem's
+                # willingness ceiling, and a decline may have lowered
+                # that ceiling below γ, which would blank every elite set
+                # and freeze the vector.
+                vector.reset_threshold()
+                vectors.append(vector)
+                continue
+            if template is None:
+                template = SelectionProbabilities(
+                    problem.candidates(),
+                    problem.k,
+                    index_of=index_of,
+                    size=(
+                        compiled.number_of_nodes
+                        if compiled is not None
+                        else None
+                    ),
+                )
+                vectors.append(template)
+            else:
+                vectors.append(template.replicate())
+        self._vectors = vectors
         self._controllers = [
             BacktrackController(
                 threshold=self.backtrack_threshold,
@@ -112,15 +158,41 @@ class CBASND(CBAS):
             for _ in starts
         ]
 
-    def _draw(
+    def _draw_batch(
         self,
         sampler: ExpansionSampler,
         seed: set,
         rng: random.Random,
         start_index: int,
-    ) -> Optional[Sample]:
+        count: int,
+        failures: int,
+    ) -> list[Optional[Sample]]:
         vector = self._vectors[start_index]
-        return sampler.draw(seed, rng, weight_of=vector.probability)
+        array = vector.array
+        if array is not None and sampler.is_compiled:
+            # Array-backed vector + int frontier: each frontier weight is
+            # one list index, no per-slot dict probe.
+            return sampler.draw_batch(
+                seed,
+                rng,
+                count,
+                weight_array=array,
+                failures=failures,
+                max_failures=_MAX_CONSECUTIVE_FAILURES,
+            )
+        return sampler.draw_batch(
+            seed,
+            rng,
+            count,
+            weight_of=vector.probability,
+            failures=failures,
+            max_failures=_MAX_CONSECUTIVE_FAILURES,
+        )
+
+    def _export_warm_state(self, starts: list) -> CBASWarmState:
+        state = super()._export_warm_state(starts)
+        state.vectors = dict(zip(starts, self._vectors))
+        return state
 
     def _after_start_stage(
         self,
@@ -133,7 +205,14 @@ class CBASND(CBAS):
         vector = self._vectors[start_index]
         controller = self._controllers[start_index]
         controller.remember(vector)
-        movement = vector.update(samples, rho=self.rho, smoothing=self.smoothing)
+        movement = vector.update(
+            samples,
+            rho=self.rho,
+            smoothing=self.smoothing,
+            # The movement signal only steers backtracking; without it
+            # the O(n) distance accumulation is skipped.
+            compute_movement=controller.enabled,
+        )
         if controller.observe(vector, movement):
             stats.extra["backtracks"] = stats.extra.get("backtracks", 0) + 1
 

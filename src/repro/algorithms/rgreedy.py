@@ -71,11 +71,16 @@ class RGreedy(Solver):
         stats = SolveStats()
         best_sample = None
         for start in starts:
+            remaining = self.budget - stats.samples_drawn
+            if remaining <= 0:
+                break
             seed = seed_for_start(problem, start)
-            for _ in range(per_start):
-                if stats.samples_drawn >= self.budget:
-                    break
-                sample = sampler.draw(seed, rng, greedy_bias=True)
+            # Batched per start: same draw count and RNG stream as the
+            # historical draw-at-a-time loop, one seed-state resolve.
+            batch = sampler.draw_batch(
+                seed, rng, min(per_start, remaining), greedy_bias=True
+            )
+            for sample in batch:
                 stats.samples_drawn += 1
                 if sample is None:
                     stats.failed_samples += 1

@@ -29,14 +29,20 @@ The sampler has two execution paths sharing one behaviour:
 
 The fast path mirrors the reference path's neighbour order and RNG
 consumption exactly, so seeded draws — and therefore seeded solver runs —
-produce identical results on either path.
+produce identical results on either path.  Two further int-domain
+amortizations ride on it: CBAS-ND's frontier weighting can be supplied as
+a flat ``weight_array`` indexed by compiled id (one list index per slot
+instead of a dict probe per node), and :meth:`ExpansionSampler.draw_batch`
+resolves the cached per-seed state once for a whole run of draws from the
+same start node.
 """
 
 from __future__ import annotations
 
 import random
 from bisect import bisect_left
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
+from itertools import accumulate
 from typing import NamedTuple, Optional
 
 from repro.core.problem import WASOProblem
@@ -50,6 +56,7 @@ __all__ = [
     "Sample",
     "ExpansionSampler",
     "weighted_pick",
+    "pick_from_array",
     "seed_for_start",
 ]
 
@@ -59,10 +66,17 @@ class Sample(NamedTuple):
 
     A named tuple rather than a dataclass: samplers create one per draw,
     and the tuple constructor is measurably cheaper on the hot path.
+
+    ``indices`` carries the members as compiled int ids (selection order)
+    when the sample came off the fast path, ``None`` on the reference
+    path.  The CE elite refit counts membership straight off it instead
+    of translating node ids back through a dict; consumers comparing
+    samples across engines should compare ``members``/``willingness``.
     """
 
     members: frozenset
     willingness: float
+    indices: "tuple[int, ...] | None" = None
 
 
 def weighted_pick(
@@ -92,6 +106,34 @@ def weighted_pick(
                 return index
     index = bisect_left(cumulative, threshold)
     return min(index, len(items) - 1)  # numerical tail guard
+
+
+def pick_from_array(
+    rng: random.Random, frontier: list[int], weight_array: Sequence[float]
+) -> int:
+    """:func:`weighted_pick` specialized for an int frontier + flat array.
+
+    Gathers the weights with a C-level ``map`` and, when none is
+    negative (always true for CE probability vectors), builds the
+    cumulative sums with ``itertools.accumulate``.  Zero weights add
+    exactly nothing to an IEEE running sum, so the cumulative list — and
+    therefore every pick and the RNG stream — is bit-identical to
+    :func:`weighted_pick` over the same values.
+    """
+    weights = list(map(weight_array.__getitem__, frontier))
+    if min(weights) < 0.0:
+        return weighted_pick(rng, frontier, weights)
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+    if total <= 0.0:
+        return rng.randrange(len(frontier))
+    threshold = rng.random() * total
+    if threshold <= 0.0:
+        for index, weight in enumerate(weights):
+            if weight > 0.0:
+                return index
+    index = bisect_left(cumulative, threshold)
+    return min(index, len(frontier) - 1)  # numerical tail guard
 
 
 def seed_for_start(problem: WASOProblem, start: NodeId) -> set[NodeId]:
@@ -149,24 +191,39 @@ class ExpansionSampler:
             self._seed_cache: dict[frozenset, tuple] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def is_compiled(self) -> bool:
+        """True when draws run on the compiled int-indexed kernel."""
+        return self._compiled is not None
+
     def draw(
         self,
         seed: set[NodeId],
         rng: random.Random,
         weight_of: Optional[Callable[[NodeId], float]] = None,
         greedy_bias: bool = False,
+        weight_array: "Optional[Sequence[float]]" = None,
     ) -> Optional[Sample]:
         """Expand ``seed`` to ``k`` members; ``None`` if the expansion stalls.
 
         ``weight_of`` biases the frontier draw by a static per-node weight
-        (CBAS-ND's probability vector).  ``greedy_bias`` biases it by the
-        willingness of the resulting group (RGreedy); the two are mutually
-        exclusive.
+        keyed by node id; ``weight_array`` does the same from a flat array
+        indexed by compiled int id (CBAS-ND's array-backed probability
+        vector — no per-slot dict probe, compiled engine only).
+        ``greedy_bias`` biases it by the willingness of the resulting
+        group (RGreedy).  The three are mutually exclusive.
         """
-        if weight_of is not None and greedy_bias:
-            raise ValueError("weight_of and greedy_bias are mutually exclusive")
+        self._validate_bias(weight_of, greedy_bias, weight_array)
         if self._compiled is not None:
-            return self._draw_fast(seed, rng, weight_of, greedy_bias)
+            return self._draw_fast(
+                self._seed_state(seed), rng, weight_of, weight_array,
+                greedy_bias,
+            )
+        if weight_array is not None:
+            raise ValueError(
+                "weight_array requires the compiled engine; use weight_of "
+                "on the reference path"
+            )
         k = self.problem.k
         members = set(seed)
         if len(members) > k:
@@ -198,6 +255,76 @@ class ExpansionSampler:
             # expansion failed to bridge it.
             return None
         return Sample(members=frozenset(members), willingness=current)
+
+    # ------------------------------------------------------------------
+    def draw_batch(
+        self,
+        seed: set[NodeId],
+        rng: random.Random,
+        count: int,
+        weight_of: Optional[Callable[[NodeId], float]] = None,
+        greedy_bias: bool = False,
+        weight_array: "Optional[Sequence[float]]" = None,
+        failures: int = 0,
+        max_failures: Optional[int] = None,
+    ) -> list[Optional[Sample]]:
+        """Up to ``count`` draws from one seed, amortizing per-draw setup.
+
+        The compiled path resolves the cached seed state (frozenset key
+        hash + cache probe) once for the whole batch instead of once per
+        draw.  ``failures`` seeds the consecutive-failure counter and the
+        batch stops early once it reaches ``max_failures`` — mirroring the
+        solvers' write-off rule, so batched and draw-at-a-time runs
+        consume the identical RNG stream and report identical stats.
+        Results are returned in draw order, ``None`` marking a stalled
+        expansion.
+        """
+        self._validate_bias(weight_of, greedy_bias, weight_array)
+        samples: list[Optional[Sample]] = []
+        if self._compiled is not None:
+            state = self._seed_state(seed)
+            draw_fast = self._draw_fast
+            for _ in range(count):
+                sample = draw_fast(
+                    state, rng, weight_of, weight_array, greedy_bias
+                )
+                samples.append(sample)
+                if sample is None:
+                    failures += 1
+                    if max_failures is not None and failures >= max_failures:
+                        break
+                else:
+                    failures = 0
+            return samples
+        if weight_array is not None:
+            raise ValueError(
+                "weight_array requires the compiled engine; use weight_of "
+                "on the reference path"
+            )
+        for _ in range(count):
+            sample = self.draw(
+                seed, rng, weight_of=weight_of, greedy_bias=greedy_bias
+            )
+            samples.append(sample)
+            if sample is None:
+                failures += 1
+                if max_failures is not None and failures >= max_failures:
+                    break
+            else:
+                failures = 0
+        return samples
+
+    @staticmethod
+    def _validate_bias(weight_of, greedy_bias, weight_array) -> None:
+        if (
+            (weight_of is not None)
+            + (weight_array is not None)
+            + bool(greedy_bias)
+        ) > 1:
+            raise ValueError(
+                "weight_of, weight_array and greedy_bias are mutually "
+                "exclusive"
+            )
 
     # ------------------------------------------------------------------
     # Fast path (compiled flat arrays, int index space)
@@ -250,18 +377,17 @@ class ExpansionSampler:
 
     def _draw_fast(
         self,
-        seed: set[NodeId],
+        seed_state: tuple,
         rng: random.Random,
         weight_of: Optional[Callable[[NodeId], float]],
+        weight_array: "Optional[Sequence[float]]",
         greedy_bias: bool,
     ) -> Optional[Sample]:
         problem = self.problem
         k = problem.k
-        if len(seed) > k:
+        current, seed_connected, seed_indices, seed_frontier = seed_state
+        if len(seed_indices) > k:
             return None
-        current, seed_connected, seed_indices, seed_frontier = (
-            self._seed_state(seed)
-        )
 
         comp = self._compiled
         row_edges = comp.row_edges
@@ -288,13 +414,19 @@ class ExpansionSampler:
         # skipping the per-call argument checks.
         randbelow = getattr(rng, "_randbelow", rng.randrange)
         append = frontier.append
-        uniform = weight_of is None and not greedy_bias
+        uniform = (
+            weight_of is None and weight_array is None and not greedy_bias
+        )
         check_allowed = self._check_allowed
         while count < k:
             if not frontier:
                 return None
             if uniform:
                 pick = randbelow(len(frontier))
+            elif weight_array is not None:
+                # CBAS-ND's array-backed vector: the frontier already
+                # holds compiled ids, so each weight is one list index.
+                pick = pick_from_array(rng, frontier, weight_array)
             elif weight_of is not None:
                 weights = [weight_of(nodes[index]) for index in frontier]
                 pick = weighted_pick(rng, frontier, weights)
@@ -350,7 +482,11 @@ class ExpansionSampler:
             # only a disconnected seed needs the per-draw bridge check.
             if not self.graph.is_connected_subset(group):
                 return None
-        return Sample(members=group, willingness=current)
+        return Sample(
+            members=group,
+            willingness=current,
+            indices=tuple(member_indices),
+        )
 
     # ------------------------------------------------------------------
     def _extend_frontier(

@@ -44,7 +44,8 @@ class BacktrackController:
         self.threshold = threshold
         self.max_backtracks = max_backtracks
         self.backtracks_used = 0
-        self._previous: Optional[dict] = None
+        # Flat-array snapshot from SelectionProbabilities.snapshot().
+        self._previous: Optional[list] = None
 
     @property
     def enabled(self) -> bool:

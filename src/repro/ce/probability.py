@@ -11,12 +11,37 @@ which §4.3 proves is the minimizer of the Kullback–Leibler distance to the
 optimal importance-sampling density.  A smoothing step
 ``p ← w·p_new + (1 − w)·p_old`` keeps every probability strictly inside
 (0, 1) so no node is permanently locked in or out.
+
+Array layout and id-domain contract
+-----------------------------------
+The vector is stored as one flat ``list[float]`` plus an id mapping, in
+one of two domains:
+
+* **Compiled domain** — constructed with ``index_of=`` (the
+  :attr:`~repro.graph.compiled.CompiledGraph.index_of` mapping of the
+  problem's frozen index, shared, never copied): the array has one slot
+  per *graph* node, indexed by compiled int id.  :attr:`array` then
+  exposes the raw list so the fast sampler can weight a frontier draw
+  with plain list indexing (``array[frontier_id]``, no per-slot dict
+  probe) and the elite refit can count membership straight off
+  :attr:`~repro.algorithms.sampling.Sample.indices`.  Slots of
+  non-candidate (forbidden) nodes stay ``0.0`` and are never touched by
+  the update.
+* **Local domain** — the default (reference engine, hand-built tests):
+  slots are candidate positions in input order and
+  :meth:`probability` probes a node→slot dict.  :attr:`array` is ``None``.
+
+Both domains run the identical Eq. (4) arithmetic over the candidates in
+the same (input) order, so the probability values — and therefore seeded
+solver runs — are bit-identical whichever domain backs the vector.
+:meth:`as_dict` is the thin dict view in either domain; the execution
+stack itself never converts back to node ids mid-solve.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.algorithms.sampling import Sample
 from repro.graph.social_graph import NodeId
@@ -48,9 +73,33 @@ class SelectionProbabilities:
     k:
         Group size; the paper initializes every entry to ``(k − 1)/|V|``
         (homogeneous — stage 1 of CBAS-ND behaves exactly like CBAS).
+    index_of:
+        Optional compiled-id mapping (``CompiledGraph.index_of``).  When
+        given, the vector lives in the compiled int-id domain (see the
+        module docstring) and :attr:`array` serves the fast sampler
+        directly; the mapping is shared by reference, not copied.
+    size:
+        Array length for the compiled domain (defaults to
+        ``len(index_of)``, i.e. one slot per graph node).
     """
 
-    def __init__(self, candidates: Iterable[NodeId], k: int) -> None:
+    __slots__ = (
+        "_p",
+        "_index_of",
+        "_candidates",
+        "_candidate_ids",
+        "index_map",
+        "gamma",
+    )
+
+    def __init__(
+        self,
+        candidates: Iterable[NodeId],
+        k: int,
+        *,
+        index_of: "Mapping[NodeId, int] | None" = None,
+        size: "int | None" = None,
+    ) -> None:
         nodes = list(candidates)
         if not nodes:
             raise ValueError("need at least one candidate node")
@@ -59,18 +108,82 @@ class SelectionProbabilities:
         initial = min(1.0, (k - 1) / len(nodes)) if len(nodes) > 1 else 1.0
         if initial <= 0.0:
             initial = 1.0 / len(nodes)
-        self._p: dict[NodeId, float] = {node: initial for node in nodes}
+        if index_of is None:
+            #: identity of the shared compiled mapping (None = local domain)
+            self.index_map = None
+            self._index_of = {node: slot for slot, node in enumerate(nodes)}
+            length = len(nodes)
+        else:
+            self.index_map = index_of
+            self._index_of = index_of
+            length = len(index_of) if size is None else size
+        self._candidates = nodes
+        self._candidate_ids = [self._index_of[node] for node in nodes]
+        p = [0.0] * length
+        for slot in self._candidate_ids:
+            p[slot] = initial
+        self._p = p
         self.gamma = -math.inf  # monotone elite threshold (pseudo-code 36-39)
 
     # ------------------------------------------------------------------
+    @property
+    def array(self) -> "list[float] | None":
+        """Compiled-id-indexed weight array (``None`` in the local domain).
+
+        The fast sampler hands this straight to its frontier draw; the
+        list object is mutated in place by :meth:`update` so a borrowed
+        reference stays current within one stage.
+        """
+        return self._p if self.index_map is not None else None
+
     def probability(self, node: NodeId) -> float:
         """Current selection probability of ``node`` (0 if unknown)."""
-        return self._p.get(node, 0.0)
+        slot = self._index_of.get(node)
+        return 0.0 if slot is None else self._p[slot]
 
     __call__ = probability
 
+    def set_probability(self, node: NodeId, value: float) -> None:
+        """Install a probability by hand (tests / worked paper examples)."""
+        try:
+            self._p[self._index_of[node]] = value
+        except KeyError:
+            raise KeyError(f"{node!r} is not in this vector's domain") from None
+
+    def reset_threshold(self) -> None:
+        """Forget the monotone elite threshold ``γ`` (keep probabilities).
+
+        Used when a vector survives into a *different* problem (online
+        re-planning after declines): the old γ was earned against the old
+        willingness ceiling, and carrying it over could leave every new
+        stage's samples below threshold — freezing the vector for good.
+        """
+        self.gamma = -math.inf
+
+    def replicate(self) -> "SelectionProbabilities":
+        """Independent copy sharing the (read-only) domain metadata.
+
+        CBAS-ND keeps one vector per start node over the same candidate
+        set; replicating a freshly-built template gives each start its
+        own probability array without re-deriving the candidate→slot
+        mapping m times.
+        """
+        clone = SelectionProbabilities.__new__(SelectionProbabilities)
+        clone.index_map = self.index_map
+        clone._index_of = self._index_of
+        clone._candidates = self._candidates
+        clone._candidate_ids = self._candidate_ids
+        clone._p = list(self._p)
+        clone.gamma = self.gamma
+        return clone
+
     def as_dict(self) -> dict[NodeId, float]:
-        return dict(self._p)
+        """Dict view ``{candidate: probability}`` (candidate input order)."""
+        p = self._p
+        return {
+            node: p[slot]
+            for node, slot in zip(self._candidates, self._candidate_ids)
+        }
 
     # ------------------------------------------------------------------
     def update(
@@ -78,6 +191,7 @@ class SelectionProbabilities:
         samples: Sequence[Sample],
         rho: float,
         smoothing: float,
+        compute_movement: bool = True,
     ) -> float:
         """Apply Eq. (4) + smoothing using this stage's ``samples``.
 
@@ -85,6 +199,16 @@ class SelectionProbabilities:
         the convergence signal ``z_i`` of §4.4.2.  The elite threshold is
         kept monotone across stages as in Algorithm 2 (lines 36–39): the
         new stage's quantile only replaces ``γ`` when it improves it.
+
+        Elite membership is counted from :attr:`Sample.indices` when both
+        the vector and the sample live in the compiled id domain — a plain
+        array increment per member — falling back to node-id translation
+        for reference-path samples.
+
+        ``compute_movement=False`` skips the O(n) squared-distance
+        accumulation and returns 0.0 (callers without backtracking — the
+        default CBAS-ND configuration — discard the signal anyway); the
+        probability values themselves are updated identically either way.
         """
         if not 0.0 < rho <= 1.0:
             raise ValueError(f"rho must lie in (0, 1], got {rho}")
@@ -105,28 +229,68 @@ class SelectionProbabilities:
             # keep the vector unchanged rather than fitting to nothing.
             return 0.0
 
-        counts: dict[NodeId, int] = {}
+        p = self._p
+        compiled_domain = self.index_map is not None
+        index_of = self._index_of
+        counts: dict[int, int] = {}
         for sample in elites:
-            for node in sample.members:
-                counts[node] = counts.get(node, 0) + 1
+            indices = sample.indices if compiled_domain else None
+            if indices is not None:
+                for slot in indices:
+                    counts[slot] = counts.get(slot, 0) + 1
+            else:
+                for node in sample.members:
+                    slot = index_of.get(node)
+                    if slot is not None:
+                        counts[slot] = counts.get(slot, 0) + 1
 
-        distance = 0.0
+        # Eq. (4) + smoothing, restructured around the elite-touched
+        # slots: an untouched slot's elite frequency is 0, so its new
+        # value is exactly ``(1 − w) · old`` (``w·0.0 + x == x`` in IEEE
+        # arithmetic) — applied to the whole array with one C-level
+        # comprehension — while only the ≤ k·|elites| touched slots get
+        # the full formula.  Per-slot values are bit-identical to the
+        # naive full loop; the movement sum groups the untouched term as
+        # ``w² · Σ old²``.  Touched slots are visited in sorted (slot)
+        # order so the movement is independent of how membership was
+        # counted (int ids vs node-id translation).
         size = len(elites)
-        for node, old in self._p.items():
-            target = counts.get(node, 0) / size
-            new = smoothing * target + (1.0 - smoothing) * old
-            distance += (new - old) ** 2
-            self._p[node] = new
-        return distance
+        keep = 1.0 - smoothing
+        old_touched = {slot: p[slot] for slot in counts}
+        total_sq = (
+            sum([value * value for value in p]) if compute_movement else 0.0
+        )
+        p[:] = [keep * value for value in p]
+        touched_sq = 0.0
+        touched_term = 0.0
+        for slot in sorted(counts):
+            old = old_touched[slot]
+            new = smoothing * (counts[slot] / size) + keep * old
+            p[slot] = new
+            if compute_movement:
+                touched_sq += old * old
+                touched_term += (new - old) ** 2
+        if not compute_movement:
+            return 0.0
+        return smoothing * smoothing * (total_sq - touched_sq) + touched_term
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict[NodeId, float]:
-        """Copy of the vector (used by the backtracking controller)."""
-        return dict(self._p)
+    def snapshot(self) -> list[float]:
+        """Copy of the flat array (used by the backtracking controller)."""
+        return list(self._p)
 
-    def restore(self, snapshot: dict[NodeId, float]) -> None:
-        """Reset the vector to a previous :meth:`snapshot`."""
-        self._p = dict(snapshot)
+    def restore(self, snapshot: Sequence[float]) -> None:
+        """Reset the vector to a previous :meth:`snapshot`.
+
+        Restores in place so borrowed :attr:`array` references (the fast
+        sampler holds one during a stage) stay valid.
+        """
+        if len(snapshot) != len(self._p):
+            raise ValueError(
+                f"snapshot length {len(snapshot)} does not match "
+                f"vector length {len(self._p)}"
+            )
+        self._p[:] = snapshot
 
     def kl_distance(self, other: "SelectionProbabilities") -> float:
         """Bernoulli-factorized KL distance between two vectors.
@@ -138,9 +302,10 @@ class SelectionProbabilities:
         def _clamp(x: float) -> float:
             return min(1.0 - 1e-12, max(1e-12, x))
 
+        p_arr = self._p
         total = 0.0
-        for node, p_raw in self._p.items():
-            p = _clamp(p_raw)
+        for node, slot in zip(self._candidates, self._candidate_ids):
+            p = _clamp(p_arr[slot])
             q = _clamp(other.probability(node))
             total += p * math.log(p / q)
             total += (1.0 - p) * math.log((1.0 - p) / (1.0 - q))

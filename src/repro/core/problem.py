@@ -95,8 +95,16 @@ class WASOProblem:
 
         Checks component capacities: for connected WASO some allowed
         component (containing all required nodes, if any) must hold at
-        least ``k`` allowed nodes.
+        least ``k`` allowed nodes.  Unconstrained instances (empty
+        ``forbidden``) whose graph already carries a fresh compiled index
+        are validated from its cached component labels instead of a
+        per-call BFS — this runs before *every* solve, so repeated solves
+        on one unconstrained graph pay O(required), not O(V+E).  A
+        non-empty ``forbidden`` set (e.g. online declines) still needs
+        the BFS: allowed-induced components differ from graph components.
         """
+        if not self.forbidden and self._ensure_feasible_compiled():
+            return
         allowed = set(self.candidates())
         if len(allowed) < self.k:
             raise InfeasibleProblemError(
@@ -123,6 +131,47 @@ class WASOProblem:
                 f"no connected component of allowed nodes has >= {self.k} nodes"
             )
 
+    def _ensure_feasible_compiled(self) -> bool:
+        """Feasibility check off the cached compiled index.
+
+        Only valid with an empty ``forbidden`` set (allowed components ==
+        graph components).  Returns ``True`` when the check ran (raising
+        on infeasibility), ``False`` when no fresh freeze is cached and
+        the caller must fall back to the dict-path BFS.
+        """
+        accessor = getattr(self.graph, "compiled_if_cached", None)
+        compiled = accessor() if accessor is not None else None
+        if compiled is None:
+            return False
+        if self.graph.number_of_nodes() < self.k:
+            raise InfeasibleProblemError(
+                f"only {self.graph.number_of_nodes()} allowed nodes "
+                f"for k={self.k}"
+            )
+        if not self.connected:
+            return True
+        sizes = compiled.component_size_by_index()
+        if self.required:
+            labels = compiled.component_label_by_index()
+            index_of = compiled.index_of
+            indices = [index_of[node] for node in self.required]
+            host = labels[indices[0]]
+            if any(labels[index] != host for index in indices):
+                raise InfeasibleProblemError(
+                    "required nodes do not share a connected component of "
+                    "allowed nodes"
+                )
+            if sizes[indices[0]] < self.k:
+                raise InfeasibleProblemError(
+                    f"no component containing the required nodes has >= "
+                    f"{self.k} allowed nodes"
+                )
+        elif max(sizes) < self.k:
+            raise InfeasibleProblemError(
+                f"no connected component of allowed nodes has >= {self.k} nodes"
+            )
+        return True
+
     def compiled(self):
         """Compiled flat-array index of this problem's graph.
 
@@ -132,6 +181,28 @@ class WASOProblem:
         frozen arrays along.
         """
         return self.graph.compiled()
+
+    def detached(self) -> "WASOProblem":
+        """Slim, dict-free copy of this problem for worker processes.
+
+        The copy's graph is the compiled index's
+        :class:`~repro.graph.compiled.ArrayBackedGraph` facade: it serves
+        topology (candidates, neighbourhoods, connectivity) and the
+        compiled engine's evaluator from the flat arrays, but none of the
+        score/mutation APIs the dict-based reference path needs.  Pickling
+        it ships only the arrays — no adjacency dicts — which is what
+        :mod:`repro.parallel.pool` sends to compiled-engine workers.
+        Solving the copy with ``engine="compiled"`` is bit-identical to
+        solving the original.
+        """
+        compiled = self.compiled().detach()
+        return WASOProblem(
+            graph=compiled.graph,
+            k=self.k,
+            connected=self.connected,
+            required=self.required,
+            forbidden=self.forbidden,
+        )
 
     def allowed_component_sizes(self) -> dict[NodeId, int]:
         """Size of each allowed node's connected component (allowed-induced).

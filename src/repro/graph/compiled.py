@@ -49,9 +49,25 @@ line.
 
 from __future__ import annotations
 
+from repro.exceptions import NodeNotFoundError
 from repro.graph.social_graph import NodeId, SocialGraph
 
-__all__ = ["CompiledGraph"]
+__all__ = ["CompiledGraph", "ArrayBackedGraph"]
+
+#: The irreducible pickled state: everything else (``index_of``,
+#: ``pair_w``, ``potential``, the row views) is rebuilt bit-identically
+#: by ``__setstate__``, so worker payloads ship roughly half the floats.
+_PICKLED_SLOTS = (
+    "graph",
+    "nodes",
+    "offsets",
+    "targets",
+    "out_w",
+    "weighted_interest",
+    "tightness_weight",
+    "_component_sizes",
+    "_component_labels",
+)
 
 
 class CompiledGraph:
@@ -78,6 +94,7 @@ class CompiledGraph:
         "row_edges",
         "row_id_edges",
         "_component_sizes",
+        "_component_labels",
     )
 
     def __init__(
@@ -104,6 +121,7 @@ class CompiledGraph:
         self.tightness_weight = tightness_weight
         self.potential = potential
         self._component_sizes: "list[int] | None" = None
+        self._component_labels: "list[int] | None" = None
         self._build_row_views()
 
     def _build_row_views(self) -> None:
@@ -208,11 +226,25 @@ class CompiledGraph:
 
         Computed lazily with one index-space BFS pass and cached; CBAS
         uses it to skip start nodes whose component cannot hold a
-        ``k``-group without re-deriving components per solve.
+        ``k``-group, and ``WASOProblem.ensure_feasible`` to validate
+        unconstrained instances, without re-deriving components per solve.
         """
-        sizes = self._component_sizes
-        if sizes is not None:
-            return sizes
+        if self._component_sizes is None:
+            self._compute_components()
+        return self._component_sizes
+
+    def component_label_by_index(self) -> list[int]:
+        """Component representative (root id) of every node, by int id.
+
+        Two nodes share a connected component iff their labels are equal;
+        cached alongside :meth:`component_size_by_index` from the same
+        BFS pass.
+        """
+        if self._component_labels is None:
+            self._compute_components()
+        return self._component_labels
+
+    def _compute_components(self) -> None:
         n = len(self.nodes)
         sizes = [0] * n
         label = [-1] * n
@@ -234,25 +266,73 @@ class CompiledGraph:
             for index in component:
                 sizes[index] = size
         self._component_sizes = sizes
-        return sizes
+        self._component_labels = label
 
     # ------------------------------------------------------------------
     # Pickle support: __slots__ classes need explicit state handling.
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
-        # Row views are derivable from the flat arrays; keep the payload
-        # shipped to pool workers lean.
-        return {
-            name: getattr(self, name)
-            for name in self.__slots__
-            if name
-            not in ("row_targets", "row_edges", "row_id_edges")
-        }
+        # Ship only the irreducible arrays.  ``pair_w`` is the slot-wise
+        # sum of the two directed ``out_w`` contributions, ``potential``
+        # a row sum over ``pair_w``, and ``index_of`` the enumeration of
+        # ``nodes`` — all reproduced bit-for-bit on unpickle, so the
+        # payload sent to pool workers carries no redundant floats.
+        return {name: getattr(self, name) for name in _PICKLED_SLOTS}
 
     def __setstate__(self, state: dict) -> None:
         for name, value in state.items():
             setattr(self, name, value)
+        self._rebuild_derived()
+
+    def _rebuild_derived(self) -> None:
+        """Recompute ``index_of`` / ``pair_w`` / ``potential`` / row views.
+
+        ``pair_w[slot]`` was frozen as ``out_uv + b_v·τ_vu`` where the
+        second term is exactly the reverse slot's ``out_w`` (same floats,
+        same product), and ``potential`` accumulates ``weighted_interest``
+        plus the row's pair weights in slot order — repeating both here
+        reproduces the original arrays bit-identically.
+        """
+        nodes = self.nodes
+        self.index_of = {node: index for index, node in enumerate(nodes)}
+        n = len(nodes)
+        offsets, targets, out_w = self.offsets, self.targets, self.out_w
+        slot_of_pair: dict[int, int] = {}
+        for index in range(n):
+            for slot in range(offsets[index], offsets[index + 1]):
+                slot_of_pair[index * n + targets[slot]] = slot
+        pair_w = [0.0] * len(targets)
+        potential = [0.0] * n
+        weighted_interest = self.weighted_interest
+        for index in range(n):
+            total = weighted_interest[index]
+            for slot in range(offsets[index], offsets[index + 1]):
+                other = targets[slot]
+                combined = out_w[slot] + out_w[slot_of_pair[other * n + index]]
+                pair_w[slot] = combined
+                total += combined
+            potential[index] = total
+        self.pair_w = pair_w
+        self.potential = potential
         self._build_row_views()
+
+    # ------------------------------------------------------------------
+    def detach(self) -> "CompiledGraph":
+        """Self-contained copy backed by an :class:`ArrayBackedGraph`.
+
+        The clone shares every array with this index but its ``graph``
+        is the dict-free facade instead of the source
+        :class:`SocialGraph`, so pickling it (or a problem built over
+        ``clone.graph`` — see ``WASOProblem.detached``) ships only the
+        flat arrays.  This is the slim payload
+        :mod:`repro.parallel.pool` sends to compiled-engine workers.
+        """
+        clone = CompiledGraph.__new__(CompiledGraph)
+        for name in self.__slots__:
+            if name != "graph":
+                setattr(clone, name, getattr(self, name))
+        clone.graph = ArrayBackedGraph(clone)
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -263,3 +343,94 @@ class CompiledGraph:
     def index(self, node: NodeId) -> int:
         """Int index of ``node`` (KeyError when unknown)."""
         return self.index_of[node]
+
+
+class ArrayBackedGraph:
+    """Topology-only :class:`SocialGraph` facade over a compiled index.
+
+    Implements exactly the subset of the graph API the compiled execution
+    stack touches between ``WASOProblem.compiled()`` and the returned
+    solution — node membership/iteration, neighbourhoods, connectivity,
+    and ``compiled()`` itself — straight off the flat arrays.  Score
+    accessors and mutators are deliberately absent: the facade exists so
+    :mod:`repro.parallel.pool` can ship workers a payload with **no
+    adjacency dicts at all**; anything needing the dict-based reference
+    path must keep the full :class:`SocialGraph`.
+    """
+
+    def __init__(self, compiled: CompiledGraph) -> None:
+        self._compiled = compiled
+
+    # -- node / topology subset ----------------------------------------
+    def compiled(self) -> CompiledGraph:
+        return self._compiled
+
+    def compiled_if_cached(self) -> CompiledGraph:
+        """The backing index (always 'cached' — it is the graph)."""
+        return self._compiled
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._compiled.index_of
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._compiled.index_of
+
+    def __len__(self) -> int:
+        return len(self._compiled.nodes)
+
+    def nodes(self):
+        return iter(self._compiled.nodes)
+
+    def node_list(self) -> list[NodeId]:
+        return list(self._compiled.nodes)
+
+    def number_of_nodes(self) -> int:
+        return len(self._compiled.nodes)
+
+    def neighbors(self, node: NodeId):
+        comp = self._compiled
+        try:
+            index = comp.index_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        nodes = comp.nodes
+        return iter([nodes[other] for other in comp.row_targets[index]])
+
+    def degree(self, node: NodeId) -> int:
+        comp = self._compiled
+        try:
+            return comp.degree(comp.index_of[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def is_connected_subset(self, nodes) -> bool:
+        """Index-space BFS twin of ``SocialGraph.is_connected_subset``."""
+        comp = self._compiled
+        index_of = comp.index_of
+        try:
+            subset = {index_of[node] for node in nodes}
+        except KeyError as exc:
+            raise NodeNotFoundError(exc.args[0]) from None
+        if len(subset) <= 1:
+            return True
+        row_targets = comp.row_targets
+        start = next(iter(subset))
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for other in row_targets[current]:
+                if other in subset and other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        return len(seen) == len(subset)
+
+    def __getattr__(self, name: str):
+        raise AttributeError(
+            f"ArrayBackedGraph has no attribute {name!r}: score and "
+            "mutation APIs need the full dict-backed SocialGraph — this "
+            "facade only ships the compiled arrays to pool workers"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayBackedGraph(nodes={len(self._compiled.nodes)})"

@@ -357,6 +357,18 @@ class SocialGraph:
         self._compiled_cache = (self._mutation_count, compiled)
         return compiled
 
+    def compiled_if_cached(self):
+        """The cached compiled index, or ``None`` without a fresh freeze.
+
+        Lets read paths (e.g. ``WASOProblem.ensure_feasible``) reuse the
+        frozen component structure opportunistically without forcing a
+        freeze on graphs that only ever run the reference engine.
+        """
+        cache = self._compiled_cache
+        if cache is not None and cache[0] == self._mutation_count:
+            return cache[1]
+        return None
+
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------

@@ -10,6 +10,19 @@ need not be recomputed, which is why the paper calls the online step fast.
 :class:`OnlinePlanner` wraps that loop as a small state machine:
 
     plan → invite → record accept/decline → replan → ... → final group
+
+Re-plans are **warm-started** (``warm_start=True``, the default) when the
+solver supports it (:class:`~repro.algorithms.cbas.CBAS` and subclasses):
+the planner feeds the previous solve's
+:class:`~repro.algorithms.cbas.CBASWarmState` back into the solver, so a
+re-plan reuses (1) the frozen compiled index — cached on the shared graph,
+declines only grow the ``forbidden`` set — (2) the phase-1 start-node
+ranking with confirmed attendees promoted and decliners dropped, and
+(3) CBAS-ND's surviving cross-entropy vectors, which keep refining instead
+of resetting to the homogeneous prior.  Each solve's
+``SolveStats.extra`` records ``replans`` (count so far) and
+``replan_samples`` (budget actually drawn per planning round) so the
+"online is fast" claim is observable.
 """
 
 from __future__ import annotations
@@ -56,6 +69,10 @@ class OnlinePlanner:
         CBAS-ND with a modest budget).
     rng:
         Seed / generator for reproducibility.
+    warm_start:
+        Re-plan from the previous round's start nodes and CE vectors
+        instead of solving cold (ignored for solvers without warm-state
+        support).
     """
 
     def __init__(
@@ -63,13 +80,21 @@ class OnlinePlanner:
         problem: WASOProblem,
         solver: Optional[Solver] = None,
         rng: RngLike = None,
+        warm_start: bool = True,
     ) -> None:
         self.base_problem = problem
         self.solver = solver if solver is not None else CBASND(budget=200)
         self.rng = coerce_rng(rng)
+        self.warm_start = warm_start
         self.invitations: dict[NodeId, Invitation] = {}
         self.declined: set[NodeId] = set()
         self.current: Optional[GroupSolution] = None
+        #: Re-plans performed so far (the initial plan is not a re-plan).
+        self.replan_count = 0
+        #: Samples drawn by each planning round, in order.
+        self.replan_samples: list[int] = []
+        self.last_result = None
+        self._warm_state = None
 
     # ------------------------------------------------------------------
     @property
@@ -92,11 +117,34 @@ class OnlinePlanner:
         """Compute (or re-compute) the recommended group.
 
         Confirmed attendees are required; declined ones are forbidden.
-        Raises :class:`InfeasibleProblemError` when declines have made the
-        target group size unreachable.
+        Re-plans run warm (previous start nodes + surviving CE vectors,
+        frozen index shared via the graph cache) unless ``warm_start``
+        is off.  Raises :class:`InfeasibleProblemError` when declines
+        have made the target group size unreachable.
         """
         problem = self._current_problem()
-        result = self.solver.solve(problem, rng=self.rng)
+        is_replan = self.current is not None
+        supports_warm = hasattr(self.solver, "warm_state")
+        if supports_warm:
+            self.solver.warm_state = (
+                self._warm_state if self.warm_start else None
+            )
+        try:
+            result = self.solver.solve(problem, rng=self.rng)
+        finally:
+            if supports_warm:
+                # Never leave the planner's state installed on the solver
+                # (even when the solve raises): a later standalone
+                # solver.solve() must stay a cold solve.
+                self.solver.warm_state = None
+        if supports_warm:
+            self._warm_state = self.solver.last_warm_state
+        if is_replan:
+            self.replan_count += 1
+        self.replan_samples.append(result.stats.samples_drawn)
+        result.stats.extra["replans"] = self.replan_count
+        result.stats.extra["replan_samples"] = list(self.replan_samples)
+        self.last_result = result
         self.current = result.solution
         for node in self.current.members:
             if node not in self.invitations:

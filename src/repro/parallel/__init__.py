@@ -1,5 +1,15 @@
 """Parallel execution of the randomized solvers (paper Fig. 5(d))."""
 
-from repro.parallel.pool import ParallelSolver, parallel_solve
+from repro.parallel.pool import (
+    ParallelSolver,
+    parallel_solve,
+    split_budget,
+    worker_payload_bytes,
+)
 
-__all__ = ["ParallelSolver", "parallel_solve"]
+__all__ = [
+    "ParallelSolver",
+    "parallel_solve",
+    "split_budget",
+    "worker_payload_bytes",
+]

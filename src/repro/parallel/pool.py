@@ -4,7 +4,8 @@ The paper parallelizes CBAS / CBAS-ND with OpenMP and reports a ~7.6×
 speedup on 8 threads (Fig. 5(d)); the samples drawn from different start
 nodes are independent, so the workload is embarrassingly parallel.  CPython
 threads cannot exploit that (GIL), so the equivalent here is a *process*
-pool: the total budget ``T`` is split into one share per worker, each
+pool: the total budget ``T`` is split into one share per worker (the
+remainder spread over the first workers so no sample is dropped), each
 worker runs the underlying solver on its share with an independent RNG
 stream, and the best of the partial results wins.
 
@@ -12,10 +13,18 @@ This is the same statistical computation as a single run with budget ``T``
 up to budget-allocation granularity (each worker re-derives its own OCBA
 allocation from its own samples), which mirrors the paper's OpenMP loop —
 its threads also synchronize only at stage boundaries.
+
+Worker payloads are slim: when every worker solver runs the compiled
+engine (the default), the pool ships ``problem.detached()`` — the frozen
+flat arrays behind an :class:`~repro.graph.compiled.ArrayBackedGraph`
+facade, **no adjacency dicts** — and each worker reconstructs its solve
+state locally from the arrays.  Only a solver explicitly configured with
+``engine="reference"`` falls back to pickling the full dict graph.
 """
 
 from __future__ import annotations
 
+import pickle
 import random
 from concurrent.futures import ProcessPoolExecutor
 
@@ -23,7 +32,12 @@ from repro.algorithms.base import RngLike, SolveResult, Solver, SolveStats, coer
 from repro.algorithms.cbas_nd import CBASND
 from repro.core.problem import WASOProblem
 
-__all__ = ["ParallelSolver", "parallel_solve"]
+__all__ = [
+    "ParallelSolver",
+    "parallel_solve",
+    "split_budget",
+    "worker_payload_bytes",
+]
 
 
 def _worker(args) -> tuple[frozenset, float, int, int]:
@@ -36,6 +50,43 @@ def _worker(args) -> tuple[frozenset, float, int, int]:
         result.stats.samples_drawn,
         result.stats.failed_samples,
     )
+
+
+def split_budget(total_budget: int, workers: int) -> list[int]:
+    """Per-worker budget shares summing exactly to ``total_budget``.
+
+    The remainder of ``total_budget // workers`` lands one sample at a
+    time on the first workers instead of being silently dropped.
+    """
+    share, remainder = divmod(total_budget, workers)
+    shares = [share + 1 if index < remainder else share for index in range(workers)]
+    assert sum(shares) == total_budget, (shares, total_budget)
+    return shares
+
+
+def worker_payload_bytes(problem: WASOProblem) -> dict[str, int]:
+    """Pickled payload sizes: slim compiled arrays vs the dict graph.
+
+    ``compiled_arrays_bytes`` measures ``problem.detached()`` — what the
+    pool ships to compiled-engine workers; ``dict_graph_bytes`` measures
+    the problem over the plain dict-backed graph (compiled cache
+    excluded), i.e. the historical payload.  Benchmarks gate the former
+    strictly below the latter.
+    """
+    graph = problem.graph
+    if not hasattr(graph, "_compiled_cache"):
+        raise ValueError(
+            "worker_payload_bytes needs a problem over the dict-backed "
+            "SocialGraph; this one is already array-backed (detached)"
+        )
+    slim = len(pickle.dumps(problem.detached()))
+    cache = graph._compiled_cache
+    graph._compiled_cache = None
+    try:
+        full = len(pickle.dumps(problem))
+    finally:
+        graph._compiled_cache = cache
+    return {"compiled_arrays_bytes": slim, "dict_graph_bytes": full}
 
 
 def parallel_solve(
@@ -58,17 +109,29 @@ def parallel_solve(
             f"budget {total_budget} cannot be split over {workers} workers"
         )
     generator = coerce_rng(rng)
-    share = total_budget // workers
     seeds = [generator.randrange(2**31) for _ in range(workers)]
 
     if workers == 1:
         return solver_factory(total_budget).solve(problem, rng=seeds[0])
 
-    # Freeze the compiled index once before pickling: the cache rides on
-    # the graph, so every worker receives the flat arrays ready-made
-    # instead of re-freezing the adjacency dicts per process.
+    shares = split_budget(total_budget, workers)
+    solvers = [solver_factory(share) for share in shares]
+    # Freeze the compiled index once before building payloads: both
+    # flavours below reuse it instead of re-freezing per process.
     problem.compiled()
-    tasks = [(problem, solver_factory(share), seed) for seed in seeds]
+    if all(getattr(s, "engine", None) == "compiled" for s in solvers):
+        # Compiled-only workers never touch the dict graph: ship the
+        # detached flat arrays and let each worker rebuild locally.
+        payload = problem.detached()
+        payload_kind = "compiled-arrays"
+    else:
+        # Reference-engine workers need the dict graph; the frozen index
+        # cache rides along so they still skip the re-freeze.
+        payload = problem
+        payload_kind = "dict-graph"
+    tasks = [
+        (payload, solver, seed) for solver, seed in zip(solvers, seeds)
+    ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         outcomes = list(pool.map(_worker, tasks))
 
@@ -80,6 +143,8 @@ def parallel_solve(
         if value > best_value:
             best_members, best_value = members, value
     stats.extra["workers"] = workers
+    stats.extra["worker_budgets"] = shares
+    stats.extra["payload"] = payload_kind
 
     from repro.core.solution import GroupSolution
 

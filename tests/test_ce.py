@@ -77,8 +77,8 @@ class TestUpdateEquation4:
         # worked example here by installing the vector explicitly.)
         probs = SelectionProbabilities(range(1, 11), k=5)
         for node in range(1, 11):
-            probs._p[node] = 4.0 / 9.0
-        probs._p[3] = 1.0
+            probs.set_probability(node, 4.0 / 9.0)
+        probs.set_probability(3, 1.0)
         elites_and_low = [
             _sample({1, 3, 4, 5, 6}, 8.9),
             _sample({1, 2, 3, 4, 5}, 8.9),
@@ -148,10 +148,17 @@ class TestUpdateEquation4:
 class TestSnapshots:
     def test_snapshot_restore(self):
         probs = SelectionProbabilities(range(3), k=2)
+        before = probs.as_dict()
         saved = probs.snapshot()
         probs.update([_sample({0, 1}, 3.0)], rho=1.0, smoothing=1.0)
+        assert probs.as_dict() != before
         probs.restore(saved)
-        assert probs.as_dict() == saved
+        assert probs.as_dict() == before
+
+    def test_restore_rejects_length_mismatch(self):
+        probs = SelectionProbabilities(range(3), k=2)
+        with pytest.raises(ValueError):
+            probs.restore([0.5])
 
     def test_kl_distance_zero_for_identical(self):
         first = SelectionProbabilities(range(5), k=3)
@@ -165,6 +172,84 @@ class TestSnapshots:
         assert first.kl_distance(second) > 0.0
 
 
+class TestCompiledDomain:
+    """Array-backed vectors in the compiled int-id domain."""
+
+    def _paired_vectors(self):
+        # Compiled id space: nodes "a".."f" -> ids 0..5; candidates skip
+        # the forbidden node "e" (id 4), whose slot must stay 0.0.
+        index_of = {name: i for i, name in enumerate("abcdef")}
+        candidates = [n for n in "abcdf"]
+        local = SelectionProbabilities(candidates, k=3)
+        compiled = SelectionProbabilities(
+            candidates, k=3, index_of=index_of, size=len(index_of)
+        )
+        return local, compiled, index_of
+
+    def test_array_exposed_only_in_compiled_domain(self):
+        local, compiled, index_of = self._paired_vectors()
+        assert local.array is None
+        assert local.index_map is None
+        assert compiled.index_map is index_of
+        assert len(compiled.array) == len(index_of)
+
+    def test_non_candidate_slots_stay_zero(self):
+        _, compiled, index_of = self._paired_vectors()
+        assert compiled.array[index_of["e"]] == 0.0
+        assert compiled.probability("e") == 0.0
+        samples = [_sample({"a", "b", "c"}, 5.0)]
+        compiled.update(samples, rho=1.0, smoothing=0.9)
+        assert compiled.array[index_of["e"]] == 0.0
+
+    def test_domains_bit_identical_after_updates(self):
+        local, compiled, index_of = self._paired_vectors()
+        stages = [
+            [_sample({"a", "b", "c"}, 9.0), _sample({"b", "c", "d"}, 4.0)],
+            [_sample({"a", "c", "f"}, 11.0), _sample({"a", "b", "f"}, 10.0)],
+        ]
+        for samples in stages:
+            movement_local = local.update(samples, rho=0.5, smoothing=0.7)
+            movement_compiled = compiled.update(
+                samples, rho=0.5, smoothing=0.7
+            )
+            assert movement_local == movement_compiled
+            assert local.gamma == compiled.gamma
+            assert local.as_dict() == compiled.as_dict()
+        # Array slot content equals the dict view through the id mapping.
+        for node, value in compiled.as_dict().items():
+            assert compiled.array[index_of[node]] == value
+
+    def test_indices_fast_path_matches_member_translation(self):
+        _, via_members, index_of = self._paired_vectors()
+        _, via_indices, _ = self._paired_vectors()
+        members = {"a", "c", "f"}
+        with_ids = Sample(
+            members=frozenset(members),
+            willingness=7.0,
+            indices=tuple(index_of[n] for n in members),
+        )
+        without_ids = _sample(members, 7.0)
+        assert without_ids.indices is None
+        via_members.update([without_ids], rho=1.0, smoothing=0.8)
+        via_indices.update([with_ids], rho=1.0, smoothing=0.8)
+        assert via_members.as_dict() == via_indices.as_dict()
+
+    def test_snapshot_restore_preserves_array_identity(self):
+        _, compiled, _ = self._paired_vectors()
+        borrowed = compiled.array
+        saved = compiled.snapshot()
+        compiled.update([_sample({"a", "b", "c"}, 3.0)], rho=1.0, smoothing=1.0)
+        compiled.restore(saved)
+        # In-place restore: a sampler's borrowed reference stays valid.
+        assert compiled.array is borrowed
+        assert compiled.snapshot() == saved
+
+    def test_set_probability_unknown_node(self):
+        _, compiled, _ = self._paired_vectors()
+        with pytest.raises(KeyError):
+            compiled.set_probability("zzz", 0.5)
+
+
 class TestBacktrackController:
     def test_disabled_by_default(self):
         controller = BacktrackController(threshold=None)
@@ -176,10 +261,10 @@ class TestBacktrackController:
         controller = BacktrackController(threshold=0.5, max_backtracks=2)
         probs = SelectionProbabilities(range(3), k=2)
         controller.remember(probs)
-        saved = probs.snapshot()
+        before = probs.as_dict()
         probs.update([_sample({0, 1}, 5.0)], rho=1.0, smoothing=1.0)
         assert controller.observe(probs, movement=0.1)
-        assert probs.as_dict() == saved
+        assert probs.as_dict() == before
         assert controller.backtracks_used == 1
 
     def test_no_backtrack_above_threshold(self):

@@ -103,6 +103,46 @@ class TestCompiledGraphStructure:
         comp = clone.compiled()
         assert comp.potential == problem.compiled().potential
 
+    def test_pickle_ships_irreducible_arrays_only(self):
+        """pair_w / potential / index_of are rebuilt, not shipped."""
+        graph = _general_graph(30, seed=5)
+        comp = graph.compiled()
+        state = comp.__getstate__()
+        for derived in ("index_of", "pair_w", "potential", "row_edges"):
+            assert derived not in state
+        clone = pickle.loads(pickle.dumps(comp))
+        # The rebuild is bit-identical (same expressions, same order).
+        assert clone.pair_w == comp.pair_w
+        assert clone.potential == comp.potential
+        assert clone.index_of == comp.index_of
+
+    def test_detached_problem_is_dict_free_and_equivalent(self):
+        from repro.graph.compiled import ArrayBackedGraph
+
+        graph = facebook_like(100, seed=9)
+        banned = frozenset(list(graph.nodes())[:8])
+        problem = WASOProblem(graph=graph, k=5, forbidden=banned)
+        slim = pickle.loads(pickle.dumps(problem.detached()))
+        assert isinstance(slim.graph, ArrayBackedGraph)
+        # No adjacency dicts anywhere in the payload graph.
+        with pytest.raises(AttributeError):
+            slim.graph._adj
+        with pytest.raises(AttributeError):
+            slim.graph.interest
+        # Topology facade mirrors the source graph.
+        assert slim.graph.node_list() == graph.node_list()
+        node = graph.node_list()[10]
+        assert list(slim.graph.neighbors(node)) == list(graph.neighbors(node))
+        assert slim.graph.degree(node) == graph.degree(node)
+        with pytest.raises(NodeNotFoundError):
+            slim.graph.neighbors("zzz")
+        # Seeded compiled-engine solves are bit-identical to the original.
+        full_run = CBASND(budget=100, m=6, stages=3).solve(problem, rng=8)
+        slim_run = CBASND(budget=100, m=6, stages=3).solve(slim, rng=8)
+        assert full_run.members == slim_run.members
+        assert full_run.willingness == slim_run.willingness
+        assert full_run.stats.samples_drawn == slim_run.stats.samples_drawn
+
     def test_component_sizes(self, two_components_graph):
         comp = two_components_graph.compiled()
         sizes = comp.component_size_by_index()
@@ -214,9 +254,8 @@ class TestSamplerEquivalence:
         rng_a, rng_b = random.Random(5), random.Random(5)
         start = max(graph.nodes(), key=lambda n: graph.degree(n))
         seed = {start}
-        weights = {
-            node: random.Random(9).random() for node in graph.nodes()
-        }
+        weight_rng = random.Random(9)
+        weights = {node: weight_rng.random() for node in graph.nodes()}
         for _ in range(15):
             a = reference.draw(seed, rng_a, weight_of=weights.get)
             b = fast.draw(seed, rng_b, weight_of=weights.get)
@@ -225,6 +264,59 @@ class TestSamplerEquivalence:
             a = reference.draw(seed, rng_a, greedy_bias=True)
             b = fast.draw(seed, rng_b, greedy_bias=True)
             assert a.members == b.members and a.willingness == b.willingness
+
+    def test_weight_array_matches_weight_of(self):
+        """Array-indexed frontier weights draw the exact same samples."""
+        graph = facebook_like(120, seed=21)
+        problem = WASOProblem(graph=graph, k=6)
+        reference, fast = self._paired_samplers(problem)
+        compiled = graph.compiled()
+        weight_rng = random.Random(9)
+        weights = {node: weight_rng.random() for node in graph.nodes()}
+        array = [0.0] * compiled.number_of_nodes
+        for node, weight in weights.items():
+            array[compiled.index_of[node]] = weight
+        start = max(graph.nodes(), key=lambda n: graph.degree(n))
+        seed = {start}
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        for _ in range(15):
+            a = reference.draw(seed, rng_a, weight_of=weights.get)
+            b = fast.draw(seed, rng_b, weight_array=array)
+            assert a.members == b.members and a.willingness == b.willingness
+            assert b.indices is not None and len(b.indices) == 6
+
+    def test_weight_array_rejected_on_reference_path(self):
+        graph = facebook_like(40, seed=2)
+        problem = WASOProblem(graph=graph, k=4)
+        reference, fast = self._paired_samplers(problem)
+        start = next(iter(graph.nodes()))
+        with pytest.raises(ValueError):
+            reference.draw({start}, random.Random(1), weight_array=[1.0])
+        with pytest.raises(ValueError):
+            fast.draw(
+                {start},
+                random.Random(1),
+                weight_array=[1.0],
+                greedy_bias=True,
+            )
+
+    def test_draw_batch_matches_single_draws(self):
+        graph = _general_graph(50, seed=3)
+        problem = WASOProblem(graph=graph, k=5)
+        _, fast = self._paired_samplers(problem)
+        _, fast_batch = self._paired_samplers(problem)
+        start = next(iter(graph.nodes()))
+        seed = seed_for_start(problem, start)
+        rng_a, rng_b = random.Random(4), random.Random(4)
+        singles = [fast.draw(seed, rng_a) for _ in range(12)]
+        batch = fast_batch.draw_batch(seed, rng_b, 12)
+        assert len(batch) == len(singles)
+        for a, b in zip(singles, batch):
+            if a is None:
+                assert b is None
+            else:
+                assert a.members == b.members
+                assert a.willingness == b.willingness
 
     def test_forbidden_respected_on_fast_path(self):
         graph = facebook_like(80, seed=4)
@@ -282,9 +374,16 @@ class TestSolverEquivalence:
                 budget=120, m=8, stages=4, allocation="gaussian", engine=engine
             ),
             lambda engine: CBASND(budget=120, m=8, stages=4, engine=engine),
+            lambda engine: CBASND(
+                budget=120,
+                m=8,
+                stages=4,
+                backtrack_threshold=0.05,
+                engine=engine,
+            ),
             lambda engine: RGreedy(budget=40, m=6, engine=engine),
         ],
-        ids=["cbas", "cbas-gaussian", "cbas-nd", "rgreedy"],
+        ids=["cbas", "cbas-gaussian", "cbas-nd", "cbas-nd-backtrack", "rgreedy"],
     )
     @pytest.mark.parametrize("seed", [1, 7, 42])
     def test_seeded_solutions_bit_identical(self, small_facebook, make, seed):

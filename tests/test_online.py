@@ -92,6 +92,200 @@ class TestPlanning:
             for victim in victims:
                 planner.record_decline(victim)
 
+    def test_replan_stats_tracked(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        assert planner.replan_count == 0
+        extra = planner.last_result.stats.extra
+        assert extra["replans"] == 0
+        assert len(extra["replan_samples"]) == 1
+        victims = sorted(solution.members, key=repr)[:2]
+        for victim in victims:
+            planner.record_decline(victim)
+        assert planner.replan_count == 2
+        extra = planner.last_result.stats.extra
+        assert extra["replans"] == 2
+        assert len(extra["replan_samples"]) == 3
+        assert extra["replan_samples"] == planner.replan_samples
+        assert all(samples > 0 for samples in extra["replan_samples"])
+
+    def test_replan_runs_warm(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        # The initial plan is cold...
+        assert "warm_start" not in planner.last_result.stats.extra
+        victim = next(iter(solution.members))
+        planner.record_decline(victim)
+        # ... the re-plan reuses the previous phase-1 starts.
+        assert planner.last_result.stats.extra.get("warm_start") is True
+        # The solver itself is left cold; the planner holds the state.
+        assert planner.solver.warm_state is None
+        warm = planner.solver.last_warm_state
+        assert warm is not None
+        assert victim not in warm.starts  # declined starts are dropped
+
+    def test_warm_vectors_survive_replans(self, small_facebook):
+        planner = _planner(small_facebook)
+        solution = planner.plan()
+        first_vectors = dict(planner.solver.last_warm_state.vectors)
+        victim = next(iter(solution.members))
+        planner.record_decline(victim)
+        second = planner.solver.last_warm_state.vectors
+        surviving = set(first_vectors) & set(second)
+        assert surviving
+        # Surviving starts keep refining the same vector objects instead
+        # of resetting to the homogeneous prior.
+        assert any(
+            second[start] is first_vectors[start] for start in surviving
+        )
+
+    def test_warm_vectors_reset_elite_threshold(self, small_facebook):
+        """Reused vectors keep probabilities but not the old problem's γ.
+
+        A decline can lower the achievable willingness below the carried
+        monotone threshold, which would blank every elite set and freeze
+        the vector — replans must re-earn γ against the new ceiling.
+        """
+        import math
+
+        from repro.core.willingness import evaluator_for
+
+        problem = WASOProblem(graph=small_facebook, k=5)
+        solver = CBASND(budget=60, m=6, stages=3)
+        solver.solve(problem, rng=7)
+        state = solver.last_warm_state
+        assert any(
+            vector.gamma > -math.inf for vector in state.vectors.values()
+        )
+        solver.warm_state = state
+        evaluator = evaluator_for(problem.graph, solver.engine)
+        solver._prepare(problem, state.starts, evaluator)
+        for vector in solver._vectors:
+            assert vector.gamma == -math.inf
+
+    def test_planner_leaves_solver_cold_for_standalone_use(
+        self, small_facebook
+    ):
+        """plan() must not leave its warm state installed on the solver."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        solver = CBASND(budget=60, m=6, stages=3)
+        cold = solver.solve(problem, rng=9)
+        planner = OnlinePlanner(problem, solver=solver, rng=7)
+        solution = planner.plan()
+        planner.record_decline(next(iter(solution.members)))
+        assert solver.warm_state is None
+        # A later standalone solve is a genuine cold solve again.
+        again = solver.solve(problem, rng=9)
+        assert again.members == cold.members
+        assert "warm_start" not in again.stats.extra
+
+    def test_stale_graph_warm_vectors_dropped_on_both_engines(
+        self, small_facebook
+    ):
+        """Vectors earned on another graph are never reused (either engine).
+
+        The compiled engine would rebuild anyway (fresh freeze, new
+        index_of); the reference engine must drop them in lockstep or
+        seeded runs would diverge across engines.
+        """
+        from repro.graph.generators import facebook_like
+
+        other_graph = facebook_like(200, seed=5)
+        other_problem = WASOProblem(graph=other_graph, k=5)
+        problem = WASOProblem(graph=small_facebook, k=5)
+        results = {}
+        for engine in ("reference", "compiled"):
+            solver = CBASND(budget=60, m=6, stages=3, engine=engine)
+            solver.solve(other_problem, rng=3)
+            stale = solver.last_warm_state
+            stale_ids = {id(v) for v in stale.vectors.values()}
+            solver.warm_state = stale
+            warm = solver.solve(problem, rng=9)
+            results[engine] = (warm.members, warm.willingness)
+            # The stale vectors were discarded: the new solve exported
+            # freshly-built vector objects, none reused from the stale
+            # state.
+            exported = solver.last_warm_state.vectors.values()
+            assert all(id(v) not in stale_ids for v in exported)
+            assert warm.solution.is_feasible(problem)
+        assert results["reference"] == results["compiled"]
+
+    def test_warm_replan_falls_back_when_all_starts_pruned(self):
+        """Warm starts stranded in a sub-k region fall back to cold.
+
+        Barbell graph: small component A joined to a big component B by a
+        bridge node.  A warm state whose starts all sit in A, replanned
+        after the bridge is declined, must re-rank cold (B still holds a
+        feasible group) instead of raising BudgetExhaustedError.
+        """
+        from repro.algorithms.cbas import CBAS
+        from repro.graph.social_graph import SocialGraph
+
+        graph = SocialGraph()
+        for node in range(16):
+            graph.add_node(node, interest=1.0)
+        for u in range(5):  # component A: clique over 0..4
+            for v in range(u + 1, 5):
+                graph.add_edge(u, v, 1.0)
+        for u in range(6, 16):  # component B: clique over 6..15
+            for v in range(u + 1, 16):
+                graph.add_edge(u, v, 1.0)
+        graph.add_edge(4, 5, 1.0)  # bridge node 5
+        graph.add_edge(5, 6, 1.0)
+        problem = WASOProblem(graph=graph, k=6)
+        solver = CBAS(budget=40, m=4, stages=2)
+        solver.solve(problem, rng=1)
+        # Pretend the previous solution lived in A: starts 0..3 plus the
+        # bridge; declining the bridge strands them all below k.
+        solver.warm_state = solver.last_warm_state
+        solver.warm_state.starts = [0, 1, 2, 3, 5]
+        declined = problem.without_nodes({5})
+        result = solver.solve(declined, rng=2)
+        assert result.solution.is_feasible(declined)
+        assert result.members <= set(range(6, 16))
+        assert "warm_start" not in result.stats.extra
+
+    def test_warm_start_disabled_runs_cold(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        planner = OnlinePlanner(
+            problem,
+            solver=CBASND(budget=60, m=6, stages=3),
+            rng=7,
+            warm_start=False,
+        )
+        solution = planner.plan()
+        victim = next(iter(solution.members))
+        refreshed = planner.record_decline(victim)
+        assert "warm_start" not in planner.last_result.stats.extra
+        assert victim not in refreshed.members
+
+    @pytest.mark.parametrize("decline_count", [1, 2])
+    def test_warm_replans_engine_equivalent(
+        self, small_facebook, decline_count
+    ):
+        """Warm-started replans stay bit-identical across engines."""
+        outcomes = {}
+        for engine in ("reference", "compiled"):
+            problem = WASOProblem(graph=small_facebook, k=5)
+            planner = OnlinePlanner(
+                problem,
+                solver=CBASND(budget=60, m=6, stages=3, engine=engine),
+                rng=7,
+            )
+            solution = planner.plan()
+            groups = [frozenset(solution.members)]
+            victims = sorted(solution.members, key=repr)[:decline_count]
+            for victim in victims:
+                groups.append(
+                    frozenset(planner.record_decline(victim).members)
+                )
+            outcomes[engine] = (
+                groups,
+                planner.replan_samples,
+                planner.last_result.willingness,
+            )
+        assert outcomes["reference"] == outcomes["compiled"]
+
     def test_base_required_nodes_preserved(self, small_facebook):
         anchor = next(iter(small_facebook.nodes()))
         problem = WASOProblem(

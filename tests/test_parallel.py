@@ -1,10 +1,34 @@
 """Tests for the parallel sampling pool."""
 
+import pickle
+
 import pytest
 
 from repro.algorithms.cbas_nd import CBASND
 from repro.core.problem import WASOProblem
-from repro.parallel import ParallelSolver, parallel_solve
+from repro.parallel import (
+    ParallelSolver,
+    parallel_solve,
+    split_budget,
+    worker_payload_bytes,
+)
+
+
+class TestBudgetSplit:
+    def test_even_split(self):
+        assert split_budget(60, 3) == [20, 20, 20]
+
+    def test_remainder_spread_over_first_workers(self):
+        assert split_budget(61, 2) == [31, 30]
+        assert split_budget(65, 4) == [17, 16, 16, 16]
+
+    @pytest.mark.parametrize(
+        "total,workers", [(7, 3), (100, 7), (13, 13), (999, 8)]
+    )
+    def test_shares_always_sum_to_total(self, total, workers):
+        shares = split_budget(total, workers)
+        assert sum(shares) == total
+        assert max(shares) - min(shares) <= 1
 
 
 class TestParallelSolve:
@@ -31,6 +55,62 @@ class TestParallelSolve:
         assert result.solution.is_feasible(problem)
         assert result.stats.extra["workers"] == 2
         assert result.stats.samples_drawn > 0
+
+    def test_remainder_budget_not_dropped(self, small_facebook):
+        """total_budget % workers lands on the first workers."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        result = parallel_solve(
+            problem,
+            lambda budget: CBASND(budget=budget, m=5, stages=3),
+            total_budget=61,
+            workers=2,
+            rng=4,
+        )
+        assert result.stats.extra["worker_budgets"] == [31, 30]
+        assert sum(result.stats.extra["worker_budgets"]) == 61
+
+    def test_compiled_workers_get_slim_payload(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        result = parallel_solve(
+            problem,
+            lambda budget: CBASND(budget=budget, m=5, stages=3),
+            total_budget=60,
+            workers=2,
+            rng=4,
+        )
+        assert result.stats.extra["payload"] == "compiled-arrays"
+        assert result.solution.is_feasible(problem)
+
+    def test_reference_workers_fall_back_to_dict_payload(
+        self, small_facebook
+    ):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        result = parallel_solve(
+            problem,
+            lambda budget: CBASND(
+                budget=budget, m=5, stages=3, engine="reference"
+            ),
+            total_budget=60,
+            workers=2,
+            rng=4,
+        )
+        assert result.stats.extra["payload"] == "dict-graph"
+        assert result.solution.is_feasible(problem)
+
+    def test_slim_payload_smaller_than_dict_graph(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        problem.compiled()
+        sizes = worker_payload_bytes(problem)
+        assert sizes["compiled_arrays_bytes"] < sizes["dict_graph_bytes"]
+        # And strictly below what the pool used to ship (dict graph with
+        # the frozen-index cache riding along).
+        with_cache = len(pickle.dumps(problem))
+        assert sizes["compiled_arrays_bytes"] < with_cache
+
+    def test_payload_bytes_rejects_detached_problem(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with pytest.raises(ValueError):
+            worker_payload_bytes(problem.detached())
 
     def test_validation(self, small_facebook):
         problem = WASOProblem(graph=small_facebook, k=5)

@@ -1,0 +1,128 @@
+"""Scenario transformations through the compiled engine.
+
+The §2.2 / §4.4.3 scenario transforms (couples, foes, themed variants,
+metadata filters) rewrite the graph and/or the ``required``/``forbidden``
+sets before solving.  These tests run each transformed instance through
+CBAS-ND on both engines and hold the bit-identity line — in particular
+around the interplay of ``required``/``forbidden`` with the compiled id
+remapping (merged nodes get fresh ids; filtered nodes become forbidden
+and must never reach a frontier).
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.cbas_nd import CBASND
+from repro.core.problem import WASOProblem
+from repro.graph.generators import facebook_like
+from repro.scenarios import (
+    exhibition_problem,
+    housewarming_problem,
+    invitation_problem,
+    mark_foes,
+    merge_couple,
+)
+from repro.scenarios.couples import expand_merged_members
+from repro.scenarios.filters import attribute_filter, filtered_problem
+
+
+def _solve_both(problem, seed=3, **kwargs):
+    """Solve on both engines and assert bit-identical seeded results."""
+    kwargs.setdefault("budget", 120)
+    kwargs.setdefault("m", 6)
+    kwargs.setdefault("stages", 3)
+    reference = CBASND(engine="reference", **kwargs).solve(problem, rng=seed)
+    compiled = CBASND(engine="compiled", **kwargs).solve(problem, rng=seed)
+    assert reference.members == compiled.members
+    assert reference.willingness == compiled.willingness
+    assert reference.stats.samples_drawn == compiled.stats.samples_drawn
+    assert reference.stats.failed_samples == compiled.stats.failed_samples
+    return compiled
+
+
+@pytest.fixture(scope="module")
+def scenario_graph():
+    return facebook_like(150, seed=31)
+
+
+class TestCouplesCompiled:
+    def test_merged_problem_engine_equivalent(self, scenario_graph):
+        u, v = next(iter(scenario_graph.edges()))
+        problem = WASOProblem(graph=scenario_graph, k=6)
+        merged_problem, merged_node = merge_couple(problem, u, v)
+        result = _solve_both(merged_problem, seed=5)
+        assert merged_problem.k == 5
+        expanded = expand_merged_members(result.members, merged_node, u, v)
+        assert (u in expanded) == (v in expanded)
+
+    def test_required_merged_node_engine_equivalent(self, scenario_graph):
+        u, v = next(iter(scenario_graph.edges()))
+        problem = WASOProblem(
+            graph=scenario_graph, k=6, required=frozenset({v})
+        )
+        # The remapped required set must survive the fresh id space of the
+        # merged graph's compiled freeze on both engines.
+        merged_problem, merged_node = merge_couple(problem, u, v)
+        assert merged_node in merged_problem.required
+        result = _solve_both(merged_problem, seed=11)
+        assert merged_node in result.members
+
+
+class TestFoesCompiled:
+    def test_foe_penalty_engine_equivalent(self, scenario_graph):
+        edges = list(scenario_graph.edges())[:3]
+        hostile = mark_foes(scenario_graph, edges)
+        problem = WASOProblem(graph=hostile, k=6)
+        _solve_both(problem, seed=7)
+
+    def test_foes_with_forbidden_engine_equivalent(self, scenario_graph):
+        edges = list(scenario_graph.edges())[:2]
+        hostile = mark_foes(scenario_graph, edges)
+        banned = frozenset(list(hostile.nodes())[:15])
+        problem = WASOProblem(graph=hostile, k=5, forbidden=banned)
+        result = _solve_both(problem, seed=13)
+        assert not (result.members & banned)
+
+
+class TestThemedCompiled:
+    def test_exhibition_engine_equivalent(self, scenario_graph):
+        # λ = 1, WASO-dis: the compiled frontier is the full allowed set.
+        problem = exhibition_problem(scenario_graph, k=5)
+        assert not problem.connected
+        _solve_both(problem, seed=17)
+
+    def test_housewarming_engine_equivalent(self, scenario_graph):
+        problem = housewarming_problem(scenario_graph, k=5)
+        _solve_both(problem, seed=19)
+
+    def test_invitation_engine_equivalent(self, scenario_graph):
+        host = max(
+            scenario_graph.nodes(), key=lambda n: scenario_graph.degree(n)
+        )
+        problem = invitation_problem(scenario_graph, host=host, k=4)
+        result = _solve_both(problem, seed=23, m=4)
+        assert host in result.members
+
+
+class TestFiltersCompiled:
+    def test_attribute_filter_engine_equivalent(self, scenario_graph):
+        rng = random.Random(5)
+        for node in scenario_graph.nodes():
+            scenario_graph.set_metadata(
+                node, city=rng.choice(["north", "south"])
+            )
+        organizer = next(iter(scenario_graph.nodes()))
+        problem = filtered_problem(
+            scenario_graph,
+            k=5,
+            predicate=attribute_filter(city="north"),
+            required={organizer},
+        )
+        # The filtered-out half is forbidden: the compiled allowed mask
+        # must hide it from every frontier on both engines.
+        result = _solve_both(problem, seed=29)
+        assert organizer in result.members
+        for node in result.members - {organizer}:
+            assert scenario_graph.metadata(node)["city"] == "north"
+        assert not (result.members & problem.forbidden)
