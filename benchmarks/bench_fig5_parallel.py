@@ -1,42 +1,105 @@
 """Fig. 5(d): CBAS-ND execution time with 1 / 2 / 4 / 8 workers.
 
 The paper reports a ~7.6× speedup on 8 OpenMP threads.  CPython needs
-processes instead of threads (GIL), which adds per-worker startup cost, so
-the reproduced claim is the *shape*: wall-clock time decreases as workers
-are added, and multi-worker runs beat the single-worker baseline.
+processes instead of threads (GIL), so the reproduced claim is the
+*shape*: wall-clock time decreases as workers are added, and multi-worker
+runs beat the single-worker baseline.
+
+Both parallel modes are measured side by side:
+
+* ``time`` / ``quality`` — the solve-level best-of pool
+  (:class:`~repro.parallel.ParallelSolver`): the budget is split into
+  independent whole solves.  One ``ProcessPoolExecutor`` (sized for the
+  largest sweep point) is started up front and reused for every worker
+  count, so the series measures solving rather than per-run process
+  startup — which previously polluted the curve's shape.
+* ``stage_time`` / ``stage_quality`` — the stage-level sharded-CE engine
+  (:class:`~repro.parallel.ShardedStageExecutor`): one solve whose
+  per-stage draws are sharded across a :class:`~repro.parallel.
+  StagePool`.  Each pool is warmed with an untimed solve (residency +
+  OS-level warmup) before the timed run, mirroring the executor reuse of
+  the best-of series.
 """
 
 import os
 import time
 
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.algorithms.cbas_nd import CBASND
 from repro.bench.datasets import bench_graph
 from repro.bench.harness import ExperimentTable, geometric_speedup
 from repro.core.problem import WASOProblem
-from repro.parallel import ParallelSolver
+from repro.parallel import ParallelSolver, ShardedStageExecutor, StagePool
 
 N = 600
 K = 20
 BUDGET = 1600
+STAGES = 6
+M = 20
 WORKER_COUNTS = (1, 2, 4, 8)
 
 
 def run_experiment() -> ExperimentTable:
     graph = bench_graph("facebook", N)
     problem = WASOProblem(graph=graph, k=K)
+    problem.compiled()  # freeze once, shared by every run below
     table = ExperimentTable(
         title=f"Fig 5(d): CBAS-ND time (s) vs workers (k={K}, T={BUDGET})",
         x_label="workers",
     )
     usable = [w for w in WORKER_COUNTS if w <= (os.cpu_count() or 1)]
+
+    # --- solve-level best-of: one persistent executor for all counts ---
+    shared_pool = ProcessPoolExecutor(max_workers=max(usable))
+    try:
+        # Warm the executor (process spawn + first-import cost) outside
+        # every timed region.
+        ParallelSolver(
+            budget=max(usable) * 4,
+            workers=max(usable),
+            pool=shared_pool,
+            m=M,
+            stages=2,
+        ).solve(problem, rng=1)
+        for workers in usable:
+            solver = ParallelSolver(
+                budget=BUDGET,
+                workers=workers,
+                pool=shared_pool if workers > 1 else None,
+                m=M,
+                stages=STAGES,
+            )
+            started = time.perf_counter()
+            result = solver.solve(problem, rng=3)
+            elapsed = time.perf_counter() - started
+            table.add("time", workers, elapsed)
+            table.add("quality", workers, result.willingness)
+    finally:
+        shared_pool.shutdown()
+
+    # --- stage-level sharded CE: one solve, draws sharded per stage ---
     for workers in usable:
-        solver = ParallelSolver(
-            budget=BUDGET, workers=workers, m=20, stages=6
-        )
-        started = time.perf_counter()
-        result = solver.solve(problem, rng=3)
-        elapsed = time.perf_counter() - started
-        table.add("time", workers, elapsed)
-        table.add("quality", workers, result.willingness)
+        if workers == 1:
+            solver = CBASND(budget=BUDGET, m=M, stages=STAGES)
+            solver.solve(problem, rng=1)  # warm-up (index, caches)
+            started = time.perf_counter()
+            result = solver.solve(problem, rng=3)
+            elapsed = time.perf_counter() - started
+        else:
+            with StagePool(workers) as pool:
+                solver = CBASND(
+                    budget=BUDGET,
+                    m=M,
+                    stages=STAGES,
+                    executor=ShardedStageExecutor(pool=pool),
+                )
+                solver.solve(problem, rng=1)  # warm-up: ships the payload
+                started = time.perf_counter()
+                result = solver.solve(problem, rng=3)
+                elapsed = time.perf_counter() - started
+        table.add("stage_time", workers, elapsed)
+        table.add("stage_quality", workers, result.willingness)
     return table
 
 
@@ -52,12 +115,25 @@ def test_fig5d_parallel_speedup(benchmark):
     speedups = geometric_speedup(
         [times.at(w) for w in workers], baseline=baseline
     )
-    print(f"speedups vs 1 worker: {[f'{s:.2f}x' for s in speedups]}")
-    # Shape: the best multi-worker run beats the serial baseline.
+    print(f"best-of speedups vs 1 worker: {[f'{s:.2f}x' for s in speedups]}")
+    stage_times = table.series["stage_time"]
+    stage_speedups = geometric_speedup(
+        [stage_times.at(w) for w in workers], baseline=stage_times.at(1)
+    )
+    print(
+        "stage-sharded speedups vs serial: "
+        f"{[f'{s:.2f}x' for s in stage_speedups]}"
+    )
+    # Shape: the best multi-worker run beats the serial baseline, in
+    # both parallel modes.
     assert min(times.at(w) for w in workers[1:]) < baseline
-    # Shape: quality does not collapse when the budget is split.
-    qualities = table.series["quality"]
-    assert min(qualities.ys()) >= max(qualities.ys()) * 0.5
+    assert min(stage_times.at(w) for w in workers[1:]) < stage_times.at(1)
+    # Shape: quality does not collapse when the budget is split —
+    # and the stage-sharded mode refits from the full elite set, so its
+    # quality must stay comparable to the serial solve too.
+    for name in ("quality", "stage_quality"):
+        qualities = table.series[name]
+        assert min(qualities.ys()) >= max(qualities.ys()) * 0.5
 
 
 if __name__ == "__main__":

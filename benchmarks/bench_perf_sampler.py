@@ -20,18 +20,34 @@ Measures, on synthetic Facebook-regime graphs of n ∈ {1k, 10k}:
   slot, elite counts off ``Sample.indices``) versus the reference
   engine's per-node dict probes;
 * pool worker payload sizes: the detached compiled-arrays payload
-  (``WASOProblem.detached()``) versus the historical dict-graph pickle.
+  (``WASOProblem.detached()``) versus the historical dict-graph pickle;
+* stage-sharded CBAS-ND (``repro.parallel.stage_pool``) wall clock on
+  one large n=10k solve (T=3200, 4 workers, persistent pool, payload
+  resident before timing) versus the serial compiled engine — the
+  speedup the solve-level best-of pool cannot deliver by construction.
 
 Results are persisted to ``BENCH_sampler.json`` next to the repo root so
 future PRs can diff against them.  Acceptance gates, all measured in the
 same run: the compiled engine delivers ≥3× samples/sec for uniform CBAS
 expansion on the n=10k graph, ≥2× for CBAS-ND on the n=10k graph, the
-slim worker payload is strictly smaller than the dict-graph pickle, and
-both engines return identical seeded solutions.
+slim worker payload is strictly smaller than the dict-graph pickle,
+both engines return identical seeded solutions, and — on machines with
+at least 4 CPUs — the stage-sharded solve beats the serial wall clock by
+≥1.5× (machines with fewer cores record the numbers without gating,
+matching ``bench_fig5_parallel``'s convention).
+
+Regression checking: ``python benchmarks/bench_perf_sampler.py --check``
+re-measures and compares against the *committed* ``BENCH_sampler.json``
+without overwriting it, failing (exit 1) on any throughput metric more
+than 20% below the baseline or on any worker-payload byte growth.
+Baselines are machine-specific — regenerate them (run without
+``--check``) when the hardware changes.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import time
 from pathlib import Path
@@ -45,6 +61,7 @@ from repro.bench.harness import dump_json
 from repro.core.problem import WASOProblem
 from repro.core.willingness import evaluator_for
 from repro.parallel.pool import worker_payload_bytes
+from repro.parallel.stage_pool import ShardedStageExecutor, StagePool
 
 NS = (1000, 10000)
 K = 10
@@ -54,12 +71,20 @@ ADD_DELTA_CALLS = 20_000
 CBAS_BUDGET = 600
 CBASND_BUDGET = 600
 CBASND_STAGES = 6
+STAGE_PARALLEL_N = 10000
+STAGE_PARALLEL_BUDGET = 3200
+STAGE_PARALLEL_WORKERS = 4
 JSON_PATH = Path(__file__).parent.parent / "BENCH_sampler.json"
 
 #: Acceptance gate for the n=10k uniform-CBAS expansion speedup.
 MIN_CBAS_SPEEDUP = 3.0
 #: Acceptance gate for the n=10k CBAS-ND (CE update + weighted frontier).
 MIN_CBASND_SPEEDUP = 2.0
+#: Acceptance gate for the stage-sharded n=10k solve (needs >= 4 CPUs).
+MIN_STAGE_PARALLEL_SPEEDUP = 1.5
+#: --check fails when a throughput metric drops below baseline by more
+#: than this fraction.
+THROUGHPUT_TOLERANCE = 0.2
 
 
 def _bench_add_delta(problem: WASOProblem, engine: str) -> float:
@@ -134,7 +159,53 @@ def _bench_cbas_nd(problem: WASOProblem, engine: str) -> tuple[float, object]:
     return best_rate, solution
 
 
-def run_experiment() -> dict:
+def _bench_stage_parallel(problem: WASOProblem) -> dict:
+    """Wall clock of one big CBAS-ND solve: serial vs stage-sharded.
+
+    Both sides get one untimed warm-up solve (index freeze, seed caches,
+    and — for the sharded engine — pool startup and payload residency,
+    which a persistent pool amortizes across solves) and then keep the
+    best of three timed solves.
+    """
+
+    def best_wall(solver) -> tuple[float, object]:
+        solver.solve(problem, rng=1)  # warm-up
+        best, result = float("inf"), None
+        for _ in range(3):
+            started = time.perf_counter()
+            outcome = solver.solve(problem, rng=7)
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best, result = elapsed, outcome
+        return best, result
+
+    serial_solver = CBASND(
+        budget=STAGE_PARALLEL_BUDGET, m=START_NODES, stages=CBASND_STAGES
+    )
+    serial_wall, serial_result = best_wall(serial_solver)
+    with StagePool(STAGE_PARALLEL_WORKERS) as pool:
+        sharded_solver = CBASND(
+            budget=STAGE_PARALLEL_BUDGET,
+            m=START_NODES,
+            stages=CBASND_STAGES,
+            executor=ShardedStageExecutor(pool=pool),
+        )
+        sharded_wall, sharded_result = best_wall(sharded_solver)
+    return {
+        "n": STAGE_PARALLEL_N,
+        "budget": STAGE_PARALLEL_BUDGET,
+        "stages": CBASND_STAGES,
+        "workers": STAGE_PARALLEL_WORKERS,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_seconds": serial_wall,
+        "sharded_seconds": sharded_wall,
+        "speedup": serial_wall / sharded_wall,
+        "serial_willingness": serial_result.willingness,
+        "sharded_willingness": sharded_result.willingness,
+    }
+
+
+def run_experiment(write: bool = True) -> dict:
     payload: dict = {"k": K, "start_nodes": START_NODES, "sizes": {}}
     for n in NS:
         problem = WASOProblem(graph=bench_graph("facebook", n), k=K)
@@ -178,8 +249,60 @@ def run_experiment() -> dict:
         )
         entry["worker_payload"] = worker_payload_bytes(problem)
         payload["sizes"][str(n)] = entry
-    dump_json(str(JSON_PATH), payload)
+        if n == STAGE_PARALLEL_N:
+            payload["stage_parallel"] = _bench_stage_parallel(problem)
+    if write:
+        dump_json(str(JSON_PATH), payload)
     return payload
+
+
+def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
+    """Compare a fresh run against the committed baseline.
+
+    Returns human-readable failure strings: any ``*_per_sec`` metric more
+    than ``THROUGHPUT_TOLERANCE`` below baseline, and any worker-payload
+    byte count above baseline (payload bytes are deterministic, so any
+    growth is a real regression, not noise).
+    """
+    failures: list[str] = []
+    for n, base_entry in baseline.get("sizes", {}).items():
+        fresh_entry = fresh.get("sizes", {}).get(n)
+        if fresh_entry is None:
+            failures.append(f"n={n}: missing from fresh results")
+            continue
+        for engine in ("reference", "compiled"):
+            for metric, base_value in base_entry.get(engine, {}).items():
+                if not metric.endswith("_per_sec"):
+                    continue
+                fresh_value = fresh_entry.get(engine, {}).get(metric)
+                if fresh_value is None:
+                    failures.append(
+                        f"n={n} {engine} {metric}: missing from fresh "
+                        "results (baseline schema drift — regenerate it)"
+                    )
+                    continue
+                floor = base_value * (1.0 - THROUGHPUT_TOLERANCE)
+                if fresh_value < floor:
+                    failures.append(
+                        f"n={n} {engine} {metric}: {fresh_value:,.0f}/s is "
+                        f">{THROUGHPUT_TOLERANCE:.0%} below baseline "
+                        f"{base_value:,.0f}/s"
+                    )
+        base_payload = base_entry.get("worker_payload", {})
+        fresh_payload = fresh_entry.get("worker_payload", {})
+        for field, base_bytes in base_payload.items():
+            fresh_bytes = fresh_payload.get(field)
+            if fresh_bytes is None:
+                failures.append(
+                    f"n={n} worker_payload {field}: missing from fresh "
+                    "results (baseline schema drift — regenerate it)"
+                )
+            elif fresh_bytes > base_bytes:
+                failures.append(
+                    f"n={n} worker_payload {field}: {fresh_bytes}B grew "
+                    f"past baseline {base_bytes}B"
+                )
+    return failures
 
 
 def test_perf_sampler(benchmark):
@@ -214,11 +337,25 @@ def test_perf_sampler(benchmark):
         "compiled CBAS-ND fell below the 2x acceptance gate: "
         f"{big['speedup_cbas_nd_samples_per_sec']:.2f}x"
     )
+    stage = payload["stage_parallel"]
+    print(
+        f"stage-parallel n={stage['n']} T={stage['budget']} "
+        f"workers={stage['workers']}: serial {stage['serial_seconds']:.3f}s, "
+        f"sharded {stage['sharded_seconds']:.3f}s "
+        f"({stage['speedup']:.2f}x, {stage['cpu_count']} cpus)"
+    )
+    # The wall-clock gate needs the workers to actually run in parallel;
+    # smaller machines record the series without asserting (the same
+    # convention bench_fig5_parallel uses).
+    if stage["cpu_count"] >= stage["workers"]:
+        assert stage["speedup"] >= MIN_STAGE_PARALLEL_SPEEDUP, (
+            "stage-sharded CBAS-ND fell below the 1.5x wall-clock gate: "
+            f"{stage['speedup']:.2f}x"
+        )
     assert JSON_PATH.exists()
 
 
-if __name__ == "__main__":
-    result = run_experiment()
+def _print_summary(result: dict) -> None:
     for n, entry in result["sizes"].items():
         sizes = entry["worker_payload"]
         print(
@@ -230,4 +367,47 @@ if __name__ == "__main__":
             f"payload {sizes['compiled_arrays_bytes']}B vs "
             f"{sizes['dict_graph_bytes']}B dict"
         )
-    print(f"wrote {JSON_PATH}")
+    stage = result.get("stage_parallel")
+    if stage:
+        print(
+            f"stage-parallel n={stage['n']} T={stage['budget']} "
+            f"workers={stage['workers']}: "
+            f"serial {stage['serial_seconds']:.3f}s, "
+            f"sharded {stage['sharded_seconds']:.3f}s "
+            f"({stage['speedup']:.2f}x on {stage['cpu_count']} cpus)"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and compare against the committed "
+        "BENCH_sampler.json without overwriting it; exit 1 on >20%% "
+        "throughput regression or any payload-size regression",
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        if not JSON_PATH.exists():
+            print(f"no baseline at {JSON_PATH}; run without --check first")
+            sys.exit(2)
+        with open(JSON_PATH, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        fresh = run_experiment(write=False)
+        _print_summary(fresh)
+        problems = check_against_baseline(fresh, committed)
+        if problems:
+            print("\nREGRESSIONS against committed baseline:")
+            for line in problems:
+                print(f"  - {line}")
+            sys.exit(1)
+        print("\nno regressions against committed baseline")
+    else:
+        result = run_experiment()
+        _print_summary(result)
+        print(f"wrote {JSON_PATH}")

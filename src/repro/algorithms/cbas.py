@@ -18,7 +18,13 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.algorithms.base import Solver, SolveResult, SolveStats
-from repro.algorithms.sampling import ExpansionSampler, Sample, seed_for_start
+from repro.algorithms.sampling import ExpansionSampler, Sample
+from repro.algorithms.stage_exec import (
+    MAX_CONSECUTIVE_FAILURES,
+    SerialStageExecutor,
+    StageContext,
+    StageExecutor,
+)
 from repro.algorithms.start_nodes import default_start_count, select_start_nodes
 from repro.budget.ocba import (
     StartNodeStats,
@@ -39,9 +45,12 @@ from repro.exceptions import BudgetExhaustedError
 
 __all__ = ["CBAS", "CBASWarmState"]
 
-#: A start node whose expansions keep failing (its component is smaller
-#: than k) is written off after this many consecutive failures.
-_MAX_CONSECUTIVE_FAILURES = 5
+#: Historical alias — the write-off cap now lives with the stage
+#: execution strategies (serial and sharded runs share one policy).
+_MAX_CONSECUTIVE_FAILURES = MAX_CONSECUTIVE_FAILURES
+
+#: Shared stateless default strategy: the in-process stage loop.
+_SERIAL_EXECUTOR = SerialStageExecutor()
 
 
 @dataclass
@@ -88,6 +97,13 @@ class CBAS(Solver):
         :class:`~repro.graph.compiled.CompiledGraph` index;
         ``"reference"`` keeps the dict-based path.  Seeded results are
         identical on both engines.
+    executor:
+        Stage-execution strategy.  ``None`` (default) runs the
+        in-process :class:`~repro.algorithms.stage_exec.
+        SerialStageExecutor`; a :class:`~repro.parallel.stage_pool.
+        ShardedStageExecutor` shards each stage's draws across a
+        persistent worker pool, synchronizing at stage boundaries like
+        the paper's OpenMP loop.
     """
 
     name = "cbas"
@@ -102,6 +118,7 @@ class CBAS(Solver):
         allocation: str = "uniform",
         start_selection: str = "potential",
         engine: str = "compiled",
+        executor: Optional[StageExecutor] = None,
     ) -> None:
         if budget < 1:
             raise ValueError(f"budget must be positive, got {budget}")
@@ -126,6 +143,7 @@ class CBAS(Solver):
         self.allocation = allocation
         self.start_selection = start_selection
         self.engine = validate_engine(engine)
+        self.executor = executor
         #: Install a :class:`CBASWarmState` here (online re-planning) to
         #: reuse phase-1 starts / CE vectors; cleared by the caller, not
         #: by the solver, so one state can serve several re-plans.
@@ -176,61 +194,53 @@ class CBAS(Solver):
                 problem, starts, node_stats, stats
             )
 
+        executor = self.executor if self.executor is not None else _SERIAL_EXECUTOR
+        context = StageContext(
+            solver=self,
+            problem=problem,
+            sampler=sampler,
+            rng=rng,
+            starts=starts,
+            node_stats=node_stats,
+            failures=failures,
+            stats=stats,
+            best_sample=best_sample,
+        )
         per_stage = max(1, self.budget // stage_total)
-        for stage in range(stage_total):
-            stats.stages += 1
-            if stage == 0:
-                # Zero weight for starts pruned up front (sub-k components)
-                # so their stage-0 share is redirected, not discarded.
-                shares = apportion(
-                    [0.0 if stat.pruned else 1.0 for stat in node_stats],
-                    per_stage,
-                )
-            else:
-                if self.allocation == "gaussian":
-                    weights = gaussian_weights(node_stats)
+        executor.begin_solve(context)
+        try:
+            for stage in range(stage_total):
+                stats.stages += 1
+                if stage == 0:
+                    # Zero weight for starts pruned up front (sub-k
+                    # components) so their stage-0 share is redirected,
+                    # not discarded.
+                    shares = apportion(
+                        [0.0 if stat.pruned else 1.0 for stat in node_stats],
+                        per_stage,
+                    )
                 else:
-                    weights = uniform_weights(node_stats)
-                for index, weight in enumerate(weights):
-                    if weight <= 0.0:
-                        node_stats[index].pruned = True
-                shares = apportion(weights, per_stage)
-
-            for index, share in enumerate(shares):
-                if share == 0 or node_stats[index].pruned:
-                    continue
-                seed = seed_for_start(problem, starts[index])
-                # One batch per (start, stage): the sampler resolves the
-                # cached seed state once and stops early at the
-                # consecutive-failure cap, so stats and RNG consumption
-                # match the historical draw-at-a-time loop exactly.
-                batch = self._draw_batch(
-                    sampler, seed, rng, index, share, failures[index]
-                )
-                stage_samples: list[Sample] = []
-                for sample in batch:
-                    stats.samples_drawn += 1
-                    if sample is None:
-                        stats.failed_samples += 1
-                        failures[index] += 1
-                        if failures[index] >= _MAX_CONSECUTIVE_FAILURES:
+                    if self.allocation == "gaussian":
+                        weights = gaussian_weights(node_stats)
+                    else:
+                        weights = uniform_weights(node_stats)
+                    for index, weight in enumerate(weights):
+                        if weight <= 0.0:
                             node_stats[index].pruned = True
-                        continue
-                    failures[index] = 0
-                    node_stats[index].record(sample.willingness)
-                    stage_samples.append(sample)
-                    if (
-                        best_sample is None
-                        or sample.willingness > best_sample.willingness
-                    ):
-                        best_sample = sample
-                self._after_start_stage(index, stage_samples, stats)
+                    shares = apportion(weights, per_stage)
 
-            stats.extra.setdefault("stage_best", []).append(
-                best_sample.willingness if best_sample is not None else None
-            )
-            if all(stat.pruned for stat in node_stats):
-                break
+                executor.run_stage(context, shares)
+
+                stats.extra.setdefault("stage_best", []).append(
+                    context.best_sample.willingness
+                    if context.best_sample is not None
+                    else None
+                )
+                if all(stat.pruned for stat in node_stats):
+                    break
+        finally:
+            executor.end_solve(context)
+        best_sample = context.best_sample
 
         if best_sample is None:
             raise BudgetExhaustedError(
@@ -363,6 +373,41 @@ class CBAS(Solver):
         stats: SolveStats,
     ) -> None:
         """Called after each start node's draws in a stage (CE update)."""
+
+    # ------------------------------------------------------------------
+    # Shard-protocol hooks (stage-sharded execution; see stage_pool)
+    # ------------------------------------------------------------------
+    def _shard_mode(self) -> str:
+        """How pool workers bias their frontier draws for this solver."""
+        return "uniform"
+
+    def _shard_keep_rank(self, share: int) -> int:
+        """Samples each shard must retain, ranked by willingness.
+
+        Uniform CBAS only needs the incumbent best back from a shard;
+        CBAS-ND raises this to the elite retention rank ``⌈ρ·share⌉``.
+        """
+        return 1
+
+    def _shard_initial_vectors(self) -> "list | None":
+        """Per-start CE vector payloads for solve start (``None`` = none)."""
+        return None
+
+    def _merge_start_stage(
+        self,
+        start_index: int,
+        successes: int,
+        kept: "list[tuple[float, tuple[int, ...]]]",
+        stats: SolveStats,
+    ) -> "tuple | None":
+        """Merge one start node's shard summaries (CE refit for CBAS-ND).
+
+        ``kept`` concatenates the shards' candidate-elite samples in
+        shard order.  Returns the vector-sync patch workers must replay
+        before the next stage, or ``None`` when there is nothing to sync
+        (uniform CBAS always; CBAS-ND when a stage produced no elites).
+        """
+        return None
 
     def _random_starts(
         self, problem: WASOProblem, m: int, rng: random.Random

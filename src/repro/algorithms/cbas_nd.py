@@ -22,6 +22,7 @@ previous state to escape premature convergence.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional
 
@@ -32,6 +33,7 @@ from repro.algorithms.cbas import (
     CBASWarmState,
 )
 from repro.algorithms.sampling import ExpansionSampler, Sample
+from repro.algorithms.stage_exec import StageExecutor
 from repro.ce.convergence import BacktrackController
 from repro.ce.probability import SelectionProbabilities
 from repro.core.problem import WASOProblem
@@ -69,6 +71,7 @@ class CBASND(CBAS):
         allocation: str = "uniform",
         start_selection: str = "potential",
         engine: str = "compiled",
+        executor: Optional[StageExecutor] = None,
         rho: float = 0.3,
         smoothing: float = 0.9,
         backtrack_threshold: Optional[float] = None,
@@ -83,6 +86,7 @@ class CBASND(CBAS):
             allocation=allocation,
             start_selection=start_selection,
             engine=engine,
+            executor=executor,
         )
         if not 0.0 < rho <= 1.0:
             raise ValueError(f"rho must lie in (0, 1], got {rho}")
@@ -93,6 +97,7 @@ class CBASND(CBAS):
         self.backtrack_threshold = backtrack_threshold
         self.max_backtracks = max_backtracks
         self._vectors: list[SelectionProbabilities] = []
+        self._vectors_warm: list[bool] = []
         self._controllers: list[BacktrackController] = []
 
     # ------------------------------------------------------------------
@@ -120,6 +125,7 @@ class CBASND(CBAS):
             warm = None
         template: Optional[SelectionProbabilities] = None
         vectors: list[SelectionProbabilities] = []
+        warm_flags: list[bool] = []
         for start in starts:
             vector = warm.vectors.get(start) if warm is not None else None
             if vector is not None and vector.index_map is index_of:
@@ -134,7 +140,9 @@ class CBASND(CBAS):
                 # and freeze the vector.
                 vector.reset_threshold()
                 vectors.append(vector)
+                warm_flags.append(True)
                 continue
+            warm_flags.append(False)
             if template is None:
                 template = SelectionProbabilities(
                     problem.candidates(),
@@ -150,6 +158,7 @@ class CBASND(CBAS):
             else:
                 vectors.append(template.replicate())
         self._vectors = vectors
+        self._vectors_warm = warm_flags
         self._controllers = [
             BacktrackController(
                 threshold=self.backtrack_threshold,
@@ -215,6 +224,81 @@ class CBASND(CBAS):
         )
         if controller.observe(vector, movement):
             stats.extra["backtracks"] = stats.extra.get("backtracks", 0) + 1
+
+    # ------------------------------------------------------------------
+    # Shard-protocol hooks (stage-sharded execution)
+    # ------------------------------------------------------------------
+    def _shard_mode(self) -> str:
+        """Pool workers weight frontier draws by mirrored CE vectors."""
+        return "ce"
+
+    def _shard_keep_rank(self, share: int) -> int:
+        """Elite retention rank ``⌈ρ · share⌉`` for a stage share.
+
+        The merged stream's elite quantile rank is ``⌈ρ·N_success⌉ ≤
+        ⌈ρ·share⌉``, so shards retaining their top-``⌈ρ·share⌉`` samples
+        (ties included) provably cover the merged elite set.
+        """
+        return max(1, math.ceil(self.rho * share))
+
+    def _shard_initial_vectors(self) -> list:
+        """Solve-start vector payloads: arrays for warm vectors only.
+
+        Cold vectors are the homogeneous prior, which workers rebuild
+        locally (bit-identically) from the problem spec — only vectors
+        surviving from a previous re-planning round carry state worth
+        shipping.
+        """
+        return [
+            tuple(vector.snapshot()) if warm else None
+            for vector, warm in zip(self._vectors, self._vectors_warm)
+        ]
+
+    def _merge_start_stage(
+        self,
+        start_index: int,
+        successes: int,
+        kept: "list[tuple[float, tuple[int, ...]]]",
+        stats: SolveStats,
+    ) -> "tuple | None":
+        """One Eq. (4) refit from the merged shard evidence.
+
+        The stage quantile is taken over the *full* merged stream (the
+        per-shard retention rank guarantees the rank-``⌈ρ·N⌉`` value and
+        every threshold-tied sample are among ``kept``), so the vector is
+        refitted from exactly the elite set a serial run over the
+        concatenated sample stream would produce.
+        """
+        if successes == 0:
+            return None
+        vector = self._vectors[start_index]
+        rank = max(1, math.ceil(self.rho * successes))
+        ordered = sorted((w for w, _ in kept), reverse=True)
+        stage_gamma = ordered[min(rank, len(ordered)) - 1]
+        gamma = vector.observe_stage_gamma(stage_gamma)
+        elites = [(w, indices) for w, indices in kept if w >= gamma]
+        if not elites:
+            # Every sample fell below the historic threshold: keep the
+            # vector unchanged rather than fitting to nothing.
+            return None
+        counts: dict[int, int] = {}
+        for _, indices in elites:
+            for slot in indices:
+                counts[slot] = counts.get(slot, 0) + 1
+        controller = self._controllers[start_index]
+        controller.remember(vector)
+        patch, movement = vector.update_from_counts(
+            counts,
+            len(elites),
+            self.smoothing,
+            compute_movement=controller.enabled,
+        )
+        if controller.observe(vector, movement):
+            stats.extra["backtracks"] = stats.extra.get("backtracks", 0) + 1
+            # The restore rewrote the whole array: mirrors need a full
+            # resync, not the round patch.
+            patch = ("full", tuple(vector.snapshot()))
+        return patch
 
 
 def cbas_nd_g(**kwargs) -> CBASND:

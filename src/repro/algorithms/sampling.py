@@ -39,6 +39,7 @@ same start node.
 
 from __future__ import annotations
 
+import math
 import random
 from bisect import bisect_left
 from collections.abc import Callable, Iterable, Sequence
@@ -54,10 +55,12 @@ from repro.graph.social_graph import NodeId
 
 __all__ = [
     "Sample",
+    "ShardSummary",
     "ExpansionSampler",
     "weighted_pick",
     "pick_from_array",
     "seed_for_start",
+    "summarize_shard",
 ]
 
 
@@ -77,6 +80,105 @@ class Sample(NamedTuple):
     members: frozenset
     willingness: float
     indices: "tuple[int, ...] | None" = None
+
+
+class ShardSummary(NamedTuple):
+    """Compact result of one shard's draws for a (start node, stage) pair.
+
+    Stage-sharded solves split a start node's per-stage budget across
+    worker processes; each worker reduces its batch to this summary so
+    the parent can reconstruct everything a stage needs — OCBA statistics,
+    the incumbent best sample, the merged elite quantile, and the exact
+    elite set for the Eq. (4) refit — from ``O(ρ·T)`` numbers per shard
+    instead of the full sample stream.
+
+    ``kept`` holds the shard's candidate elites as ``(willingness,
+    member-index tuple)`` pairs in draw order: every sample whose
+    willingness reaches the shard's ``keep_rank``-th best.  Because the
+    merged stream's top-ρ quantile rank never exceeds ``keep_rank``
+    (which the parent derives from the start's *total* stage share), the
+    union of the shards' kept lists provably contains the merged stream's
+    full elite set, ties at the threshold included.
+
+    ``mean`` / ``m2`` are Welford moments over the shard's successes in
+    draw order; ``trailing_failures`` counts the consecutive failed draws
+    at the end of the batch and ``hit_cap`` reports an early stop at the
+    consecutive-failure write-off limit.
+    """
+
+    attempts: int
+    successes: int
+    failures: int
+    trailing_failures: int
+    hit_cap: bool
+    min_w: float
+    max_w: float
+    mean: float
+    m2: float
+    kept: "tuple[tuple[float, tuple[int, ...]], ...]"
+
+
+def summarize_shard(
+    batch: "Sequence[Optional[Sample]]",
+    keep_rank: int,
+    max_failures: Optional[int] = None,
+    carry_failures: int = 0,
+) -> ShardSummary:
+    """Reduce one shard's draw batch to a :class:`ShardSummary`.
+
+    ``keep_rank`` is the parent-supplied elite retention rank (at least
+    1); ``max_failures`` / ``carry_failures`` mirror the write-off cap
+    and the seeded consecutive-failure counter the batch was drawn with,
+    so ``hit_cap`` reflects the same counter the draw loop stopped on.
+    """
+    if keep_rank < 1:
+        raise ValueError(f"keep_rank must be positive, got {keep_rank}")
+    successes = [sample for sample in batch if sample is not None]
+    attempts = len(batch)
+    failures = attempts - len(successes)
+    trailing = 0
+    for sample in reversed(batch):
+        if sample is not None:
+            break
+        trailing += 1
+    counter_end = trailing if successes else carry_failures + failures
+    hit_cap = max_failures is not None and counter_end >= max_failures
+    min_w = math.inf
+    max_w = -math.inf
+    mean = 0.0
+    m2 = 0.0
+    for count, sample in enumerate(successes, start=1):
+        w = sample.willingness
+        if w < min_w:
+            min_w = w
+        if w > max_w:
+            max_w = w
+        delta = w - mean
+        mean += delta / count
+        m2 += delta * (w - mean)
+    kept: tuple = ()
+    if successes:
+        ordered = sorted(
+            (sample.willingness for sample in successes), reverse=True
+        )
+        cutoff = ordered[min(keep_rank, len(ordered)) - 1]
+        kept = tuple(
+            (sample.willingness, sample.indices)
+            for sample in successes
+            if sample.willingness >= cutoff
+        )
+    return ShardSummary(
+        attempts=attempts,
+        successes=len(successes),
+        failures=failures,
+        trailing_failures=trailing,
+        hit_cap=hit_cap,
+        min_w=min_w,
+        max_w=max_w,
+        mean=mean,
+        m2=m2,
+        kept=kept,
+    )
 
 
 def weighted_pick(

@@ -36,6 +36,42 @@ the same (input) order, so the probability values — and therefore seeded
 solver runs — are bit-identical whichever domain backs the vector.
 :meth:`as_dict` is the thin dict view in either domain; the execution
 stack itself never converts back to node ids mid-solve.
+
+Lazy decay
+----------
+The smoothing step multiplies *every* slot by ``1 − w`` each stage; only
+the ≤ k·|elites| elite-touched slots get the full Eq. (4) formula.  The
+refit therefore records the uniform decay as a pending *round* (the keep
+factor is appended to an internal list) in O(touched) time instead of
+rewriting the whole O(n) array, and true values are materialized only on
+read/draw — :attr:`array` (the fast sampler borrows it once per batch),
+:meth:`probability`, :meth:`snapshot`, :meth:`as_dict`, ….
+
+Materialization is **exact**, not a folded scale factor: each slot
+remembers how many rounds are already folded into it, and catching up
+applies the pending keep factors as the same left-to-right chain of
+multiplications the historical eager comprehension performed
+(``((p·k₁)·k₂)·…``).  A single accumulated product ``p·(k₁·k₂·…)`` would
+drift from the eager path in the last ulp and flip quantile-threshold
+comparisons downstream; the factored chain keeps lazily-materialized
+values — and therefore seeded draws on both engines — bit-identical to
+the eager implementation.  A vector that is refitted but never read again
+(pruned or unfunded start nodes, the coordinator side of a stage-sharded
+solve) never pays the O(n) pass at all.
+
+Sharded stage merge
+-------------------
+A stage-sharded solve (``repro.parallel.stage_pool``) draws a stage's
+samples in worker processes and refits the parent's vector from merged
+per-shard elite evidence: :meth:`observe_stage_gamma` folds the merged
+stage quantile into the monotone threshold and :meth:`update_from_counts`
+applies Eq. (4) from pre-aggregated elite membership counts — the exact
+arithmetic of :meth:`update`, minus the per-sample scan.  Both refit
+entry points return the applied round as a compact *patch*
+``("round", keep, ((slot, value), …))``; worker-resident mirror vectors
+replay it with :meth:`apply_round` (or :meth:`restore` for a full-array
+resync) and stay bit-identical to the parent without the parent ever
+re-shipping the O(n) array.
 """
 
 from __future__ import annotations
@@ -85,6 +121,11 @@ class SelectionProbabilities:
 
     __slots__ = (
         "_p",
+        "_age",
+        "_keeps",
+        "_stale_rounds",
+        "_last_touched",
+        "_slot_materialized",
         "_index_of",
         "_candidates",
         "_candidate_ids",
@@ -123,32 +164,106 @@ class SelectionProbabilities:
         for slot in self._candidate_ids:
             p[slot] = initial
         self._p = p
+        # Lazy-decay bookkeeping: _keeps[r] is the keep factor of refit
+        # round r, _age[slot] the number of rounds already folded into
+        # _p[slot].  _stale_rounds / _last_touched / _slot_materialized
+        # exist only to keep the common one-pending-round full
+        # materialization on the C-level comprehension fast path.
+        self._age = [0] * length
+        self._keeps: list[float] = []
+        self._stale_rounds = 0
+        self._last_touched: tuple = ()
+        self._slot_materialized = False
         self.gamma = -math.inf  # monotone elite threshold (pseudo-code 36-39)
+
+    # ------------------------------------------------------------------
+    # Lazy materialization
+    # ------------------------------------------------------------------
+    def _materialize_slot(self, slot: int) -> float:
+        """Fold pending decay rounds into one slot (exact factored chain)."""
+        keeps = self._keeps
+        rounds = len(keeps)
+        age = self._age[slot]
+        value = self._p[slot]
+        if age != rounds:
+            while age < rounds:
+                value *= keeps[age]
+                age += 1
+            self._p[slot] = value
+            self._age[slot] = rounds
+            self._slot_materialized = True
+        return value
+
+    def _materialize_all(self) -> None:
+        """Fold pending decay rounds into every slot.
+
+        The common case — exactly one pending round and no slot read
+        since — decays the whole array with one C-level comprehension and
+        restores the round's touched slots (which are already current),
+        reproducing the historical eager pass bit-for-bit.  Mixed ages
+        (several pending rounds, or interleaved per-slot reads) fall back
+        to the per-slot factored chain, which is equally exact.
+        """
+        if not self._stale_rounds:
+            return
+        p = self._p
+        keeps = self._keeps
+        rounds = len(keeps)
+        if self._stale_rounds == 1 and not self._slot_materialized:
+            keep = keeps[-1]
+            saved = [(slot, p[slot]) for slot in self._last_touched]
+            p[:] = [keep * value for value in p]
+            for slot, value in saved:
+                p[slot] = value
+        else:
+            ages = self._age
+            for slot, age in enumerate(ages):
+                if age == rounds:
+                    continue
+                value = p[slot]
+                while age < rounds:
+                    value *= keeps[age]
+                    age += 1
+                p[slot] = value
+        self._age = [rounds] * len(p)
+        self._stale_rounds = 0
+        self._last_touched = ()
+        self._slot_materialized = False
 
     # ------------------------------------------------------------------
     @property
     def array(self) -> "list[float] | None":
         """Compiled-id-indexed weight array (``None`` in the local domain).
 
-        The fast sampler hands this straight to its frontier draw; the
-        list object is mutated in place by :meth:`update` so a borrowed
+        Pending decay rounds are materialized on access, so the fast
+        sampler can hand the returned list straight to its frontier draw;
+        the list object is mutated in place by the refit so a borrowed
         reference stays current within one stage.
         """
-        return self._p if self.index_map is not None else None
+        if self.index_map is None:
+            return None
+        self._materialize_all()
+        return self._p
 
     def probability(self, node: NodeId) -> float:
         """Current selection probability of ``node`` (0 if unknown)."""
         slot = self._index_of.get(node)
-        return 0.0 if slot is None else self._p[slot]
+        if slot is None:
+            return 0.0
+        if self._age[slot] != len(self._keeps):
+            return self._materialize_slot(slot)
+        return self._p[slot]
 
     __call__ = probability
 
     def set_probability(self, node: NodeId, value: float) -> None:
         """Install a probability by hand (tests / worked paper examples)."""
         try:
-            self._p[self._index_of[node]] = value
+            slot = self._index_of[node]
         except KeyError:
             raise KeyError(f"{node!r} is not in this vector's domain") from None
+        self._materialize_all()
+        self._p[slot] = value
 
     def reset_threshold(self) -> None:
         """Forget the monotone elite threshold ``γ`` (keep probabilities).
@@ -159,6 +274,17 @@ class SelectionProbabilities:
         stage's samples below threshold — freezing the vector for good.
         """
         self.gamma = -math.inf
+
+    def observe_stage_gamma(self, stage_gamma: float) -> float:
+        """Fold one stage's elite quantile into the monotone threshold.
+
+        Algorithm 2 (lines 36–39) keeps ``γ`` monotone across stages;
+        :meth:`update` does this internally from the raw samples, a
+        sharded stage merge computes the quantile from per-shard
+        summaries and reports it here.  Returns the updated ``γ``.
+        """
+        self.gamma = max(self.gamma, stage_gamma)
+        return self.gamma
 
     def replicate(self) -> "SelectionProbabilities":
         """Independent copy sharing the (read-only) domain metadata.
@@ -174,11 +300,17 @@ class SelectionProbabilities:
         clone._candidates = self._candidates
         clone._candidate_ids = self._candidate_ids
         clone._p = list(self._p)
+        clone._age = list(self._age)
+        clone._keeps = list(self._keeps)
+        clone._stale_rounds = self._stale_rounds
+        clone._last_touched = tuple(self._last_touched)
+        clone._slot_materialized = self._slot_materialized
         clone.gamma = self.gamma
         return clone
 
     def as_dict(self) -> dict[NodeId, float]:
         """Dict view ``{candidate: probability}`` (candidate input order)."""
+        self._materialize_all()
         p = self._p
         return {
             node: p[slot]
@@ -205,10 +337,13 @@ class SelectionProbabilities:
         array increment per member — falling back to node-id translation
         for reference-path samples.
 
-        ``compute_movement=False`` skips the O(n) squared-distance
-        accumulation and returns 0.0 (callers without backtracking — the
-        default CBAS-ND configuration — discard the signal anyway); the
-        probability values themselves are updated identically either way.
+        ``compute_movement=False`` (the default CBAS-ND configuration —
+        no backtracking) applies the refit lazily: the uniform ``(1−w)``
+        decay is recorded as a pending round in O(touched) time and
+        materialized on the next read/draw.  ``compute_movement=True``
+        needs the full old/new arrays for the O(n) squared-distance
+        accumulation, so it materializes eagerly first.  The probability
+        values any later read observes are bit-identical either way.
         """
         if not 0.0 < rho <= 1.0:
             raise ValueError(f"rho must lie in (0, 1], got {rho}")
@@ -229,7 +364,6 @@ class SelectionProbabilities:
             # keep the vector unchanged rather than fitting to nothing.
             return 0.0
 
-        p = self._p
         compiled_domain = self.index_map is not None
         index_of = self._index_of
         counts: dict[int, int] = {}
@@ -244,46 +378,133 @@ class SelectionProbabilities:
                     if slot is not None:
                         counts[slot] = counts.get(slot, 0) + 1
 
-        # Eq. (4) + smoothing, restructured around the elite-touched
-        # slots: an untouched slot's elite frequency is 0, so its new
-        # value is exactly ``(1 − w) · old`` (``w·0.0 + x == x`` in IEEE
-        # arithmetic) — applied to the whole array with one C-level
-        # comprehension — while only the ≤ k·|elites| touched slots get
-        # the full formula.  Per-slot values are bit-identical to the
-        # naive full loop; the movement sum groups the untouched term as
-        # ``w² · Σ old²``.  Touched slots are visited in sorted (slot)
-        # order so the movement is independent of how membership was
-        # counted (int ids vs node-id translation).
-        size = len(elites)
-        keep = 1.0 - smoothing
-        old_touched = {slot: p[slot] for slot in counts}
-        total_sq = (
-            sum([value * value for value in p]) if compute_movement else 0.0
+        _, movement = self._refit(
+            counts, len(elites), smoothing, compute_movement
         )
+        return movement
+
+    def update_from_counts(
+        self,
+        counts: Mapping[int, int],
+        elite_size: int,
+        smoothing: float,
+        compute_movement: bool = False,
+    ) -> "tuple[tuple, float]":
+        """Eq. (4) + smoothing from pre-aggregated elite counts.
+
+        The sharded stage merge counts elite membership across worker
+        summaries (slot → number of elite samples containing it) and
+        applies the refit here without ever materializing the samples;
+        given the same counts, elite size, and prior state, the resulting
+        probabilities are bit-identical to :meth:`update`.  The caller is
+        responsible for the threshold bookkeeping
+        (:meth:`observe_stage_gamma`) and for filtering the elites.
+
+        Returns ``(patch, movement)``; the patch is the compact round
+        record ``("round", keep, ((slot, value), …))`` that
+        :meth:`apply_round` replays on worker-resident mirror vectors.
+        """
+        if elite_size < 1:
+            raise ValueError(f"elite_size must be positive, got {elite_size}")
+        if not counts:
+            raise ValueError("elite counts must not be empty")
+        return self._refit(dict(counts), elite_size, smoothing, compute_movement)
+
+    def _refit(
+        self,
+        counts: dict,
+        size: int,
+        smoothing: float,
+        compute_movement: bool,
+    ) -> "tuple[tuple, float]":
+        """Shared Eq. (4) + smoothing arithmetic; returns (patch, movement).
+
+        Eq. (4) + smoothing, restructured around the elite-touched
+        slots: an untouched slot's elite frequency is 0, so its new
+        value is exactly ``(1 − w) · old`` (``w·0.0 + x == x`` in IEEE
+        arithmetic) — recorded as a pending decay round (lazy) or applied
+        with one C-level comprehension (eager, movement path) — while
+        only the ≤ k·|elites| touched slots get the full formula.
+        Per-slot values are bit-identical to the naive full loop; the
+        movement sum groups the untouched term as ``w² · Σ old²``.
+        Touched slots are visited in sorted (slot) order so the movement
+        is independent of how membership was counted (int ids vs node-id
+        translation vs shard aggregation).
+        """
+        if not 0.0 <= smoothing <= 1.0:
+            raise ValueError(
+                f"smoothing weight must lie in [0, 1], got {smoothing}"
+            )
+        keep = 1.0 - smoothing
+        if not compute_movement:
+            slot_values = []
+            for slot in sorted(counts):
+                old = self._materialize_slot(slot)
+                slot_values.append(
+                    (slot, smoothing * (counts[slot] / size) + keep * old)
+                )
+            patch = ("round", keep, tuple(slot_values))
+            self._record_round(keep, slot_values)
+            return patch, 0.0
+
+        self._materialize_all()
+        p = self._p
+        old_touched = {slot: p[slot] for slot in counts}
+        total_sq = sum([value * value for value in p])
         p[:] = [keep * value for value in p]
         touched_sq = 0.0
         touched_term = 0.0
+        slot_values = []
         for slot in sorted(counts):
             old = old_touched[slot]
             new = smoothing * (counts[slot] / size) + keep * old
             p[slot] = new
-            if compute_movement:
-                touched_sq += old * old
-                touched_term += (new - old) ** 2
-        if not compute_movement:
-            return 0.0
-        return smoothing * smoothing * (total_sq - touched_sq) + touched_term
+            slot_values.append((slot, new))
+            touched_sq += old * old
+            touched_term += (new - old) ** 2
+        # The decay was applied in place: record no pending round, but
+        # still hand the caller the patch a mirror needs to replay it.
+        movement = smoothing * smoothing * (total_sq - touched_sq) + touched_term
+        return ("round", keep, tuple(slot_values)), movement
+
+    def _record_round(self, keep: float, slot_values: Sequence[tuple]) -> None:
+        """Book one pending decay round + its touched-slot overwrites."""
+        self._keeps.append(keep)
+        rounds = len(self._keeps)
+        if self._stale_rounds == 0:
+            self._last_touched = tuple(slot for slot, _ in slot_values)
+            self._slot_materialized = False
+        self._stale_rounds += 1
+        p = self._p
+        age = self._age
+        for slot, value in slot_values:
+            p[slot] = value
+            age[slot] = rounds
+
+    def apply_round(self, keep: float, slot_values: Sequence[tuple]) -> None:
+        """Replay a refit round produced by another vector instance.
+
+        Stage-pool workers hold a mirror of each start node's vector and
+        keep it synchronized by replaying the parent's round patches
+        (``keep`` + the touched ``(slot, value)`` pairs).  The pending
+        decay is recorded exactly like the parent's, so a mirror's lazily
+        materialized values stay bit-identical to the parent's.
+        """
+        self._record_round(keep, list(slot_values))
 
     # ------------------------------------------------------------------
     def snapshot(self) -> list[float]:
-        """Copy of the flat array (used by the backtracking controller)."""
+        """Materialized copy of the flat array (backtracking, full resync)."""
+        self._materialize_all()
         return list(self._p)
 
     def restore(self, snapshot: Sequence[float]) -> None:
-        """Reset the vector to a previous :meth:`snapshot`.
+        """Reset the vector to a previous :meth:`snapshot` (or any full array).
 
         Restores in place so borrowed :attr:`array` references (the fast
-        sampler holds one during a stage) stay valid.
+        sampler holds one during a stage) stay valid.  The installed
+        values are taken as fully materialized: pending decay rounds are
+        considered folded in.
         """
         if len(snapshot) != len(self._p):
             raise ValueError(
@@ -291,6 +512,11 @@ class SelectionProbabilities:
                 f"vector length {len(self._p)}"
             )
         self._p[:] = snapshot
+        rounds = len(self._keeps)
+        self._age = [rounds] * len(self._p)
+        self._stale_rounds = 0
+        self._last_touched = ()
+        self._slot_materialized = False
 
     def kl_distance(self, other: "SelectionProbabilities") -> float:
         """Bernoulli-factorized KL distance between two vectors.
@@ -302,6 +528,7 @@ class SelectionProbabilities:
         def _clamp(x: float) -> float:
             return min(1.0 - 1e-12, max(1e-12, x))
 
+        self._materialize_all()
         p_arr = self._p
         total = 0.0
         for node, slot in zip(self._candidates, self._candidate_ids):

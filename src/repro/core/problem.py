@@ -24,7 +24,30 @@ from typing import FrozenSet
 from repro.exceptions import InfeasibleProblemError, ProblemSpecificationError
 from repro.graph.social_graph import NodeId, SocialGraph
 
-__all__ = ["WASOProblem"]
+__all__ = ["WASOProblem", "problem_from_payload_spec"]
+
+
+def problem_from_payload_spec(compiled, spec: dict) -> "WASOProblem":
+    """Rebuild a :class:`WASOProblem` from resident arrays + a spec dict.
+
+    ``compiled`` is the worker-resident
+    :class:`~repro.graph.compiled.CompiledGraph` whose
+    ``payload_token`` matched ``spec["token"]``; the returned problem is
+    backed by its dict-free :class:`~repro.graph.compiled.
+    ArrayBackedGraph` facade, exactly like :meth:`WASOProblem.detached`.
+    """
+    if compiled.payload_token != spec["token"]:
+        raise ValueError(
+            f"resident graph {compiled.payload_token!r} does not match "
+            f"problem spec {spec['token']!r}"
+        )
+    return WASOProblem(
+        graph=compiled.graph,
+        k=spec["k"],
+        connected=spec["connected"],
+        required=frozenset(spec["required"]),
+        forbidden=frozenset(spec["forbidden"]),
+    )
 
 
 @dataclass(frozen=True)
@@ -181,6 +204,34 @@ class WASOProblem:
         frozen arrays along.
         """
         return self.graph.compiled()
+
+    def payload_token(self) -> str:
+        """Identity tag of this problem's frozen graph arrays.
+
+        The token names one freeze of the graph (it survives pickling and
+        :meth:`detached`), so a persistent worker pool can key its
+        resident graph payloads by it: re-plans on the same graph reuse
+        the resident arrays, while any mutation produces a fresh freeze —
+        and therefore a fresh token — invalidating them.
+        """
+        return self.compiled().payload_token
+
+    def payload_spec(self) -> dict:
+        """Everything but the graph, as a small picklable dict.
+
+        A stage-pool worker whose resident arrays match
+        :meth:`payload_token` rebuilds this exact problem with
+        :func:`problem_from_payload_spec` — re-plans (a growing
+        ``forbidden`` set on an unchanged graph) ship only this spec,
+        never the O(V+E) arrays.
+        """
+        return {
+            "token": self.payload_token(),
+            "k": self.k,
+            "connected": self.connected,
+            "required": tuple(self.required),
+            "forbidden": tuple(self.forbidden),
+        }
 
     def detached(self) -> "WASOProblem":
         """Slim, dict-free copy of this problem for worker processes.

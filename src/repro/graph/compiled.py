@@ -49,6 +49,9 @@ line.
 
 from __future__ import annotations
 
+import itertools
+import os
+
 from repro.exceptions import NodeNotFoundError
 from repro.graph.social_graph import NodeId, SocialGraph
 
@@ -65,9 +68,19 @@ _PICKLED_SLOTS = (
     "out_w",
     "weighted_interest",
     "tightness_weight",
+    "payload_token",
     "_component_sizes",
     "_component_labels",
 )
+
+#: Source of :attr:`CompiledGraph.payload_token` values — one fresh token
+#: per freeze, namespaced by pid so tokens minted by different processes
+#: never collide.
+_PAYLOAD_COUNTER = itertools.count()
+
+
+def _new_payload_token() -> str:
+    return f"cg-{os.getpid()}-{next(_PAYLOAD_COUNTER)}"
 
 
 class CompiledGraph:
@@ -90,6 +103,7 @@ class CompiledGraph:
         "weighted_interest",
         "tightness_weight",
         "potential",
+        "payload_token",
         "row_targets",
         "row_edges",
         "row_id_edges",
@@ -120,6 +134,12 @@ class CompiledGraph:
         self.weighted_interest = weighted_interest
         self.tightness_weight = tightness_weight
         self.potential = potential
+        #: Identity tag of this freeze.  A re-freeze (graph mutation)
+        #: mints a new token while pickling, :meth:`detach`, and worker
+        #: unpickling all preserve it — so a stage-pool worker can tell
+        #: "the arrays already resident here" from "a new graph I must be
+        #: sent" without comparing the arrays themselves.
+        self.payload_token = _new_payload_token()
         self._component_sizes: "list[int] | None" = None
         self._component_labels: "list[int] | None" = None
         self._build_row_views()

@@ -23,6 +23,18 @@ of resetting to the homogeneous prior.  Each solve's
 ``SolveStats.extra`` records ``replans`` (count so far) and
 ``replan_samples`` (budget actually drawn per planning round) so the
 "online is fast" claim is observable.
+
+Stage-sharded re-planning: when the solver runs a
+:class:`~repro.parallel.stage_pool.ShardedStageExecutor`, the planner's
+re-plans reuse the executor's persistent worker pool *and* the graph
+arrays already resident in it — declines only grow the ``forbidden``
+set, which leaves the frozen index (and therefore its payload token)
+unchanged, so each re-plan ships an O(1) problem spec instead of the
+O(V+E) graph.  ``SolveStats.extra["graph_shipped"]`` exposes this: it is
+``True`` for the initial plan and ``False`` for every warm re-plan.
+Use the planner as a context manager (or call :meth:`OnlinePlanner.
+close`) to tear the executor's owned pool down when the planning session
+ends.
 """
 
 from __future__ import annotations
@@ -178,6 +190,26 @@ class OnlinePlanner:
             self.record_accept(node)
         assert self.current is not None
         return self.current
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release solver-held execution resources (idempotent).
+
+        A stage-sharded solver keeps a worker pool warm between re-plans
+        so the graph stays resident; closing the planner closes that
+        executor (which tears the pool down only if the executor owns
+        it — a caller-shared :class:`~repro.parallel.stage_pool.
+        StagePool` stays up for other solvers).
+        """
+        executor = getattr(self.solver, "executor", None)
+        if executor is not None and hasattr(executor, "close"):
+            executor.close()
+
+    def __enter__(self) -> "OnlinePlanner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _current_problem(self) -> WASOProblem:

@@ -1,4 +1,31 @@
-"""Parallel execution of the randomized solvers (paper Fig. 5(d))."""
+"""Parallel execution of the randomized solvers (paper Fig. 5(d)).
+
+Two complementary modes, both process-based (CPython's GIL rules out the
+paper's OpenMP threads):
+
+* **Solve-level best-of** (:mod:`repro.parallel.pool`,
+  :class:`ParallelSolver`): the budget ``T`` is split into ``W``
+  independent whole solves and the best result wins.  Each worker
+  re-derives its OCBA allocation — and CBAS-ND's cross-entropy fit —
+  from only its ``T/W`` slice of the evidence.  Use it for
+  portfolio-style throughput: many independent restarts on small/medium
+  instances, where statistical diversity across workers is the point and
+  nothing needs to be shared between them.
+* **Stage-level sharded CE** (:mod:`repro.parallel.stage_pool`,
+  :class:`StagePool` + :class:`ShardedStageExecutor`): the draws *inside*
+  each CBAS/CBAS-ND stage are sharded across a persistent worker pool
+  and merged at stage boundaries, so every Eq. (4) refit sees the *full*
+  elite set — exactly the paper's OpenMP loop, with the frozen graph
+  arrays resident in the workers across stages, solves, and online
+  re-planning rounds.  Use it to accelerate a *single* large solve
+  (big ``n``/``T``) at full statistical strength, and for re-planning
+  loops where re-shipping the graph per solve would dominate.
+
+Rule of thumb: one big solve → stage-level; many small solves →
+solve-level.  The modes compose with everything else (engines, warm
+starts); stage-level requires ``engine="compiled"`` because workers hold
+only the detached flat arrays.
+"""
 
 from repro.parallel.pool import (
     ParallelSolver,
@@ -6,9 +33,12 @@ from repro.parallel.pool import (
     split_budget,
     worker_payload_bytes,
 )
+from repro.parallel.stage_pool import ShardedStageExecutor, StagePool
 
 __all__ = [
     "ParallelSolver",
+    "ShardedStageExecutor",
+    "StagePool",
     "parallel_solve",
     "split_budget",
     "worker_payload_bytes",

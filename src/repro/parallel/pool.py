@@ -1,18 +1,21 @@
-"""Multi-worker execution of the randomized solvers.
+"""Solve-level multi-worker execution (best-of over budget slices).
 
-The paper parallelizes CBAS / CBAS-ND with OpenMP and reports a ~7.6×
-speedup on 8 threads (Fig. 5(d)); the samples drawn from different start
-nodes are independent, so the workload is embarrassingly parallel.  CPython
-threads cannot exploit that (GIL), so the equivalent here is a *process*
-pool: the total budget ``T`` is split into one share per worker (the
-remainder spread over the first workers so no sample is dropped), each
-worker runs the underlying solver on its share with an independent RNG
-stream, and the best of the partial results wins.
+This module is the *solve-level* of the two parallel modes (see
+:mod:`repro.parallel` for when to use which): the total budget ``T`` is
+split into one share per worker (the remainder spread over the first
+workers so no sample is dropped), each worker runs an **independent
+whole solve** on its share with its own RNG stream, and the best of the
+partial results wins.  CPython threads cannot exploit the paper's OpenMP
+parallelism (GIL), so workers are processes.
 
-This is the same statistical computation as a single run with budget ``T``
-up to budget-allocation granularity (each worker re-derives its own OCBA
-allocation from its own samples), which mirrors the paper's OpenMP loop —
-its threads also synchronize only at stage boundaries.
+The statistical fine print: each worker re-derives its own OCBA
+allocation — and, for CBAS-ND, refits its own cross-entropy vectors —
+from only its ``T/W`` slice of the evidence.  That weakens the CE fit
+relative to one solve with the full budget, and it cannot accelerate a
+*single* large solve.  Both limitations are what the stage-level mode
+(:mod:`repro.parallel.stage_pool`) exists for; this mode remains the
+right tool for portfolio-style throughput (many independent restarts,
+keep the best).
 
 Worker payloads are slim: when every worker solver runs the compiled
 engine (the default), the pool ships ``problem.detached()`` — the frozen
@@ -20,6 +23,9 @@ flat arrays behind an :class:`~repro.graph.compiled.ArrayBackedGraph`
 facade, **no adjacency dicts** — and each worker reconstructs its solve
 state locally from the arrays.  Only a solver explicitly configured with
 ``engine="reference"`` falls back to pickling the full dict graph.
+Callers that run many measurements (e.g. the Fig. 5(d) bench sweeping
+worker counts) can pass a pre-started ``ProcessPoolExecutor`` via
+``pool=`` so per-run process startup does not pollute the timings.
 """
 
 from __future__ import annotations
@@ -95,12 +101,18 @@ def parallel_solve(
     total_budget: int,
     workers: int,
     rng: RngLike = None,
+    pool: "ProcessPoolExecutor | None" = None,
 ) -> SolveResult:
     """Split ``total_budget`` across ``workers`` processes and merge.
 
     ``solver_factory(budget)`` must build a solver configured with the
     given per-worker budget.  ``workers == 1`` runs inline (no process
     overhead), so speedup measurements have an honest baseline.
+
+    ``pool`` reuses a caller-owned ``ProcessPoolExecutor`` (it must offer
+    at least ``workers`` processes and is *not* shut down here) so a
+    sweep over worker counts measures solving, not process startup; by
+    default a fresh pool is created and torn down per call.
     """
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
@@ -132,8 +144,11 @@ def parallel_solve(
     tasks = [
         (payload, solver, seed) for solver, seed in zip(solvers, seeds)
     ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    if pool is not None:
         outcomes = list(pool.map(_worker, tasks))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as owned_pool:
+            outcomes = list(owned_pool.map(_worker, tasks))
 
     best_members, best_value = None, -float("inf")
     stats = SolveStats()
@@ -161,6 +176,10 @@ class ParallelSolver(Solver):
         Total computational budget ``T``.
     workers:
         Number of processes (1 = inline execution).
+    pool:
+        Optional caller-owned ``ProcessPoolExecutor`` reused across
+        solves (see :func:`parallel_solve`); the solver never shuts it
+        down.
     solver_kwargs:
         Extra arguments for each worker's :class:`CBASND` (``m``,
         ``stages``, ``rho``, ...).
@@ -172,6 +191,7 @@ class ParallelSolver(Solver):
         self,
         budget: int = 400,
         workers: int = 2,
+        pool: "ProcessPoolExecutor | None" = None,
         **solver_kwargs,
     ) -> None:
         if budget < 1:
@@ -180,6 +200,7 @@ class ParallelSolver(Solver):
             raise ValueError(f"workers must be positive, got {workers}")
         self.budget = budget
         self.workers = workers
+        self.pool = pool
         self.solver_kwargs = solver_kwargs
 
     def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
@@ -192,4 +213,5 @@ class ParallelSolver(Solver):
             total_budget=self.budget,
             workers=self.workers,
             rng=rng,
+            pool=self.pool,
         )

@@ -1,0 +1,549 @@
+"""Stage-sharded parallel CE execution over a persistent worker pool.
+
+This is the process-based equivalent of the paper's OpenMP loop
+(Fig. 5(d)): the sample draws *inside* each CBAS / CBAS-ND stage are
+sharded across workers, and the workers synchronize only at stage
+boundaries — every stage's cross-entropy refit sees the **full** merged
+elite evidence, unlike :class:`~repro.parallel.pool.ParallelSolver`,
+which runs independent whole solves on budget slices and therefore
+refits each worker's CE vector from 1/W of the evidence.
+
+Architecture
+------------
+* :class:`StagePool` — W long-lived worker processes, each holding the
+  problem's frozen :class:`~repro.graph.compiled.CompiledGraph` arrays
+  *resident* across stages, solves, and online re-planning rounds.
+  Payloads are keyed by :attr:`~repro.graph.compiled.CompiledGraph.
+  payload_token`: a re-plan on the same graph ships only the O(1)
+  problem spec (``k`` / ``required`` / ``forbidden``), while a graph
+  mutation mints a new token and transparently invalidates the resident
+  arrays.
+* :class:`ShardedStageExecutor` — the :class:`~repro.algorithms.
+  stage_exec.StageExecutor` strategy solvers plug in.  Per stage it
+  splits every funded start node's budget share into per-worker shards
+  (budget + RNG seed + pending CE-vector sync patches — a few hundred
+  bytes), and merges the workers' compact
+  :class:`~repro.algorithms.sampling.ShardSummary` replies: OCBA
+  statistics (min/max/count merge exactly; Welford moments via the
+  parallel combination), the incumbent best sample, and one Eq. (4)
+  refit from the merged elite set.
+* Workers draw with the exact same compiled kernel
+  (:meth:`~repro.algorithms.sampling.ExpansionSampler.draw_batch`) and
+  mirror each start's :class:`~repro.ce.probability.
+  SelectionProbabilities` by replaying the parent's refit patches, so a
+  shard's draws are bit-identical to a serial run fed the same
+  per-shard RNG streams (``tests/test_stage_parallel.py`` proves the
+  merged elite set and refit vector match a serial reconstruction of
+  the concatenated sample stream).
+
+Semantics versus serial execution
+---------------------------------
+A stage-sharded solve is *not* RNG-stream-identical to the default
+serial solve (the draws come from per-shard generators), but it is the
+same statistical computation with the same per-stage elite refit — the
+paper makes the same observation about its OpenMP runs.  Two designed
+divergences: the consecutive-failure write-off cap is enforced per
+shard (a failing start can draw up to one shard's worth of extra
+attempts before every worker notices), and the Gaussian allocation
+model sees merged rather than serially-accumulated Welford moments.
+The default uniform allocation reads only min/max/count, which merge
+exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import random
+import traceback
+from typing import Optional
+
+from repro.algorithms.sampling import (
+    ExpansionSampler,
+    Sample,
+    seed_for_start,
+    summarize_shard,
+)
+from repro.algorithms.stage_exec import (
+    MAX_CONSECUTIVE_FAILURES,
+    StageContext,
+    StageExecutor,
+)
+from repro.ce.probability import SelectionProbabilities
+from repro.core.problem import problem_from_payload_spec
+from repro.core.willingness import FastWillingnessEvaluator
+from repro.parallel.pool import split_budget
+
+__all__ = ["StagePool", "ShardedStageExecutor"]
+
+#: Solve ids are unique per parent process so a worker can detect stage
+#: requests for a solve it was never set up for.
+_SOLVE_COUNTER = itertools.count()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _apply_patch(vector: SelectionProbabilities, patch: tuple) -> None:
+    """Replay one parent-side vector change on a worker mirror."""
+    kind = patch[0]
+    if kind == "round":
+        vector.apply_round(patch[1], patch[2])
+    elif kind == "full":
+        vector.restore(patch[1])
+    else:  # pragma: no cover - protocol guard
+        raise ValueError(f"unknown vector patch kind {kind!r}")
+
+
+class _WorkerSolveState:
+    """One solve's worker-resident execution state.
+
+    Rebuilt per solve from the resident compiled arrays plus the small
+    solve spec: the problem, the shared sampler (whose per-seed cache
+    amortizes across all stages of the solve), and — for CBAS-ND — one
+    mirror probability vector per start node, kept in sync with the
+    parent by replaying refit patches.
+    """
+
+    def __init__(self, compiled, spec: dict) -> None:
+        self.solve_id = spec["solve_id"]
+        problem = problem_from_payload_spec(compiled, spec["problem"])
+        evaluator = FastWillingnessEvaluator(compiled)
+        self.sampler = ExpansionSampler(problem, evaluator)
+        self.seeds = [seed_for_start(problem, start) for start in spec["starts"]]
+        self.mode = spec["mode"]
+        self.max_failures = spec["max_failures"]
+        self.vectors: "list[SelectionProbabilities] | None" = None
+        if self.mode == "ce":
+            # Bit-identical to the parent's cold vectors: same candidate
+            # order (compiled node order minus forbidden), same k, same
+            # rebuilt index_of.  Warm vectors ship their arrays.
+            template = SelectionProbabilities(
+                problem.candidates(),
+                problem.k,
+                index_of=compiled.index_of,
+                size=compiled.number_of_nodes,
+            )
+            vectors = []
+            for initial in spec["vectors"]:
+                vector = template.replicate()
+                if initial is not None:
+                    vector.restore(initial)
+                vectors.append(vector)
+            self.vectors = vectors
+
+    def run_entry(self, entry: dict):
+        """Draw one shard and reduce it to a :class:`ShardSummary`."""
+        index = entry["start"]
+        weight_array = None
+        if self.vectors is not None:
+            vector = self.vectors[index]
+            for patch in entry["sync"]:
+                _apply_patch(vector, patch)
+            weight_array = vector.array
+        rng = random.Random(entry["seed"])
+        carry = entry["failures"]
+        batch = self.sampler.draw_batch(
+            self.seeds[index],
+            rng,
+            entry["count"],
+            weight_array=weight_array,
+            failures=carry,
+            max_failures=self.max_failures,
+        )
+        return summarize_shard(
+            batch,
+            entry["keep_rank"],
+            max_failures=self.max_failures,
+            carry_failures=carry,
+        )
+
+
+def _stage_worker_main(conn) -> None:
+    """Worker process loop: resident graphs + per-solve state + stage RPC."""
+    resident: dict = {}
+    solve: "Optional[_WorkerSolveState]" = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "close":
+            break
+        try:
+            if kind == "graph":
+                _, token, compiled = message
+                # Keep exactly the latest graph resident: payloads are
+                # O(V+E) and a superseded freeze is never asked for again.
+                resident.clear()
+                resident[token] = compiled
+                reply = ("ok", token)
+            elif kind == "solve":
+                _, spec = message
+                token = spec["problem"]["token"]
+                if token not in resident:
+                    raise RuntimeError(
+                        f"graph {token!r} is not resident in this worker"
+                    )
+                solve = _WorkerSolveState(resident[token], spec)
+                reply = ("ok", solve.solve_id)
+            elif kind == "stage":
+                _, solve_id, entries = message
+                if solve is None or solve.solve_id != solve_id:
+                    raise RuntimeError(
+                        f"stage request for unknown solve {solve_id!r}"
+                    )
+                reply = ("ok", [solve.run_entry(entry) for entry in entries])
+            else:
+                raise RuntimeError(f"unknown stage-pool message {kind!r}")
+        except BaseException:
+            reply = ("error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class StagePool:
+    """W persistent worker processes with resident graph payloads.
+
+    The pool outlives individual solves: create it once, hand it to any
+    number of :class:`ShardedStageExecutor` solves (one at a time), and
+    :meth:`close` it when done (also usable as a context manager).
+    Workers keep the latest installed graph's frozen arrays resident, so
+    repeated solves and online re-planning rounds on one graph pay the
+    O(V+E) payload shipping exactly once.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        context = multiprocessing.get_context()
+        self._procs = []
+        self._conns = []
+        for _ in range(workers):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_stage_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._resident_token: Optional[str] = None
+        #: Number of graph payload installs performed (tests / stats).
+        self.installs = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    @property
+    def resident_token(self) -> Optional[str]:
+        """Payload token of the graph currently resident in the workers."""
+        return self._resident_token
+
+    # ------------------------------------------------------------------
+    def _broadcast(self, message) -> None:
+        # Serialize once and fan the bytes out: Connection.send would
+        # re-pickle the message per worker, which matters for the
+        # O(V+E) graph install (the workers' recv() unpickles either way).
+        data = pickle.dumps(message)
+        for conn in self._conns:
+            conn.send_bytes(data)
+
+    def _gather(self) -> list:
+        """One reply per worker; raises if any worker reported an error."""
+        replies = [conn.recv() for conn in self._conns]
+        errors = [payload for kind, payload in replies if kind == "error"]
+        if errors:
+            raise RuntimeError(
+                "stage-pool worker failed:\n" + "\n".join(errors)
+            )
+        return [payload for _, payload in replies]
+
+    # ------------------------------------------------------------------
+    def ensure_resident(self, problem) -> bool:
+        """Install ``problem``'s frozen graph arrays where missing.
+
+        Returns ``True`` when the payload was actually shipped, ``False``
+        when the workers already held this freeze (re-plans, repeated
+        solves).  The payload is the dict-free detached index — the same
+        slim arrays :func:`~repro.parallel.pool.parallel_solve` ships.
+        """
+        if self._closed:
+            raise RuntimeError("stage pool is closed")
+        token = problem.payload_token()
+        if token == self._resident_token:
+            return False
+        self._broadcast(("graph", token, problem.compiled().detach()))
+        self._gather()
+        self._resident_token = token
+        self.installs += 1
+        return True
+
+    def start_solve(self, spec: dict) -> None:
+        """Set up per-solve worker state (problem spec, CE mirrors)."""
+        self._broadcast(("solve", spec))
+        self._gather()
+
+    def run_stage(self, solve_id: int, worker_entries: "list[list[dict]]"):
+        """Execute one stage: ``worker_entries[w]`` goes to worker ``w``.
+
+        Returns, per worker, the list of :class:`~repro.algorithms.
+        sampling.ShardSummary` results aligned with that worker's entries.
+        """
+        if len(worker_entries) != len(self._conns):
+            raise ValueError(
+                f"expected entries for {len(self._conns)} workers, "
+                f"got {len(worker_entries)}"
+            )
+        for conn, entries in zip(self._conns, worker_entries):
+            conn.send(("stage", solve_id, entries))
+        return self._gather()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down (best effort, idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "StagePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"StagePool(workers={self.workers}, {state})"
+
+
+class ShardedStageExecutor(StageExecutor):
+    """Stage strategy that shards every stage's draws across a pool.
+
+    Parameters
+    ----------
+    pool:
+        A :class:`StagePool` to run on (shared, not closed by this
+        executor) — or ``None`` to create an owned pool of ``workers``
+        processes, which :meth:`close` then tears down.
+    workers:
+        Worker count for the owned pool (ignored when ``pool`` is given).
+    trace:
+        Record a per-stage shard/merge trace on :attr:`trace` — used by
+        the shard-merge equivalence tests to replay the exact per-shard
+        RNG streams serially; off by default (it retains kept samples).
+    """
+
+    def __init__(
+        self,
+        pool: Optional[StagePool] = None,
+        workers: Optional[int] = None,
+        trace: bool = False,
+    ) -> None:
+        if pool is None:
+            if workers is None:
+                raise ValueError("need either a pool or a worker count")
+            pool = StagePool(workers)
+            self._owns_pool = True
+        else:
+            self._owns_pool = False
+        self.pool = pool
+        self.trace: "list | None" = [] if trace else None
+        self._solve_id: Optional[int] = None
+        self._patch_log: "list[list] | None" = None
+        self._synced: "list[list[int]] | None" = None
+
+    # ------------------------------------------------------------------
+    def begin_solve(self, ctx: StageContext) -> None:
+        solver = ctx.solver
+        if not ctx.sampler.is_compiled:
+            raise ValueError(
+                "stage-sharded execution requires engine='compiled': the "
+                "workers hold the detached flat arrays, which cannot back "
+                "the dict-based reference path"
+            )
+        problem = ctx.problem
+        shipped = self.pool.ensure_resident(problem)
+        self._solve_id = next(_SOLVE_COUNTER)
+        mode = solver._shard_mode()
+        spec = {
+            "solve_id": self._solve_id,
+            "problem": problem.payload_spec(),
+            "starts": list(ctx.starts),
+            "mode": mode,
+            "max_failures": MAX_CONSECUTIVE_FAILURES,
+            "vectors": solver._shard_initial_vectors(),
+        }
+        self.pool.start_solve(spec)
+        start_count = len(ctx.starts)
+        self._patch_log = [[] for _ in range(start_count)]
+        self._synced = [
+            [0] * start_count for _ in range(self.pool.workers)
+        ]
+        ctx.stats.extra["stage_workers"] = self.pool.workers
+        ctx.stats.extra["graph_shipped"] = shipped
+        if self.trace is not None:
+            self.trace.append({"solve_id": self._solve_id, "stages": []})
+
+    # ------------------------------------------------------------------
+    def run_stage(self, ctx: StageContext, shares: "list[int]") -> None:
+        solver = ctx.solver
+        node_stats = ctx.node_stats
+        workers = self.pool.workers
+        funded = [
+            (index, share)
+            for index, share in enumerate(shares)
+            if share != 0 and not node_stats[index].pruned
+        ]
+        if not funded:
+            return
+
+        worker_entries: "list[list[dict]]" = [[] for _ in range(workers)]
+        placements = []
+        for index, share in funded:
+            shard_counts = split_budget(share, min(workers, share))
+            seeds = [ctx.rng.randrange(2**63) for _ in shard_counts]
+            keep_rank = solver._shard_keep_rank(share)
+            carry = ctx.failures[index]
+            pending = self._patch_log[index]
+            positions = []
+            for shard, (count, seed) in enumerate(zip(shard_counts, seeds)):
+                entry = {
+                    "start": index,
+                    "count": count,
+                    "seed": seed,
+                    # The carry-in consecutive-failure counter seeds the
+                    # first shard only; the others start fresh.
+                    "failures": carry if shard == 0 else 0,
+                    "keep_rank": keep_rank,
+                    "sync": pending[self._synced[shard][index] :],
+                }
+                worker_entries[shard].append(entry)
+                self._synced[shard][index] = len(pending)
+                positions.append((shard, len(worker_entries[shard]) - 1))
+            placements.append(
+                (index, carry, shard_counts, seeds, keep_rank, positions)
+            )
+
+        results = self.pool.run_stage(self._solve_id, worker_entries)
+
+        stats = ctx.stats
+        best_sample = ctx.best_sample
+        stage_trace = [] if self.trace is not None else None
+        for index, carry, shard_counts, seeds, keep_rank, positions in placements:
+            summaries = [results[worker][pos] for worker, pos in positions]
+            attempts = sum(s.attempts for s in summaries)
+            successes = sum(s.successes for s in summaries)
+            stats.samples_drawn += attempts
+            stats.failed_samples += attempts - successes
+
+            # Consecutive-failure carry-out over the concatenated stream;
+            # a shard that hit the write-off cap locally prunes, exactly
+            # like the serial loop's running counter.
+            counter = carry
+            hit_cap = False
+            for summary in summaries:
+                hit_cap = hit_cap or summary.hit_cap
+                if summary.successes:
+                    counter = summary.trailing_failures
+                else:
+                    counter += summary.failures
+            ctx.failures[index] = counter
+            if hit_cap or counter >= MAX_CONSECUTIVE_FAILURES:
+                node_stats[index].pruned = True
+
+            kept = [pair for summary in summaries for pair in summary.kept]
+            if successes:
+                stat = node_stats[index]
+                for summary in summaries:
+                    stat.merge_summary(
+                        summary.successes,
+                        summary.min_w,
+                        summary.max_w,
+                        summary.mean,
+                        summary.m2,
+                    )
+                # Incumbent best: first occurrence (in concatenated draw
+                # order) of the stage maximum, compared strictly — the
+                # same tie-breaking as the serial per-sample update.
+                top = max(willingness for willingness, _ in kept)
+                if best_sample is None or top > best_sample.willingness:
+                    for willingness, indices in kept:
+                        if willingness == top:
+                            best_sample = self._make_sample(
+                                ctx, willingness, indices
+                            )
+                            break
+
+            patch = solver._merge_start_stage(index, successes, kept, stats)
+            if patch is not None:
+                self._patch_log[index].append(patch)
+            if stage_trace is not None:
+                stage_trace.append(
+                    {
+                        "start": index,
+                        "shards": list(zip(shard_counts, seeds)),
+                        "carry": carry,
+                        "keep_rank": keep_rank,
+                        "successes": successes,
+                        "kept": kept,
+                    }
+                )
+        ctx.best_sample = best_sample
+        if stage_trace is not None:
+            self.trace[-1]["stages"].append(stage_trace)
+
+    @staticmethod
+    def _make_sample(
+        ctx: StageContext, willingness: float, indices: "tuple[int, ...]"
+    ) -> Sample:
+        nodes = ctx.sampler.evaluator.compiled.nodes
+        return Sample(
+            members=frozenset(nodes[index] for index in indices),
+            willingness=willingness,
+            indices=tuple(indices),
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the pool if this executor owns it."""
+        if self._owns_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "ShardedStageExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -291,3 +291,121 @@ class TestBacktrackController:
         controller = BacktrackController(threshold=0.5)
         probs = SelectionProbabilities(range(3), k=2)
         assert not controller.observe(probs, movement=0.0)
+
+
+class TestLazyDecay:
+    """The lazily-applied (1−w) decay must equal the eager pass bitwise.
+
+    The eager reference below replays the historical implementation:
+    every update multiplies the whole array by ``keep`` with one
+    comprehension, then overwrites the touched slots.  The lazy path
+    (compute_movement=False) must materialize to the exact same floats —
+    successive factored multiplies, never an accumulated scale product.
+    """
+
+    @staticmethod
+    def _eager_reference(rounds, length, k=3):
+        probs = [0.0] * length
+        initial = (k - 1) / length
+        for slot in range(length):
+            probs[slot] = initial
+        for smoothing, counts, size in rounds:
+            keep = 1.0 - smoothing
+            old = {slot: probs[slot] for slot in counts}
+            probs[:] = [keep * value for value in probs]
+            for slot in sorted(counts):
+                probs[slot] = smoothing * (counts[slot] / size) + keep * old[slot]
+        return probs
+
+    @staticmethod
+    def _rounds(count, length, seed=0):
+        rng = __import__("random").Random(seed)
+        rounds = []
+        for _ in range(count):
+            touched = rng.sample(range(length), 4)
+            counts = {slot: rng.randrange(1, 4) for slot in touched}
+            rounds.append((rng.choice([0.9, 0.7, 0.5]), counts, 3))
+        return rounds
+
+    def test_lazy_matches_eager_without_reads(self):
+        length = 32
+        rounds = self._rounds(6, length)
+        vector = SelectionProbabilities(
+            range(length), 3, index_of={i: i for i in range(length)}
+        )
+        for smoothing, counts, size in rounds:
+            vector.update_from_counts(counts, size, smoothing)
+        assert vector.snapshot() == self._eager_reference(rounds, length)
+
+    def test_lazy_matches_eager_with_interleaved_reads(self):
+        """Per-slot reads between rounds must not perturb materialization."""
+        length = 32
+        rounds = self._rounds(6, length, seed=1)
+        vector = SelectionProbabilities(
+            range(length), 3, index_of={i: i for i in range(length)}
+        )
+        rng = __import__("random").Random(9)
+        for smoothing, counts, size in rounds:
+            vector.update_from_counts(counts, size, smoothing)
+            # Probe a few slots (reference-path style single reads) and
+            # occasionally the whole array (compiled-path draws).
+            for slot in rng.sample(range(length), 3):
+                vector.probability(slot)
+            if rng.random() < 0.5:
+                assert vector.array is not None
+        assert vector.snapshot() == self._eager_reference(rounds, length)
+
+    def test_movement_path_matches_lazy_values(self):
+        """compute_movement=True (eager) and False (lazy) agree bitwise."""
+        length = 16
+        rounds = self._rounds(5, length, seed=2)
+        lazy = SelectionProbabilities(
+            range(length), 3, index_of={i: i for i in range(length)}
+        )
+        eager = SelectionProbabilities(
+            range(length), 3, index_of={i: i for i in range(length)}
+        )
+        for smoothing, counts, size in rounds:
+            lazy.update_from_counts(counts, size, smoothing)
+            eager.update_from_counts(
+                counts, size, smoothing, compute_movement=True
+            )
+        assert lazy.snapshot() == eager.snapshot()
+
+    def test_replicate_preserves_pending_rounds(self):
+        length = 8
+        vector = SelectionProbabilities(
+            range(length), 3, index_of={i: i for i in range(length)}
+        )
+        vector.update_from_counts({0: 1, 1: 1, 2: 1}, 1, 0.9)
+        clone = vector.replicate()
+        assert clone.snapshot() == vector.snapshot()
+
+    def test_cross_engine_draws_bit_identical_under_lazy_decay(self):
+        """Seeded CBAS-ND runs stay engine-identical with lazy decay.
+
+        Many stages on a small budget maximize pending-round depth (some
+        starts skip stages, accumulating multiple lazy rounds) — the
+        regime most likely to expose a decay that is *almost* the eager
+        value.  Both engines share the lazy implementation, but they
+        read through different paths (flat array vs per-node dict
+        probes), so any materialization drift would desynchronize the
+        weighted draws and the resulting groups.
+        """
+        from repro.algorithms.cbas_nd import CBASND
+        from repro.core.problem import WASOProblem
+        from repro.graph.generators import facebook_like
+
+        graph = facebook_like(150, seed=21)
+        problem = WASOProblem(graph=graph, k=5)
+        for seed in (3, 11):
+            compiled = CBASND(budget=160, m=8, stages=8, engine="compiled")
+            reference = CBASND(budget=160, m=8, stages=8, engine="reference")
+            got = compiled.solve(problem, rng=seed)
+            want = reference.solve(problem, rng=seed)
+            assert got.members == want.members
+            assert got.willingness == want.willingness
+            # And the surviving CE vectors themselves agree bitwise.
+            for start, vector in compiled.last_warm_state.vectors.items():
+                twin = reference.last_warm_state.vectors[start]
+                assert vector.as_dict() == twin.as_dict()

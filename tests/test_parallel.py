@@ -120,6 +120,28 @@ class TestParallelSolve:
         with pytest.raises(ValueError):
             parallel_solve(problem, factory, total_budget=1, workers=4)
 
+    def test_reuses_caller_owned_pool(self, small_facebook):
+        """A shared executor serves several runs and is not shut down."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        problem = WASOProblem(graph=small_facebook, k=5)
+        factory = lambda budget: CBASND(  # noqa: E731
+            budget=budget, m=5, stages=3
+        )
+        with ProcessPoolExecutor(max_workers=2) as shared:
+            first = parallel_solve(
+                problem, factory, total_budget=60, workers=2, rng=4,
+                pool=shared,
+            )
+            second = parallel_solve(
+                problem, factory, total_budget=60, workers=2, rng=5,
+                pool=shared,
+            )
+            assert first.solution.is_feasible(problem)
+            assert second.solution.is_feasible(problem)
+            # The pool survives parallel_solve: it still accepts work.
+            assert shared.submit(sum, (1, 2)).result() == 3
+
 
 class TestParallelSolver:
     def test_solver_interface(self, small_facebook):

@@ -1,0 +1,403 @@
+"""Tests for stage-sharded parallel CE execution (repro.parallel.stage_pool).
+
+The load-bearing property is *shard-merge correctness*: a stage-sharded
+run with W shards and fixed per-shard seeds must produce the identical
+per-stage elite sets and refit vectors as a serial run fed the same
+concatenated sample stream.  The equivalence test below replays the
+executor's trace — per stage, per funded start: the shard budgets and
+RNG seeds — through a single in-process sampler and compares elite sets
+and the final probability arrays bit-for-bit.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.cbas import CBAS
+from repro.algorithms.cbas_nd import CBASND
+from repro.algorithms.sampling import (
+    ExpansionSampler,
+    Sample,
+    seed_for_start,
+    summarize_shard,
+)
+from repro.algorithms.stage_exec import MAX_CONSECUTIVE_FAILURES
+from repro.ce.probability import SelectionProbabilities, elite_threshold
+from repro.core.problem import WASOProblem
+from repro.core.willingness import evaluator_for
+from repro.online.replanning import OnlinePlanner
+from repro.parallel import ShardedStageExecutor, StagePool
+
+
+@pytest.fixture(scope="module")
+def stage_pool():
+    """One warm two-worker pool shared by the multiprocess tests."""
+    with StagePool(2) as pool:
+        yield pool
+
+
+def _sample(indices, willingness):
+    return Sample(
+        members=frozenset(f"n{i}" for i in indices),
+        willingness=willingness,
+        indices=tuple(indices),
+    )
+
+
+class TestSummarizeShard:
+    def test_counts_and_moments(self):
+        batch = [_sample((0, 1), 5.0), None, _sample((1, 2), 3.0), None, None]
+        summary = summarize_shard(batch, keep_rank=1)
+        assert summary.attempts == 5
+        assert summary.successes == 2
+        assert summary.failures == 3
+        assert summary.trailing_failures == 2
+        assert summary.min_w == 3.0
+        assert summary.max_w == 5.0
+        assert summary.mean == pytest.approx(4.0)
+        # keep_rank=1 retains only the best sample.
+        assert summary.kept == ((5.0, (0, 1)),)
+
+    def test_kept_includes_threshold_ties(self):
+        batch = [
+            _sample((0,), 5.0),
+            _sample((1,), 4.0),
+            _sample((2,), 4.0),
+            _sample((3,), 1.0),
+        ]
+        summary = summarize_shard(batch, keep_rank=2)
+        # The rank-2 value is 4.0; both samples tied at it are kept.
+        assert summary.kept == ((5.0, (0,)), (4.0, (1,)), (4.0, (2,)))
+
+    def test_hit_cap_uses_carry(self):
+        batch = [None, None]
+        summary = summarize_shard(
+            batch, keep_rank=1, max_failures=5, carry_failures=3
+        )
+        assert summary.hit_cap
+        assert summary.successes == 0
+        no_carry = summarize_shard(batch, keep_rank=1, max_failures=5)
+        assert not no_carry.hit_cap
+
+    def test_trailing_reset_by_success(self):
+        batch = [None, None, _sample((0,), 2.0)]
+        summary = summarize_shard(
+            batch, keep_rank=1, max_failures=5, carry_failures=4
+        )
+        assert summary.trailing_failures == 0
+        assert not summary.hit_cap
+
+
+class TestUpdateFromCounts:
+    """The pre-aggregated refit must equal the per-sample refit bitwise."""
+
+    def _vectors(self):
+        candidates = list(range(8))
+        index_of = {node: node for node in candidates}
+        build = lambda: SelectionProbabilities(  # noqa: E731
+            candidates, 3, index_of=index_of, size=8
+        )
+        return build(), build()
+
+    def test_matches_update(self):
+        via_samples, via_counts = self._vectors()
+        samples = [
+            Sample(frozenset({0, 1, 2}), 9.0, indices=(0, 1, 2)),
+            Sample(frozenset({1, 2, 3}), 8.0, indices=(1, 2, 3)),
+            Sample(frozenset({4, 5, 6}), 1.0, indices=(4, 5, 6)),
+        ]
+        via_samples.update(samples, rho=0.5, smoothing=0.7)
+
+        # rho=0.5 over 3 samples -> rank 2 -> gamma 8.0 -> two elites.
+        stage_gamma = elite_threshold([s.willingness for s in samples], 0.5)
+        via_counts.observe_stage_gamma(stage_gamma)
+        counts = {0: 1, 1: 2, 2: 2, 3: 1}
+        patch, movement = via_counts.update_from_counts(counts, 2, 0.7)
+        assert movement == 0.0
+        assert via_counts.snapshot() == via_samples.snapshot()
+        assert via_counts.gamma == via_samples.gamma
+        kind, keep, slot_values = patch
+        assert kind == "round" and keep == pytest.approx(1.0 - 0.7)
+        assert [slot for slot, _ in slot_values] == [0, 1, 2, 3]
+
+    def test_patch_replay_keeps_mirror_identical(self):
+        parent, mirror = self._vectors()
+        rng = random.Random(3)
+        for _ in range(4):
+            members = tuple(sorted(rng.sample(range(8), 3)))
+            counts = {slot: 1 for slot in members}
+            parent.observe_stage_gamma(rng.random())
+            patch, _ = parent.update_from_counts(counts, 1, 0.9)
+            mirror.apply_round(patch[1], patch[2])
+        assert mirror.snapshot() == parent.snapshot()
+
+    def test_full_patch_resync(self):
+        parent, mirror = self._vectors()
+        patch, _ = parent.update_from_counts({0: 1, 1: 1, 2: 1}, 1, 0.5)
+        # Mirror missed the round: a full restore resynchronizes it.
+        mirror.restore(parent.snapshot())
+        assert mirror.snapshot() == parent.snapshot()
+
+    def test_validation(self):
+        vector, _ = self._vectors()
+        with pytest.raises(ValueError):
+            vector.update_from_counts({}, 1, 0.5)
+        with pytest.raises(ValueError):
+            vector.update_from_counts({0: 1}, 0, 0.5)
+        with pytest.raises(ValueError):
+            vector.update_from_counts({0: 1}, 1, 1.5)
+
+
+class TestShardMergeEquivalence:
+    """Sharded stage merge == serial run over the concatenated stream."""
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_elites_and_refit_vectors_match_serial_reconstruction(
+        self, small_facebook, workers
+    ):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        rho, smoothing = 0.3, 0.9
+        with StagePool(workers) as pool:
+            executor = ShardedStageExecutor(pool=pool, trace=True)
+            solver = CBASND(
+                budget=150,
+                m=6,
+                stages=4,
+                rho=rho,
+                smoothing=smoothing,
+                executor=executor,
+            )
+            result = solver.solve(problem, rng=11)
+        starts = solver.last_warm_state.starts
+
+        evaluator = evaluator_for(problem.graph, "compiled")
+        sampler = ExpansionSampler(problem, evaluator)
+        compiled = evaluator.compiled
+        vectors: dict = {}
+
+        def vector_for(index):
+            if index not in vectors:
+                vectors[index] = SelectionProbabilities(
+                    problem.candidates(),
+                    problem.k,
+                    index_of=compiled.index_of,
+                    size=compiled.number_of_nodes,
+                )
+            return vectors[index]
+
+        checked_stages = 0
+        for stage in executor.trace[0]["stages"]:
+            for record in stage:
+                index = record["start"]
+                vector = vector_for(index)
+                # Serial run fed the same concatenated sample stream:
+                # draw each shard's budget with its seed, in shard order,
+                # through one in-process sampler.
+                samples = []
+                for position, (count, seed_int) in enumerate(
+                    record["shards"]
+                ):
+                    shard_rng = random.Random(seed_int)
+                    carry = record["carry"] if position == 0 else 0
+                    batch = sampler.draw_batch(
+                        seed_for_start(problem, starts[index]),
+                        shard_rng,
+                        count,
+                        weight_array=vector.array,
+                        failures=carry,
+                        max_failures=MAX_CONSECUTIVE_FAILURES,
+                    )
+                    samples.extend(s for s in batch if s is not None)
+                assert len(samples) == record["successes"]
+                if not samples:
+                    continue
+                # Identical elite set: the serial stream's monotone-γ
+                # elites equal what the merge derived from shard `kept`s.
+                stage_gamma = elite_threshold(
+                    [s.willingness for s in samples], rho
+                )
+                gamma = max(vector.gamma, stage_gamma)
+                serial_elites = sorted(
+                    (s.willingness, s.indices)
+                    for s in samples
+                    if s.willingness >= gamma
+                )
+                merged_elites = sorted(
+                    (w, ids) for w, ids in record["kept"] if w >= gamma
+                )
+                assert serial_elites == merged_elites
+                vector.update(
+                    samples, rho=rho, smoothing=smoothing,
+                    compute_movement=False,
+                )
+                checked_stages += 1
+        assert checked_stages > 0
+
+        # Identical refit vectors, bit for bit.
+        for index, vector in vectors.items():
+            assert vector.snapshot() == solver._vectors[index].snapshot()
+            assert vector.gamma == solver._vectors[index].gamma
+        # And the solution itself is drawn from that same stream.
+        assert result.solution.is_feasible(problem)
+
+    def test_keep_rank_covers_merged_elite_rank(self):
+        # ⌈ρ·share⌉ per shard is an upper bound for ⌈ρ·successes⌉ of the
+        # merged stream — the inequality the retention protocol rests on.
+        solver = CBASND(budget=10, rho=0.3)
+        for share in (1, 2, 7, 33):
+            assert solver._shard_keep_rank(share) >= max(
+                1, math.ceil(0.3 * share)
+            )
+
+
+class TestShardedSolvers:
+    def test_deterministic_and_feasible(self, small_facebook, stage_pool):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        executor = ShardedStageExecutor(pool=stage_pool)
+        solver = CBASND(budget=120, m=6, stages=3, executor=executor)
+        first = solver.solve(problem, rng=4)
+        second = solver.solve(problem, rng=4)
+        assert first.solution.is_feasible(problem)
+        assert first.willingness == second.willingness
+        assert first.members == second.members
+        assert first.stats.extra["stage_workers"] == stage_pool.workers
+
+    def test_full_budget_drawn(self, small_facebook, stage_pool):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        executor = ShardedStageExecutor(pool=stage_pool)
+        budget, stages = 120, 3
+        solver = CBASND(budget=budget, m=6, stages=stages, executor=executor)
+        result = solver.solve(problem, rng=4)
+        # Connected graph, no sub-k components: every attempt succeeds,
+        # so the sharded run consumes the same budget as the serial loop.
+        assert result.stats.samples_drawn == (budget // stages) * stages
+        assert result.stats.failed_samples == 0
+
+    def test_uniform_cbas_sharded(self, small_facebook, stage_pool):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        executor = ShardedStageExecutor(pool=stage_pool)
+        solver = CBAS(budget=90, m=6, stages=3, executor=executor)
+        result = solver.solve(problem, rng=9)
+        assert result.solution.is_feasible(problem)
+        assert result.stats.samples_drawn == 90
+
+    def test_reference_engine_rejected(self, small_facebook, stage_pool):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        executor = ShardedStageExecutor(pool=stage_pool)
+        solver = CBASND(
+            budget=60, m=4, stages=2, engine="reference", executor=executor
+        )
+        with pytest.raises(ValueError, match="compiled"):
+            solver.solve(problem, rng=1)
+
+    def test_quality_comparable_to_serial(self, small_facebook, stage_pool):
+        problem = WASOProblem(graph=small_facebook, k=6)
+        serial = CBASND(budget=120, m=6, stages=4).solve(problem, rng=2)
+        sharded = CBASND(
+            budget=120,
+            m=6,
+            stages=4,
+            executor=ShardedStageExecutor(pool=stage_pool),
+        ).solve(problem, rng=2)
+        # Same statistical computation (full-elite refit every stage):
+        # quality must stay in the serial ballpark.
+        assert sharded.willingness >= serial.willingness * 0.5
+
+
+class TestResidency:
+    def test_graph_resident_across_solves(self, small_facebook, stage_pool):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        installs_before = stage_pool.installs
+        executor = ShardedStageExecutor(pool=stage_pool)
+        solver = CBASND(budget=60, m=4, stages=2, executor=executor)
+        first = solver.solve(problem, rng=1)
+        second = solver.solve(problem, rng=2)
+        assert stage_pool.installs <= installs_before + 1
+        assert second.stats.extra["graph_shipped"] is False
+        assert first.solution.is_feasible(problem)
+
+    def test_mutation_invalidates_resident_graph(self, connectify):
+        from repro.graph.generators import facebook_like
+
+        graph = facebook_like(120, seed=5)
+        connectify(graph)
+        problem = WASOProblem(graph=graph, k=4)
+        with StagePool(2) as pool:
+            executor = ShardedStageExecutor(pool=pool)
+            solver = CBASND(budget=60, m=4, stages=2, executor=executor)
+            solver.solve(problem, rng=1)
+            assert pool.installs == 1
+            token_before = pool.resident_token
+            # Mutating the graph produces a fresh freeze with a fresh
+            # payload token: the resident arrays must be re-shipped.
+            nodes = graph.node_list()
+            graph.set_interest(nodes[0], 3.21)
+            result = solver.solve(problem, rng=1)
+            assert pool.installs == 2
+            assert pool.resident_token != token_before
+            assert result.stats.extra["graph_shipped"] is True
+
+    def test_problem_spec_roundtrip(self, small_facebook):
+        from repro.core.problem import problem_from_payload_spec
+
+        nodes = small_facebook.node_list()
+        problem = WASOProblem(
+            graph=small_facebook,
+            k=5,
+            required=frozenset({nodes[0]}),
+            forbidden=frozenset({nodes[1]}),
+        )
+        spec = problem.payload_spec()
+        rebuilt = problem_from_payload_spec(problem.compiled().detach(), spec)
+        assert rebuilt.k == problem.k
+        assert rebuilt.required == problem.required
+        assert rebuilt.forbidden == problem.forbidden
+        assert rebuilt.candidates() == problem.candidates()
+        with pytest.raises(ValueError):
+            problem_from_payload_spec(
+                problem.compiled().detach(), {**spec, "token": "cg-0-999999"}
+            )
+
+    def test_payload_token_survives_detach_and_pickle(self, small_facebook):
+        import pickle
+
+        compiled = small_facebook.compiled()
+        token = compiled.payload_token
+        assert compiled.detach().payload_token == token
+        assert pickle.loads(pickle.dumps(compiled.detach())).payload_token == token
+
+
+class TestOnlineReplanningResident:
+    def test_replans_reuse_resident_pool(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with StagePool(2) as pool:
+            executor = ShardedStageExecutor(pool=pool)
+            solver = CBASND(budget=80, m=5, stages=2, executor=executor)
+            with OnlinePlanner(problem, solver=solver, rng=6) as planner:
+                group = planner.plan()
+                assert pool.installs == 1
+                assert planner.last_result.stats.extra["graph_shipped"]
+                # Two decline rounds: forbidden grows, graph unchanged —
+                # replans ship only the O(1) problem spec.
+                for _ in range(2):
+                    victim = next(
+                        iter(sorted(group.members - planner.accepted))
+                    )
+                    group = planner.record_decline(victim)
+                assert planner.replan_count == 2
+                assert pool.installs == 1
+                assert (
+                    planner.last_result.stats.extra["graph_shipped"] is False
+                )
+                assert group.is_feasible(planner._current_problem())
+
+    def test_close_tears_down_owned_pool(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        executor = ShardedStageExecutor(workers=2)
+        solver = CBASND(budget=60, m=4, stages=2, executor=executor)
+        planner = OnlinePlanner(problem, solver=solver, rng=6)
+        planner.plan()
+        planner.close()
+        with pytest.raises(RuntimeError):
+            executor.pool.ensure_resident(problem)
