@@ -5,32 +5,29 @@ processes instead of threads (GIL), so the reproduced claim is the
 *shape*: wall-clock time decreases as workers are added, and multi-worker
 runs beat the single-worker baseline.
 
-Both parallel modes are measured side by side:
+Both parallel modes are measured side by side, each driven through the
+runtime layer (:class:`~repro.runtime.ExecutionContext` owns all pools):
 
-* ``time`` / ``quality`` — the solve-level best-of pool
-  (:class:`~repro.parallel.ParallelSolver`): the budget is split into
-  independent whole solves.  One ``ProcessPoolExecutor`` (sized for the
-  largest sweep point) is started up front and reused for every worker
-  count, so the series measures solving rather than per-run process
-  startup — which previously polluted the curve's shape.
-* ``stage_time`` / ``stage_quality`` — the stage-level sharded-CE engine
-  (:class:`~repro.parallel.ShardedStageExecutor`): one solve whose
-  per-stage draws are sharded across a :class:`~repro.parallel.
-  StagePool`.  Each pool is warmed with an untimed solve (residency +
-  OS-level warmup) before the timed run, mirroring the executor reuse of
-  the best-of series.
+* ``time`` / ``quality`` — the solve-level best-of mode
+  (``mode="solve"``): the budget is split into independent whole solves.
+  One solve-level pool (sized for the largest sweep point) is created by
+  an outer context and shared by every worker count, so the series
+  measures solving rather than per-run process startup — which
+  previously polluted the curve's shape.
+* ``stage_time`` / ``stage_quality`` — the stage-level sharded-CE mode
+  (``mode="stage"``): one solve whose per-stage draws are sharded across
+  the context's resident stage pool.  Each context is warmed with an
+  untimed solve (residency + OS-level warmup) before the timed run,
+  mirroring the pool reuse of the best-of series.
 """
 
 import os
 import time
 
-from concurrent.futures import ProcessPoolExecutor
-
-from repro.algorithms.cbas_nd import CBASND
 from repro.bench.datasets import bench_graph
 from repro.bench.harness import ExperimentTable, geometric_speedup
 from repro.core.problem import WASOProblem
-from repro.parallel import ParallelSolver, ShardedStageExecutor, StagePool
+from repro.runtime import ExecutionContext
 
 N = 600
 K = 20
@@ -49,55 +46,46 @@ def run_experiment() -> ExperimentTable:
         x_label="workers",
     )
     usable = [w for w in WORKER_COUNTS if w <= (os.cpu_count() or 1)]
+    kwargs = dict(budget=BUDGET, m=M, stages=STAGES)
 
-    # --- solve-level best-of: one persistent executor for all counts ---
-    shared_pool = ProcessPoolExecutor(max_workers=max(usable))
-    try:
-        # Warm the executor (process spawn + first-import cost) outside
+    # --- solve-level best-of: one persistent shared pool for all counts --
+    with ExecutionContext(workers=max(usable)) as shared:
+        # Warm the pool (process spawn + first-import cost) outside
         # every timed region.
-        ParallelSolver(
+        shared.solve(
+            problem,
+            "cbas-nd",
+            rng=1,
+            mode="solve",
             budget=max(usable) * 4,
-            workers=max(usable),
-            pool=shared_pool,
             m=M,
             stages=2,
-        ).solve(problem, rng=1)
+        )
         for workers in usable:
-            solver = ParallelSolver(
-                budget=BUDGET,
-                workers=workers,
-                pool=shared_pool if workers > 1 else None,
-                m=M,
-                stages=STAGES,
-            )
-            started = time.perf_counter()
-            result = solver.solve(problem, rng=3)
-            elapsed = time.perf_counter() - started
+            with ExecutionContext(
+                workers=workers, solve_pool=shared.solve_pool()
+            ) as context:
+                mode = "solve" if workers > 1 else "serial"
+                started = time.perf_counter()
+                result = context.solve(
+                    problem, "cbas-nd", rng=3, mode=mode, **kwargs
+                )
+                elapsed = time.perf_counter() - started
             table.add("time", workers, elapsed)
             table.add("quality", workers, result.willingness)
-    finally:
-        shared_pool.shutdown()
 
     # --- stage-level sharded CE: one solve, draws sharded per stage ---
     for workers in usable:
-        if workers == 1:
-            solver = CBASND(budget=BUDGET, m=M, stages=STAGES)
-            solver.solve(problem, rng=1)  # warm-up (index, caches)
+        mode = "stage" if workers > 1 else "serial"
+        with ExecutionContext(workers=workers) as context:
+            # Warm-up solve: index freeze, seed caches, and (sharded)
+            # pool startup + payload residency.
+            context.solve(problem, "cbas-nd", rng=1, mode=mode, **kwargs)
             started = time.perf_counter()
-            result = solver.solve(problem, rng=3)
+            result = context.solve(
+                problem, "cbas-nd", rng=3, mode=mode, **kwargs
+            )
             elapsed = time.perf_counter() - started
-        else:
-            with StagePool(workers) as pool:
-                solver = CBASND(
-                    budget=BUDGET,
-                    m=M,
-                    stages=STAGES,
-                    executor=ShardedStageExecutor(pool=pool),
-                )
-                solver.solve(problem, rng=1)  # warm-up: ships the payload
-                started = time.perf_counter()
-                result = solver.solve(problem, rng=3)
-                elapsed = time.perf_counter() - started
         table.add("stage_time", workers, elapsed)
         table.add("stage_quality", workers, result.willingness)
     return table

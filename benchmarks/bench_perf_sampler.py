@@ -52,6 +52,8 @@ import random
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.algorithms.cbas import CBAS
 from repro.algorithms.cbas_nd import CBASND
 from repro.algorithms.sampling import ExpansionSampler, seed_for_start
@@ -61,7 +63,7 @@ from repro.bench.harness import dump_json
 from repro.core.problem import WASOProblem
 from repro.core.willingness import evaluator_for
 from repro.parallel.pool import worker_payload_bytes
-from repro.parallel.stage_pool import ShardedStageExecutor, StagePool
+from repro.runtime import ExecutionContext
 
 NS = (1000, 10000)
 K = 10
@@ -183,14 +185,17 @@ def _bench_stage_parallel(problem: WASOProblem) -> dict:
         budget=STAGE_PARALLEL_BUDGET, m=START_NODES, stages=CBASND_STAGES
     )
     serial_wall, serial_result = best_wall(serial_solver)
-    with StagePool(STAGE_PARALLEL_WORKERS) as pool:
-        sharded_solver = CBASND(
+    with ExecutionContext(
+        workers=STAGE_PARALLEL_WORKERS, mode="stage"
+    ) as context:
+        sharded_solver = context.make_solver(
+            "cbas-nd",
             budget=STAGE_PARALLEL_BUDGET,
             m=START_NODES,
             stages=CBASND_STAGES,
-            executor=ShardedStageExecutor(pool=pool),
         )
         sharded_wall, sharded_result = best_wall(sharded_solver)
+    extra = sharded_result.stats.extra
     return {
         "n": STAGE_PARALLEL_N,
         "budget": STAGE_PARALLEL_BUDGET,
@@ -202,6 +207,10 @@ def _bench_stage_parallel(problem: WASOProblem) -> dict:
         "speedup": serial_wall / sharded_wall,
         "serial_willingness": serial_result.willingness,
         "sharded_willingness": sharded_result.willingness,
+        # Shard-protocol overhead (ROADMAP "overhead curve"): worker
+        # round trips and per-stage CE-patch bytes of the timed solve.
+        "shard_rpcs": extra.get("shard_rpcs"),
+        "shard_patch_bytes": extra.get("shard_patch_bytes"),
     }
 
 
@@ -344,15 +353,43 @@ def test_perf_sampler(benchmark):
         f"sharded {stage['sharded_seconds']:.3f}s "
         f"({stage['speedup']:.2f}x, {stage['cpu_count']} cpus)"
     )
-    # The wall-clock gate needs the workers to actually run in parallel;
-    # smaller machines record the series without asserting (the same
-    # convention bench_fig5_parallel uses).
-    if stage["cpu_count"] >= stage["workers"]:
-        assert stage["speedup"] >= MIN_STAGE_PARALLEL_SPEEDUP, (
-            "stage-sharded CBAS-ND fell below the 1.5x wall-clock gate: "
-            f"{stage['speedup']:.2f}x"
-        )
+    # The ≥1.5x wall-clock gate lives in the tier-2
+    # ``test_stage_parallel_speedup_gate`` below — it needs the workers
+    # to actually run in parallel, so it auto-skips on small machines
+    # while a multi-core runner enforces it.  This test only records the
+    # series.
     assert JSON_PATH.exists()
+
+
+@pytest.mark.tier2
+def test_stage_parallel_speedup_gate():
+    """Tier-2 gate: stage-sharded CBAS-ND beats serial by ≥1.5× wall clock.
+
+    Enforced only where the workers can actually run in parallel: on
+    machines with fewer than ``STAGE_PARALLEL_WORKERS`` CPUs the test
+    skips with a visible reason (the 1-CPU CI container records ~0.8×,
+    which is expected — the ``stage_parallel`` series in
+    ``BENCH_sampler.json`` still tracks the numbers there).
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < STAGE_PARALLEL_WORKERS:
+        pytest.skip(
+            f"stage-parallel ≥{MIN_STAGE_PARALLEL_SPEEDUP}x wall-clock gate "
+            f"needs ≥{STAGE_PARALLEL_WORKERS} CPUs to run the workers in "
+            f"parallel; this machine has {cpus}"
+        )
+    problem = WASOProblem(graph=bench_graph("facebook", STAGE_PARALLEL_N), k=K)
+    problem.compiled()
+    stage = _bench_stage_parallel(problem)
+    print(
+        f"stage-parallel gate: serial {stage['serial_seconds']:.3f}s, "
+        f"sharded {stage['sharded_seconds']:.3f}s ({stage['speedup']:.2f}x)"
+    )
+    assert stage["speedup"] >= MIN_STAGE_PARALLEL_SPEEDUP, (
+        "stage-sharded CBAS-ND fell below the "
+        f"{MIN_STAGE_PARALLEL_SPEEDUP}x wall-clock gate: "
+        f"{stage['speedup']:.2f}x"
+    )
 
 
 def _print_summary(result: dict) -> None:

@@ -7,6 +7,16 @@ from pathlib import Path
 # Allow `import common` from bench modules regardless of invocation dir.
 sys.path.insert(0, str(Path(__file__).parent))
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "tier2: multi-core performance gates; these auto-skip (with a "
+        "visible reason) on machines too small to run the workers in "
+        "parallel, so a multi-core runner can enforce them with "
+        "`pytest benchmarks/ -m tier2` without breaking 1-CPU containers",
+    )
+
 # Record every regenerated figure table to a file (pytest captures stdout,
 # so without this a plain `pytest benchmarks/` run would discard them).
 os.environ.setdefault(

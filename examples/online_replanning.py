@@ -9,17 +9,28 @@ Run:  python examples/online_replanning.py
 
 import random
 
-from repro import CBASND, WASOProblem, facebook_like
+from repro import ExecutionContext, WASOProblem, facebook_like
 from repro.online import OnlinePlanner
 
 
 def main() -> None:
     graph = facebook_like(300, seed=11)
     problem = WASOProblem(graph=graph, k=10)
-    planner = OnlinePlanner(
-        problem, solver=CBASND(budget=300, m=20, stages=5), rng=11
-    )
+    # The runtime context owns pools + warm-state storage; replans and
+    # fresh solves share one resident pool when routing goes parallel.
+    # The with-block holds the creation reference, so any pools are torn
+    # down at exit once the planner has also released its co-ownership.
+    with ExecutionContext() as context:
+        planner = OnlinePlanner(
+            problem,
+            solver=context.make_solver("cbas-nd", budget=300, m=20, stages=5),
+            rng=11,
+            context=context,
+        )
+        run_session(planner)
 
+
+def run_session(planner: OnlinePlanner) -> None:
     plan = planner.plan()
     print(f"initial plan (W={plan.willingness:.2f}): {sorted(plan.members)}")
 
@@ -42,6 +53,7 @@ def main() -> None:
     print(f"declines handled: {len(planner.declined)}")
     assert not (final.members & planner.declined)
     print("no decliner is in the final group ✔")
+    planner.close()  # drops the planner's co-ownership of the context
 
 
 if __name__ == "__main__":

@@ -55,6 +55,12 @@ from repro.graph import (
     flickr_like,
     random_social_graph,
 )
+from repro.runtime import (
+    ExecutionContext,
+    SolveRequest,
+    choose_mode,
+    request_from_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -75,6 +81,11 @@ __all__ = [
     "willingness",
     "recommend_group",
     "solve_k_range",
+    # Runtime
+    "ExecutionContext",
+    "SolveRequest",
+    "request_from_spec",
+    "choose_mode",
     # Solvers
     "Solver",
     "SolveResult",

@@ -6,13 +6,23 @@ import abc
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
+from repro.core.willingness import validate_engine
 from repro.exceptions import SolverError
 
-__all__ = ["Solver", "SolveResult", "SolveStats", "coerce_rng"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import ExecutionContext
+
+__all__ = [
+    "Solver",
+    "ContextSolver",
+    "SolveResult",
+    "SolveStats",
+    "coerce_rng",
+]
 
 RngLike = Union[None, int, random.Random]
 
@@ -95,3 +105,55 @@ class Solver(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
+
+
+class ContextSolver(Solver):
+    """Solver whose execution state lives on an
+    :class:`~repro.runtime.context.ExecutionContext`.
+
+    Subclasses call :meth:`_init_context` from their constructor: a
+    caller-supplied context provides the engine, the stage-executor
+    routing, and the worker pools; without one the solver gets a private
+    *serial* context, which reproduces the historical direct-call
+    behaviour bit for bit (the deprecated ``engine=`` kwarg delegates to
+    that private context).
+    """
+
+    #: The runtime layer this solver executes through.
+    context: "ExecutionContext"
+    #: Resolved engine name (the context's unless ``engine=`` overrode it).
+    engine: str
+
+    def _init_context(
+        self,
+        engine: Optional[str],
+        context: "Optional[ExecutionContext]",
+    ) -> None:
+        if context is None:
+            from repro.runtime.context import ExecutionContext
+
+            # Private serial context: no pools, no auto-routing — a bare
+            # ``Solver().solve()`` stays exactly the historical serial run.
+            context = ExecutionContext(
+                engine=engine if engine is not None else "compiled",
+                mode="serial",
+            )
+        self.context = context
+        self.engine = (
+            validate_engine(engine) if engine is not None else context.engine
+        )
+
+    def __getstate__(self) -> dict:
+        # Contexts hold worker pools (pipes, processes) that cannot cross
+        # a process boundary; worker-side solves are serial, so ship the
+        # solver without it and let ``__setstate__`` rebuild a private one.
+        state = self.__dict__.copy()
+        state["context"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.__dict__.get("context") is None:
+            from repro.runtime.context import ExecutionContext
+
+            self.context = ExecutionContext(engine=self.engine, mode="serial")

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.algorithms.base import Solver, SolveResult, SolveStats
+from repro.algorithms.base import ContextSolver, SolveResult, SolveStats
 from repro.algorithms.sampling import ExpansionSampler, Sample
 from repro.algorithms.stage_exec import (
     MAX_CONSECUTIVE_FAILURES,
@@ -38,10 +38,11 @@ from repro.core.solution import GroupSolution
 from repro.core.willingness import (
     FastWillingnessEvaluator,
     WillingnessEvaluator,
-    evaluator_for,
-    validate_engine,
 )
 from repro.exceptions import BudgetExhaustedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import ExecutionContext
 
 __all__ = ["CBAS", "CBASWarmState"]
 
@@ -49,7 +50,9 @@ __all__ = ["CBAS", "CBASWarmState"]
 #: execution strategies (serial and sharded runs share one policy).
 _MAX_CONSECUTIVE_FAILURES = MAX_CONSECUTIVE_FAILURES
 
-#: Shared stateless default strategy: the in-process stage loop.
+#: Historical alias — executor selection now lives on the
+#: :class:`~repro.runtime.context.ExecutionContext`; this instance only
+#: backs old call sites that import it directly.
 _SERIAL_EXECUTOR = SerialStageExecutor()
 
 
@@ -77,7 +80,7 @@ class CBASWarmState:
     graph_state: "tuple | None" = None
 
 
-class CBAS(Solver):
+class CBAS(ContextSolver):
     """Randomized solver with OCBA budget allocation across start nodes.
 
     Parameters
@@ -93,17 +96,21 @@ class CBAS(Solver):
         Confidence and closeness-ratio parameters used only to derive the
         default ``stages``.
     engine:
-        ``"compiled"`` (default) runs sampling on the flat-array
+        Deprecated shim — prefer configuring the ``context``.
+        ``"compiled"`` runs sampling on the flat-array
         :class:`~repro.graph.compiled.CompiledGraph` index;
         ``"reference"`` keeps the dict-based path.  Seeded results are
-        identical on both engines.
+        identical on both engines.  ``None`` (the default) inherits the
+        context's engine (itself defaulting to ``"compiled"``).
     executor:
-        Stage-execution strategy.  ``None`` (default) runs the
-        in-process :class:`~repro.algorithms.stage_exec.
-        SerialStageExecutor`; a :class:`~repro.parallel.stage_pool.
-        ShardedStageExecutor` shards each stage's draws across a
-        persistent worker pool, synchronizing at stage boundaries like
-        the paper's OpenMP loop.
+        Deprecated shim — prefer the context's mode routing.  An
+        explicit :class:`~repro.algorithms.stage_exec.StageExecutor`
+        pins the stage strategy for every solve, bypassing the context.
+    context:
+        The :class:`~repro.runtime.context.ExecutionContext` this solver
+        executes through (engine, stage-executor routing, worker pools).
+        Without one the solver gets a private serial context — the
+        historical in-process behaviour, bit for bit.
     """
 
     name = "cbas"
@@ -117,8 +124,9 @@ class CBAS(Solver):
         alpha: float = 0.9,
         allocation: str = "uniform",
         start_selection: str = "potential",
-        engine: str = "compiled",
+        engine: Optional[str] = None,
         executor: Optional[StageExecutor] = None,
+        context: "Optional[ExecutionContext]" = None,
     ) -> None:
         if budget < 1:
             raise ValueError(f"budget must be positive, got {budget}")
@@ -142,7 +150,7 @@ class CBAS(Solver):
         self.alpha = alpha
         self.allocation = allocation
         self.start_selection = start_selection
-        self.engine = validate_engine(engine)
+        self._init_context(engine, context)
         self.executor = executor
         #: Install a :class:`CBASWarmState` here (online re-planning) to
         #: reuse phase-1 starts / CE vectors; cleared by the caller, not
@@ -153,7 +161,7 @@ class CBAS(Solver):
 
     # ------------------------------------------------------------------
     def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
-        evaluator = evaluator_for(problem.graph, self.engine)
+        evaluator = self.context.evaluator_for(problem, self.engine)
         sampler = ExpansionSampler(problem, evaluator)
         m = self.m if self.m is not None else default_start_count(problem)
         warm = self.warm_state
@@ -194,7 +202,12 @@ class CBAS(Solver):
                 problem, starts, node_stats, stats
             )
 
-        executor = self.executor if self.executor is not None else _SERIAL_EXECUTOR
+        # Explicit executor (deprecated kwarg) wins; otherwise the context
+        # routes — serial by default, stage-sharded when its cost model
+        # (or a forced mode) says this solve is worth sharding.
+        executor = self.executor
+        if executor is None:
+            executor = self.context.executor_for(self, problem)
         context = StageContext(
             solver=self,
             problem=problem,

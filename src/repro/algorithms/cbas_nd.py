@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.algorithms.base import SolveStats
 from repro.algorithms.cbas import (
@@ -41,6 +41,9 @@ from repro.core.willingness import (
     FastWillingnessEvaluator,
     WillingnessEvaluator,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import ExecutionContext
 
 __all__ = ["CBASND", "cbas_nd_g"]
 
@@ -70,8 +73,9 @@ class CBASND(CBAS):
         alpha: float = 0.99,
         allocation: str = "uniform",
         start_selection: str = "potential",
-        engine: str = "compiled",
+        engine: Optional[str] = None,
         executor: Optional[StageExecutor] = None,
+        context: "Optional[ExecutionContext]" = None,
         rho: float = 0.3,
         smoothing: float = 0.9,
         backtrack_threshold: Optional[float] = None,
@@ -87,6 +91,7 @@ class CBASND(CBAS):
             start_selection=start_selection,
             engine=engine,
             executor=executor,
+            context=context,
         )
         if not 0.0 < rho <= 1.0:
             raise ValueError(f"rho must lie in (0, 1], got {rho}")

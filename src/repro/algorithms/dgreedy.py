@@ -14,32 +14,40 @@ algorithm is fully deterministic.
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING, Optional
 
-from repro.algorithms.base import Solver, SolveResult, SolveStats
+from repro.algorithms.base import ContextSolver, SolveResult, SolveStats
 from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
-from repro.core.willingness import evaluator_for, validate_engine
 from repro.exceptions import SolverError
 from repro.graph.social_graph import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import ExecutionContext
 
 __all__ = ["DGreedy"]
 
 
-class DGreedy(Solver):
+class DGreedy(ContextSolver):
     """Deterministic greedy construction (one start node, one sequence).
 
-    ``engine="compiled"`` (default) reuses the graph's frozen flat-array
-    index across solves; deltas are bit-identical to the reference path,
-    so the deterministic result is engine-independent.
+    The compiled engine (the context default) reuses the graph's frozen
+    flat-array index across solves; deltas are bit-identical to the
+    reference path, so the deterministic result is engine-independent.
+    ``engine=`` remains as a deprecated shim over the context.
     """
 
     name = "dgreedy"
 
-    def __init__(self, engine: str = "compiled") -> None:
-        self.engine = validate_engine(engine)
+    def __init__(
+        self,
+        engine: Optional[str] = None,
+        context: "Optional[ExecutionContext]" = None,
+    ) -> None:
+        self._init_context(engine, context)
 
     def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
-        evaluator = evaluator_for(problem.graph, self.engine)
+        evaluator = self.context.evaluator_for(problem, self.engine)
         graph = problem.graph
         allowed = set(problem.candidates())
 

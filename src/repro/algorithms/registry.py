@@ -13,7 +13,7 @@ from repro.algorithms.ip import IPSolver
 from repro.algorithms.paper_ip import PaperIPSolver
 from repro.algorithms.rgreedy import RGreedy
 
-__all__ = ["available_solvers", "make_solver"]
+__all__ = ["available_solvers", "make_solver", "solver_factory"]
 
 _FACTORIES: dict[str, Callable[..., Solver]] = {
     "dgreedy": DGreedy,
@@ -32,16 +32,21 @@ def available_solvers() -> list[str]:
     return sorted(_FACTORIES)
 
 
+def solver_factory(name: str) -> Callable[..., Solver]:
+    """The registry factory behind ``name`` (the runtime layer inspects
+    its signature to decide which execution kwargs it understands)."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        ) from None
+
+
 def make_solver(name: str, **kwargs) -> Solver:
     """Instantiate a solver by its registry name.
 
     Keyword arguments are forwarded to the solver constructor, so e.g.
     ``make_solver("cbas-nd", budget=500, m=50)`` works.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown solver {name!r}; available: {available_solvers()}"
-        ) from None
-    return factory(**kwargs)
+    return solver_factory(name)(**kwargs)

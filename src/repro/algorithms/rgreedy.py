@@ -18,20 +18,22 @@ nodes is expanded ``T/m`` times.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.algorithms.base import Solver, SolveResult, SolveStats
+from repro.algorithms.base import ContextSolver, SolveResult, SolveStats
 from repro.algorithms.sampling import ExpansionSampler, seed_for_start
 from repro.algorithms.start_nodes import default_start_count, select_start_nodes
 from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
-from repro.core.willingness import evaluator_for, validate_engine
 from repro.exceptions import BudgetExhaustedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import ExecutionContext
 
 __all__ = ["RGreedy"]
 
 
-class RGreedy(Solver):
+class RGreedy(ContextSolver):
     """Randomized greedy baseline.
 
     Parameters
@@ -41,8 +43,12 @@ class RGreedy(Solver):
     m:
         Number of start nodes; defaults to the paper's ``⌈n/k⌉``.
     engine:
-        ``"compiled"`` (default) or ``"reference"`` sampling path; seeded
-        results are identical on both.
+        Deprecated shim (prefer the ``context``): ``"compiled"`` or
+        ``"reference"`` sampling path; seeded results are identical on
+        both.  ``None`` inherits the context's engine.
+    context:
+        The :class:`~repro.runtime.context.ExecutionContext` to execute
+        through (private serial one when omitted).
     """
 
     name = "rgreedy"
@@ -51,7 +57,8 @@ class RGreedy(Solver):
         self,
         budget: int = 100,
         m: Optional[int] = None,
-        engine: str = "compiled",
+        engine: Optional[str] = None,
+        context: "Optional[ExecutionContext]" = None,
     ) -> None:
         if budget < 1:
             raise ValueError(f"budget must be positive, got {budget}")
@@ -59,10 +66,10 @@ class RGreedy(Solver):
             raise ValueError(f"m must be positive, got {m}")
         self.budget = budget
         self.m = m
-        self.engine = validate_engine(engine)
+        self._init_context(engine, context)
 
     def _solve(self, problem: WASOProblem, rng: random.Random) -> SolveResult:
-        evaluator = evaluator_for(problem.graph, self.engine)
+        evaluator = self.context.evaluator_for(problem, self.engine)
         sampler = ExpansionSampler(problem, evaluator)
         m = self.m if self.m is not None else default_start_count(problem)
         starts = select_start_nodes(problem, evaluator, m)

@@ -1,25 +1,44 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     waso generate --family facebook --size 500 --seed 7 --out graph.json
     waso stats graph.json
     waso solve graph.json --k 10 --solver cbas-nd --budget 300 --seed 7
+    waso solve-many graph.json requests.jsonl --workers 4
 
-``solve`` prints the selected members and their willingness;
-``--k-max`` turns it into a range query (one line per k).
+``solve`` prints the selected members and their willingness; ``--k-max``
+turns it into a range query (one line per k).  ``--workers`` and
+``--mode`` configure the runtime layer: ``--mode auto`` routes each
+solve through the cost model in :mod:`repro.runtime.router`, ``serial``
+/ ``solve`` / ``stage`` force an execution mode.  ``solve`` defaults to
+``serial`` (seeded output identical on every machine); ``solve-many``
+defaults to ``auto``.
+
+``solve-many`` is the batched front door: every line of the JSONL file
+is one request over the shared graph, e.g.::
+
+    {"k": 8, "solver": "cbas-nd", "budget": 300, "seed": 7}
+    {"k": 5, "required": [3], "budget": 200, "seed": 8}
+
+Results come back in request order and are bit-identical to running
+``solve`` once per line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.algorithms.registry import available_solvers
 from repro.core.api import solve_k_range
+from repro.exceptions import ReproError
 from repro.graph import generators
 from repro.graph.io import load_json, save_json
 from repro.graph.stats import summarize
+from repro.runtime import ExecutionContext, request_from_spec
+from repro.runtime.router import MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -29,6 +48,27 @@ _FAMILIES = {
     "flickr": generators.flickr_like,
     "random": generators.random_social_graph,
 }
+
+
+def _add_runtime_arguments(
+    parser: argparse.ArgumentParser, default_mode: str
+) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool size for the parallel modes (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=MODES,
+        default=default_mode,
+        help="execution-mode routing: auto (cost-model router), or force "
+        "serial / solve (budget split across workers) / stage "
+        "(stage-sharded CE).  Seeded `serial` output is identical on "
+        "every machine; `auto` may route big solves to the stage pool, "
+        f"whose results depend on the worker count (default: {default_mode})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +112,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="node id that must attend (repeatable)",
     )
+    # `solve` defaults to serial so seeded output stays bit-identical
+    # across machines (and to every previous release); `--mode auto`
+    # opts into the router.
+    _add_runtime_arguments(solve, default_mode="serial")
+
+    many = sub.add_parser(
+        "solve-many",
+        help="solve a JSONL batch of requests over one graph",
+    )
+    many.add_argument("graph", help="JSON graph path")
+    many.add_argument(
+        "requests",
+        help="JSONL file: one request object per line "
+        '(e.g. {"k": 8, "solver": "cbas-nd", "budget": 300, "seed": 7})',
+    )
+    _add_runtime_arguments(many, default_mode="auto")
+
     return parser
 
 
@@ -82,6 +139,36 @@ def _solver_kwargs(args) -> dict:
     if args.m is not None:
         kwargs["m"] = args.m
     return kwargs
+
+
+def _load_requests(graph, path: str) -> list:
+    requests = []
+    known_solvers = set(available_solvers())
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spec = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(
+                    f"{path}:{line_number}: invalid JSON: {error}"
+                ) from None
+            try:
+                request = request_from_spec(graph, spec)
+            except (TypeError, ValueError, ReproError) as error:
+                raise SystemExit(
+                    f"{path}:{line_number}: invalid request: {error}"
+                ) from None
+            if request.solver not in known_solvers:
+                raise SystemExit(
+                    f"{path}:{line_number}: unknown solver "
+                    f"{request.solver!r}; available: "
+                    f"{sorted(known_solvers)}"
+                )
+            requests.append(request)
+    return requests
 
 
 def main(argv=None) -> int:
@@ -101,22 +188,40 @@ def main(argv=None) -> int:
     if args.command == "solve":
         graph = load_json(args.graph)
         k_max = args.k_max if args.k_max is not None else args.k
-        results = solve_k_range(
-            graph,
-            args.k,
-            k_max,
-            solver=args.solver,
-            connected=not args.disconnected,
-            required=args.require,
-            rng=args.seed,
-            **_solver_kwargs(args),
-        )
+        with ExecutionContext(mode=args.mode, workers=args.workers) as context:
+            results = solve_k_range(
+                graph,
+                args.k,
+                k_max,
+                solver=args.solver,
+                connected=not args.disconnected,
+                required=args.require,
+                rng=args.seed,
+                context=context,
+                **_solver_kwargs(args),
+            )
         for k, result in results.items():
             members = ", ".join(map(str, result.solution.sorted_members()))
             print(
                 f"k={k}: W={result.willingness:.4f} "
                 f"({result.stats.elapsed_seconds * 1e3:.1f} ms) "
                 f"members=[{members}]"
+            )
+        return 0
+
+    if args.command == "solve-many":
+        graph = load_json(args.graph)
+        requests = _load_requests(graph, args.requests)
+        if not requests:
+            print("no requests")
+            return 0
+        with ExecutionContext(mode=args.mode, workers=args.workers) as context:
+            results = context.solve_many(requests)
+        for index, (request, result) in enumerate(zip(requests, results)):
+            members = ", ".join(map(str, result.solution.sorted_members()))
+            print(
+                f"#{index} {request.solver} k={request.problem.k}: "
+                f"W={result.willingness:.4f} members=[{members}]"
             )
         return 0
 

@@ -24,33 +24,43 @@ of resetting to the homogeneous prior.  Each solve's
 ``replan_samples`` (budget actually drawn per planning round) so the
 "online is fast" claim is observable.
 
-Stage-sharded re-planning: when the solver runs a
-:class:`~repro.parallel.stage_pool.ShardedStageExecutor`, the planner's
-re-plans reuse the executor's persistent worker pool *and* the graph
+Runtime integration: the planner executes through an
+:class:`~repro.runtime.context.ExecutionContext` — passed in, adopted
+from the solver, or a private serial one — which owns the worker pools
+and the warm-state storage.  When the context (or a solver-level
+:class:`~repro.parallel.stage_pool.ShardedStageExecutor`) keeps a stage
+pool resident, the planner's re-plans reuse that pool *and* the graph
 arrays already resident in it — declines only grow the ``forbidden``
 set, which leaves the frozen index (and therefore its payload token)
 unchanged, so each re-plan ships an O(1) problem spec instead of the
 O(V+E) graph.  ``SolveStats.extra["graph_shipped"]`` exposes this: it is
 ``True`` for the initial plan and ``False`` for every warm re-plan.
 Use the planner as a context manager (or call :meth:`OnlinePlanner.
-close`) to tear the executor's owned pool down when the planning session
-ends.
+close`) to release the pools when the planning session ends.
 """
 
 from __future__ import annotations
 
+import itertools
+
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.algorithms.base import RngLike, Solver, coerce_rng
-from repro.algorithms.cbas_nd import CBASND
 from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
 from repro.exceptions import SolverError
 from repro.graph.social_graph import NodeId
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import ExecutionContext
+
 __all__ = ["OnlinePlanner", "Invitation", "ResponseState"]
+
+#: Warm-state keys: each planner gets a unique slot in its context's
+#: warm-state storage.
+_PLANNER_TOKENS = itertools.count()
 
 
 class ResponseState(Enum):
@@ -85,6 +95,12 @@ class OnlinePlanner:
         Re-plan from the previous round's start nodes and CE vectors
         instead of solving cold (ignored for solvers without warm-state
         support).
+    context:
+        The :class:`~repro.runtime.context.ExecutionContext` planning
+        runs through.  When omitted the planner adopts the solver's
+        context (or builds its default solver through a private serial
+        one).  The context owns the resident pools — so replans and
+        fresh solves share one pool — and the warm-state storage.
     """
 
     def __init__(
@@ -93,9 +109,27 @@ class OnlinePlanner:
         solver: Optional[Solver] = None,
         rng: RngLike = None,
         warm_start: bool = True,
+        context: "Optional[ExecutionContext]" = None,
     ) -> None:
         self.base_problem = problem
-        self.solver = solver if solver is not None else CBASND(budget=200)
+        if solver is None:
+            if context is None:
+                from repro.algorithms.cbas_nd import CBASND
+
+                solver = CBASND(budget=200)
+            else:
+                solver = context.make_solver("cbas-nd", budget=200)
+        self.solver = solver
+        if context is None:
+            context = getattr(solver, "context", None)
+        if context is None:
+            from repro.runtime.context import ExecutionContext
+
+            context = ExecutionContext(mode="serial")
+        # Co-own the context for the planning session: release() in
+        # close() tears the pools down only once every owner is done.
+        self.context = context.acquire()
+        self._warm_key = ("online-planner", next(_PLANNER_TOKENS))
         self.rng = coerce_rng(rng)
         self.warm_start = warm_start
         self.invitations: dict[NodeId, Invitation] = {}
@@ -106,7 +140,7 @@ class OnlinePlanner:
         #: Samples drawn by each planning round, in order.
         self.replan_samples: list[int] = []
         self.last_result = None
-        self._warm_state = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -138,11 +172,15 @@ class OnlinePlanner:
         is_replan = self.current is not None
         supports_warm = hasattr(self.solver, "warm_state")
         if supports_warm:
+            # The planner's cross-solve state lives in the context's
+            # warm-state storage, not on the solver.
             self.solver.warm_state = (
-                self._warm_state if self.warm_start else None
+                self.context.warm_state(self._warm_key)
+                if self.warm_start
+                else None
             )
         try:
-            result = self.solver.solve(problem, rng=self.rng)
+            result = self.context.solve(problem, self.solver, rng=self.rng)
         finally:
             if supports_warm:
                 # Never leave the planner's state installed on the solver
@@ -150,7 +188,9 @@ class OnlinePlanner:
                 # solver.solve() must stay a cold solve.
                 self.solver.warm_state = None
         if supports_warm:
-            self._warm_state = self.solver.last_warm_state
+            self.context.store_warm_state(
+                self._warm_key, self.solver.last_warm_state
+            )
         if is_replan:
             self.replan_count += 1
         self.replan_samples.append(result.stats.samples_drawn)
@@ -193,17 +233,26 @@ class OnlinePlanner:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release solver-held execution resources (idempotent).
+        """Release execution resources held for the planning session
+        (idempotent).
 
         A stage-sharded solver keeps a worker pool warm between re-plans
-        so the graph stays resident; closing the planner closes that
-        executor (which tears the pool down only if the executor owns
-        it — a caller-shared :class:`~repro.parallel.stage_pool.
-        StagePool` stays up for other solvers).
+        so the graph stays resident; closing the planner closes a
+        solver-level executor (which tears the pool down only if the
+        executor owns it — a caller-shared :class:`~repro.parallel.
+        stage_pool.StagePool` stays up for other solvers) and releases
+        the planner's co-ownership of its :class:`~repro.runtime.
+        context.ExecutionContext` — the context's pools close once the
+        last owner lets go.
         """
+        if self._closed:
+            return
+        self._closed = True
         executor = getattr(self.solver, "executor", None)
         if executor is not None and hasattr(executor, "close"):
             executor.close()
+        self.context.clear_warm_state(self._warm_key)
+        self.context.release()
 
     def __enter__(self) -> "OnlinePlanner":
         return self

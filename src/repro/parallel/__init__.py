@@ -21,10 +21,15 @@ paper's OpenMP threads):
   (big ``n``/``T``) at full statistical strength, and for re-planning
   loops where re-shipping the graph per solve would dominate.
 
-Rule of thumb: one big solve → stage-level; many small solves →
-solve-level.  The modes compose with everything else (engines, warm
-starts); stage-level requires ``engine="compiled"`` because workers hold
-only the detached flat arrays.
+Which mode when?  That decision now lives in the runtime layer: the
+cost model in :mod:`repro.runtime.router` (one big solve → stage-level;
+many small solves → solve-level; one core → serial) resolves
+``mode="auto"`` per request, and
+:class:`~repro.runtime.context.ExecutionContext` owns the pool
+lifecycles — prefer going through it rather than instantiating the
+classes here directly.  The modes compose with everything else (engines,
+warm starts); stage-level requires ``engine="compiled"`` because workers
+hold only the detached flat arrays.
 """
 
 from repro.parallel.pool import (

@@ -383,6 +383,7 @@ class ShardedStageExecutor(StageExecutor):
         self.trace: "list | None" = [] if trace else None
         self._solve_id: Optional[int] = None
         self._patch_log: "list[list] | None" = None
+        self._patch_sizes: "list[list[int]] | None" = None
         self._synced: "list[list[int]] | None" = None
 
     # ------------------------------------------------------------------
@@ -409,11 +410,23 @@ class ShardedStageExecutor(StageExecutor):
         self.pool.start_solve(spec)
         start_count = len(ctx.starts)
         self._patch_log = [[] for _ in range(start_count)]
+        # Pickled size of each logged patch, measured once at append time
+        # (never re-serialized for accounting on the stage hot path).
+        self._patch_sizes = [[] for _ in range(start_count)]
         self._synced = [
             [0] * start_count for _ in range(self.pool.workers)
         ]
         ctx.stats.extra["stage_workers"] = self.pool.workers
         ctx.stats.extra["graph_shipped"] = shipped
+        # Shard-protocol overhead accounting (the ROADMAP's "overhead
+        # curve"): every broadcast/stage message exchanged with a worker
+        # counts as one RPC; per stage the pickled bytes of the CE-vector
+        # sync patches shipped with the shard entries are recorded, so
+        # ``overhead ~ stages × starts × patch bytes`` is measurable from
+        # any sharded solve's stats (and from the perf bench output).
+        workers = self.pool.workers
+        ctx.stats.extra["shard_rpcs"] = (2 if shipped else 1) * workers
+        ctx.stats.extra["shard_patch_bytes"] = []
         if self.trace is not None:
             self.trace.append({"solve_id": self._solve_id, "stages": []})
 
@@ -432,14 +445,17 @@ class ShardedStageExecutor(StageExecutor):
 
         worker_entries: "list[list[dict]]" = [[] for _ in range(workers)]
         placements = []
+        stage_patch_bytes = 0
         for index, share in funded:
             shard_counts = split_budget(share, min(workers, share))
             seeds = [ctx.rng.randrange(2**63) for _ in shard_counts]
             keep_rank = solver._shard_keep_rank(share)
             carry = ctx.failures[index]
             pending = self._patch_log[index]
+            sizes = self._patch_sizes[index]
             positions = []
             for shard, (count, seed) in enumerate(zip(shard_counts, seeds)):
+                synced_from = self._synced[shard][index]
                 entry = {
                     "start": index,
                     "count": count,
@@ -448,8 +464,9 @@ class ShardedStageExecutor(StageExecutor):
                     # first shard only; the others start fresh.
                     "failures": carry if shard == 0 else 0,
                     "keep_rank": keep_rank,
-                    "sync": pending[self._synced[shard][index] :],
+                    "sync": pending[synced_from:],
                 }
+                stage_patch_bytes += sum(sizes[synced_from:])
                 worker_entries[shard].append(entry)
                 self._synced[shard][index] = len(pending)
                 positions.append((shard, len(worker_entries[shard]) - 1))
@@ -460,6 +477,8 @@ class ShardedStageExecutor(StageExecutor):
         results = self.pool.run_stage(self._solve_id, worker_entries)
 
         stats = ctx.stats
+        stats.extra["shard_rpcs"] += workers
+        stats.extra["shard_patch_bytes"].append(stage_patch_bytes)
         best_sample = ctx.best_sample
         stage_trace = [] if self.trace is not None else None
         for index, carry, shard_counts, seeds, keep_rank, positions in placements:
@@ -510,6 +529,7 @@ class ShardedStageExecutor(StageExecutor):
             patch = solver._merge_start_stage(index, successes, kept, stats)
             if patch is not None:
                 self._patch_log[index].append(patch)
+                self._patch_sizes[index].append(len(pickle.dumps(patch)))
             if stage_trace is not None:
                 stage_trace.append(
                     {

@@ -1,0 +1,618 @@
+"""The unified runtime layer: one object owns everything between a
+request and a :class:`~repro.core.solution.GroupSolution`.
+
+Before this layer existed the execution machinery was scattered: engine
+selection lived on every solver constructor, the solve-level pool behind
+:class:`~repro.parallel.pool.ParallelSolver`, the stage-level pool
+behind :class:`~repro.parallel.stage_pool.StagePool`, warm states on the
+:class:`~repro.online.replanning.OnlinePlanner`, and the choice between
+the parallel modes in a rule-of-thumb comment.  :class:`ExecutionContext`
+consolidates all of it:
+
+* **engine selection** — ``engine="compiled"|"reference"``, inherited by
+  every solver the context builds;
+* **pool lifecycle** — the solve-level ``ProcessPoolExecutor`` and the
+  stage-level :class:`~repro.parallel.stage_pool.StagePool` are created
+  lazily, stay resident across solves and re-planning rounds (graph
+  payloads shipped once), are reference-counted across co-owners
+  (:meth:`acquire` / :meth:`release`), and are torn down by
+  :meth:`close` or ``with``-exit;
+* **mode routing** — ``mode="auto"`` resolves per request through the
+  cost model in :mod:`repro.runtime.router`; ``"serial"`` / ``"solve"``
+  / ``"stage"`` force a mode;
+* **warm-state storage** — :class:`~repro.algorithms.cbas.CBASWarmState`
+  snapshots keyed by caller token, so online re-planning and repeated
+  requests share one place (and one resident pool) for cross-solve
+  state;
+* **the batched front door** — :meth:`solve_many` multiplexes a list of
+  heterogeneous :class:`~repro.runtime.requests.SolveRequest`\\ s over
+  one shared compiled graph, with results bit-identical to solving the
+  requests one by one.
+
+Construction stays cheap: a context created and never used for parallel
+work starts no processes.  Solvers constructed *without* a context get a
+private serial one, which keeps the historical direct-call behaviour —
+``CBASND().solve(problem, rng=7)`` remains bit-identical to every
+previous release.
+
+The context is not thread-safe: like the stage pool it serves one solve
+at a time (concurrency comes from the worker processes underneath).
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Optional
+
+from repro.algorithms.base import (
+    RngLike,
+    Solver,
+    SolveResult,
+    SolveStats,
+)
+from repro.algorithms.stage_exec import SerialStageExecutor, StageExecutor
+from repro.core.problem import WASOProblem
+from repro.core.solution import GroupSolution
+from repro.core.willingness import evaluator_for as _evaluator_for
+from repro.core.willingness import validate_engine
+from repro.runtime.requests import SolveRequest
+from repro.runtime.router import choose_mode, validate_mode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.parallel.stage_pool import StagePool
+
+__all__ = ["ExecutionContext"]
+
+
+def _batch_worker(task) -> list:
+    """Solve one worker's chunk of a ``solve_many`` batch.
+
+    ``task`` is ``(entries,)``-free: a list of ``(index, problem, name,
+    kwargs, seed)`` tuples.  Problems in one chunk share their compiled
+    graph object, so the O(V+E) arrays are pickled once per chunk, not
+    once per request.  Each request runs a plain serial solve — the same
+    call the parent would have made inline — so results are bit-identical
+    to the unbatched path.
+    """
+    from repro.algorithms.registry import make_solver
+
+    out = []
+    for index, problem, name, kwargs, seed in task:
+        result = make_solver(name, **kwargs).solve(problem, rng=seed)
+        out.append(
+            (
+                index,
+                result.solution.members,
+                result.solution.willingness,
+                result.stats.samples_drawn,
+                result.stats.failed_samples,
+                result.stats.stages,
+                result.stats.extra,
+            )
+        )
+    return out
+
+
+def _factory_params(name: str):
+    """Constructor parameters of a registry solver (VAR_KEYWORD aware)."""
+    from repro.algorithms.registry import solver_factory
+
+    signature = inspect.signature(solver_factory(name))
+    params = signature.parameters
+    open_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    return params, open_kwargs
+
+
+class ExecutionContext:
+    """Owns engines, pools, routing, and warm state for a serving session.
+
+    Parameters
+    ----------
+    engine:
+        Default execution engine for solvers built through the context.
+    mode:
+        Routing policy: ``"auto"`` (cost-model router, the default),
+        or a forced ``"serial"`` / ``"solve"`` / ``"stage"``.
+    workers:
+        Worker count for both pools (``None`` = one per CPU).  The
+        auto-router caps it by the CPU count; an explicit mode honours
+        it as given (oversubscription is the caller's choice).
+    executor:
+        Explicit :class:`~repro.algorithms.stage_exec.StageExecutor`
+        override — every staged solve runs on it, bypassing the router.
+        This is what the solvers' deprecated ``executor=`` kwarg
+        delegates to.
+    stage_pool / solve_pool:
+        Caller-owned pools to run on instead of lazily creating owned
+        ones; shared pools are never closed by this context.
+    cpu_count:
+        Override for ``os.cpu_count()`` (tests).
+    """
+
+    def __init__(
+        self,
+        engine: str = "compiled",
+        mode: str = "auto",
+        workers: Optional[int] = None,
+        executor: Optional[StageExecutor] = None,
+        stage_pool: "Optional[StagePool]" = None,
+        solve_pool: "Optional[ProcessPoolExecutor]" = None,
+        cpu_count: Optional[int] = None,
+    ) -> None:
+        self.engine = validate_engine(engine)
+        self.mode = validate_mode(mode)
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self._cpu_count = cpu_count
+        self._executor_override = executor
+        self._serial_executor = SerialStageExecutor()
+        self._stage_pool = stage_pool
+        self._owns_stage_pool = stage_pool is None
+        self._solve_pool = solve_pool
+        self._owns_solve_pool = solve_pool is None
+        self._warm_states: dict = {}
+        self._mode_force: Optional[str] = None
+        self._refs = 1
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def cpu_count(self) -> int:
+        return self._cpu_count or os.cpu_count() or 1
+
+    @property
+    def effective_workers(self) -> int:
+        """Worker count the pools are sized with."""
+        return self.workers if self.workers is not None else self.cpu_count
+
+    # ------------------------------------------------------------------
+    # Engine
+    # ------------------------------------------------------------------
+    def evaluator_for(self, problem: WASOProblem, engine: Optional[str] = None):
+        """Willingness evaluator for ``problem`` on the context's engine."""
+        return _evaluator_for(problem.graph, engine or self.engine)
+
+    # ------------------------------------------------------------------
+    # Pools (lazy, resident, shared)
+    # ------------------------------------------------------------------
+    def stage_pool(self) -> "StagePool":
+        """The resident stage-level pool, created on first use."""
+        if self._stage_pool is None:
+            from repro.parallel.stage_pool import StagePool
+
+            self._stage_pool = StagePool(max(1, self.effective_workers))
+            self._owns_stage_pool = True
+        return self._stage_pool
+
+    def solve_pool(self) -> "ProcessPoolExecutor":
+        """The resident solve-level pool, created on first use."""
+        if self._solve_pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._solve_pool = ProcessPoolExecutor(
+                max_workers=max(1, self.effective_workers)
+            )
+            self._owns_solve_pool = True
+        return self._solve_pool
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def resolve_mode(
+        self,
+        problem: WASOProblem,
+        budget: int,
+        batch_size: int = 1,
+        mode: Optional[str] = None,
+    ) -> str:
+        """Resolve the execution mode for one request.
+
+        Precedence: explicit ``mode`` argument, then the mode pinned by
+        an enclosing :meth:`solve` call, then the context default; an
+        ``"auto"`` outcome runs the cost-model router.
+        """
+        choice = mode if mode is not None else (self._mode_force or self.mode)
+        validate_mode(choice)
+        if choice != "auto":
+            return choice
+        return choose_mode(
+            n=problem.graph.number_of_nodes(),
+            budget=budget,
+            batch_size=batch_size,
+            workers=self.workers,
+            cpu_count=self.cpu_count,
+        )
+
+    def executor_for(
+        self,
+        solver: Solver,
+        problem: WASOProblem,
+        mode: Optional[str] = None,
+    ) -> StageExecutor:
+        """Stage-execution strategy for one solve.
+
+        Called by the staged solvers (:class:`~repro.algorithms.cbas.
+        CBAS` and subclasses) when no explicit executor is installed.
+        Routes to the stage-sharded strategy only when the resolved mode
+        is ``"stage"`` and the solver can actually shard (compiled
+        engine, shard-protocol hooks); everything else — including
+        ``"solve"`` mode, which splits *above* the stage loop — runs the
+        serial in-process strategy.
+        """
+        if self._executor_override is not None:
+            return self._executor_override
+        resolved = self.resolve_mode(
+            problem, getattr(solver, "budget", 0) or 0, mode=mode
+        )
+        if (
+            resolved == "stage"
+            and getattr(solver, "engine", None) == "compiled"
+            and hasattr(solver, "_shard_mode")
+        ):
+            from repro.parallel.stage_pool import ShardedStageExecutor
+
+            return ShardedStageExecutor(pool=self.stage_pool())
+        return self._serial_executor
+
+    @contextmanager
+    def _forced_mode(self, mode: str):
+        """Pin the resolved mode for the duration of one solve call."""
+        previous = self._mode_force
+        self._mode_force = mode
+        try:
+            yield
+        finally:
+            self._mode_force = previous
+
+    # ------------------------------------------------------------------
+    # Solver construction
+    # ------------------------------------------------------------------
+    def make_solver(self, name: str, **kwargs) -> Solver:
+        """Build a registry solver wired to this context.
+
+        Context-aware solvers receive ``context=self`` (and therefore
+        the context's engine and routing); solvers without execution
+        state (exact / IP) are built as-is.
+        """
+        from repro.algorithms.registry import make_solver
+
+        params, open_kwargs = _factory_params(name)
+        if "context" in params or open_kwargs:
+            kwargs.setdefault("context", self)
+        return make_solver(name, **kwargs)
+
+    def _stage_capable(self, name: str, kwargs: dict) -> bool:
+        """Can a ``name`` solver actually run stage-sharded?
+
+        Stage mode needs the compiled engine plus the shard-protocol
+        hooks; a request routed "stage" without them would degrade to a
+        sequential inline solve, so :meth:`solve_many` demotes it to the
+        multiplexer instead.
+        """
+        from repro.algorithms.registry import solver_factory
+
+        params, open_kwargs = _factory_params(name)
+        if "engine" not in params and not open_kwargs:
+            return False
+        if kwargs.get("engine", self.engine) != "compiled":
+            return False
+        factory = solver_factory(name)
+        if isinstance(factory, type):
+            return hasattr(factory, "_shard_mode")
+        # Function factories (e.g. cbas-nd-g) wrap a solver class; probe
+        # with a throwaway instance (constructors are cheap).
+        try:
+            return hasattr(factory(**kwargs), "_shard_mode")
+        except Exception:
+            return False
+
+    def _dispatch_engine(self, name: str, kwargs: dict) -> Optional[str]:
+        """Engine a worker-side build of ``name`` would run, or ``None``.
+
+        Workers build solvers from ``(name, kwargs)`` without a context,
+        so the context's engine must be made explicit in the shipped
+        kwargs for engine-aware solvers; solvers with no engine knob
+        (exact / IP) return ``None`` and ship the full dict graph.
+        """
+        params, open_kwargs = _factory_params(name)
+        if "engine" not in params and not open_kwargs:
+            return None
+        kwargs.setdefault("engine", self.engine)
+        return kwargs["engine"]
+
+    # ------------------------------------------------------------------
+    # Warm-state storage (online re-planning, repeated requests)
+    # ------------------------------------------------------------------
+    def store_warm_state(self, key, state) -> None:
+        """Remember cross-solve warm state under ``key``."""
+        self._warm_states[key] = state
+
+    def warm_state(self, key):
+        """Warm state previously stored under ``key`` (or ``None``)."""
+        return self._warm_states.get(key)
+
+    def clear_warm_state(self, key) -> None:
+        self._warm_states.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: WASOProblem,
+        solver: "str | Solver" = "cbas-nd",
+        rng: RngLike = None,
+        mode: Optional[str] = None,
+        **solver_kwargs,
+    ) -> SolveResult:
+        """Solve one problem through the runtime layer.
+
+        ``solver`` is a registry name (built through the context) or a
+        pre-configured :class:`~repro.algorithms.base.Solver` instance.
+        ``mode`` overrides the context's routing for this call.
+        """
+        if isinstance(solver, str):
+            name: Optional[str] = solver
+            instance: Optional[Solver] = None
+            # An explicit budget kwarg lets solve-level routing skip
+            # building a throwaway instance just to read its default.
+            budget = int(solver_kwargs.get("budget") or 0)
+            if budget <= 0:
+                instance = self.make_solver(name, **solver_kwargs)
+                budget = getattr(instance, "budget", 0) or 0
+        else:
+            name = None
+            instance = solver
+            if solver_kwargs:
+                raise ValueError(
+                    "solver kwargs only apply when the solver is built by "
+                    "name; configure the instance instead"
+                )
+            budget = getattr(instance, "budget", 0) or 0
+        resolved = self.resolve_mode(problem, budget, mode=mode)
+        if resolved == "solve":
+            if name is not None and budget > 0:
+                return self._solve_level(
+                    problem, name, solver_kwargs, budget, rng
+                )
+            if mode == "solve" and name is None:
+                raise ValueError(
+                    "mode='solve' splits the budget across fresh solver "
+                    "instances; pass the solver by registry name"
+                )
+            # Budget-less solvers / pre-built instances under a
+            # solve-mode context default: nothing to split, run serial.
+            resolved = "serial"
+        if instance is None:
+            instance = self.make_solver(name, **solver_kwargs)
+        with self._forced_mode(resolved):
+            foreign = (
+                getattr(instance, "context", None) is not None
+                and instance.context is not self
+            )
+            if not foreign:
+                return instance.solve(problem, rng=rng)
+            # A pre-built solver carries its own (usually private serial)
+            # context; it must execute through *this* one for the call,
+            # or the routed mode would be silently ignored.
+            previous = instance.context
+            instance.context = self
+            try:
+                return instance.solve(problem, rng=rng)
+            finally:
+                instance.context = previous
+
+    def _solve_level(
+        self,
+        problem: WASOProblem,
+        name: str,
+        solver_kwargs: dict,
+        budget: int,
+        rng: RngLike,
+    ) -> SolveResult:
+        """Best-of over budget slices on the solve-level pool."""
+        from repro.parallel.pool import parallel_solve
+
+        kwargs = dict(solver_kwargs)
+        kwargs.pop("budget", None)  # replaced by each worker's share
+        self._dispatch_engine(name, kwargs)
+        workers = max(1, min(self.effective_workers, budget))
+
+        def factory(share: int) -> Solver:
+            from repro.algorithms.registry import make_solver
+
+            return make_solver(name, budget=share, **kwargs)
+
+        return parallel_solve(
+            problem,
+            factory,
+            total_budget=budget,
+            workers=workers,
+            rng=rng,
+            pool=self.solve_pool() if workers > 1 else None,
+        )
+
+    # ------------------------------------------------------------------
+    def solve_many(
+        self,
+        requests,
+        mode: Optional[str] = None,
+    ) -> list[SolveResult]:
+        """Solve a batch of heterogeneous requests; the serving front door.
+
+        ``requests`` is a list of :class:`~repro.runtime.requests.
+        SolveRequest` (or plain ``(problem, solver-name)``-style dicts
+        are *not* accepted here — build them with
+        :func:`~repro.runtime.requests.request_from_spec`).  Routing is
+        per request: large solves go to the resident stage pool, the
+        rest multiplex onto the solve-level pool — each inside one
+        worker as a plain serial solve — and on one CPU everything runs
+        inline.  Results come back in request order and are bit-identical
+        to calling :meth:`solve` once per request (stats excepted only
+        in ``elapsed_seconds``).
+        """
+        requests = [self._coerce_request(r) for r in requests]
+        if not requests:
+            return []
+        import random as _random
+
+        shared_rng = any(isinstance(r.rng, _random.Random) for r in requests)
+        batch = len(requests)
+        routed = []
+        for request in requests:
+            route = self.resolve_mode(
+                request.problem, request.budget, batch_size=batch, mode=mode
+            )
+            if route == "stage" and not self._stage_capable(
+                request.solver, request.solver_kwargs
+            ):
+                # Large but unshardable (reference engine, no shard
+                # hooks): multiplexing is the only parallelism it has.
+                route = "solve"
+            routed.append(route)
+        if shared_rng or all(route == "serial" for route in routed):
+            # Stateful generators must consume their streams in request
+            # order — and a fully serial batch has nothing to dispatch.
+            return [self._solve_request(r) for r in requests]
+
+        # Distinct graphs are frozen and detached at most once (lazily —
+        # an all-stage or all-reference batch never pays the detach);
+        # detached clones share the frozen arrays, so each worker chunk
+        # ships them once.
+        detached_graphs: dict[int, object] = {}
+        results: list[Optional[SolveResult]] = [None] * batch
+        entries = []  # multiplexed requests: (index, problem, name, kw, seed)
+        stage_indices = []
+        for index, (request, route) in enumerate(zip(requests, routed)):
+            if route == "stage":
+                stage_indices.append(index)
+                continue
+            kwargs = dict(request.solver_kwargs)
+            engine = self._dispatch_engine(request.solver, kwargs)
+            problem = request.problem
+            if engine == "compiled":
+                detached = detached_graphs.get(id(problem.graph))
+                if detached is None:
+                    detached = problem.compiled().detach().graph
+                    detached_graphs[id(problem.graph)] = detached
+                problem = WASOProblem(
+                    graph=detached,
+                    k=problem.k,
+                    connected=problem.connected,
+                    required=problem.required,
+                    forbidden=problem.forbidden,
+                )
+            entries.append(
+                (index, problem, request.solver, kwargs, request.rng)
+            )
+
+        futures = []
+        if entries:
+            pool = self.solve_pool()
+            workers = max(1, min(self.effective_workers, len(entries)))
+            # Round-robin chunking: one task per worker, graphs pickled
+            # once per chunk via shared references.
+            chunks = [entries[w::workers] for w in range(workers)]
+            futures = [pool.submit(_batch_worker, chunk) for chunk in chunks]
+
+        # Large solves run on the stage pool while the chunks are in
+        # flight on the solve pool.
+        for index in stage_indices:
+            results[index] = self._solve_request(requests[index], mode="stage")
+
+        for future in futures:
+            for index, members, willingness, drawn, failed, stages, extra in (
+                future.result()
+            ):
+                results[index] = SolveResult(
+                    solution=GroupSolution(
+                        members=members, willingness=willingness
+                    ),
+                    stats=SolveStats(
+                        samples_drawn=drawn,
+                        failed_samples=failed,
+                        stages=stages,
+                        extra=extra,
+                    ),
+                )
+        assert all(result is not None for result in results)
+        return results
+
+    @staticmethod
+    def _coerce_request(request) -> SolveRequest:
+        if isinstance(request, SolveRequest):
+            return request
+        raise TypeError(
+            "solve_many takes SolveRequest objects; build them with "
+            "repro.runtime.request_from_spec "
+            f"(got {type(request).__name__})"
+        )
+
+    def _solve_request(
+        self, request: SolveRequest, mode: Optional[str] = None
+    ) -> SolveResult:
+        return self.solve(
+            request.problem,
+            solver=request.solver,
+            rng=request.rng,
+            mode=mode or "serial",
+            **request.solver_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self) -> "ExecutionContext":
+        """Register a co-owner; pair every call with :meth:`release`."""
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one ownership reference; the last one closes the pools."""
+        self._refs -= 1
+        if self._refs <= 0:
+            self.close()
+
+    def close(self) -> None:
+        """Tear down owned pools (idempotent; the context stays usable —
+        a later parallel solve lazily recreates them)."""
+        pool, self._stage_pool = self._stage_pool, None
+        if pool is not None and self._owns_stage_pool:
+            pool.close()
+        executor, self._solve_pool = self._solve_pool, None
+        if executor is not None and self._owns_solve_pool:
+            executor.shutdown()
+        self._owns_stage_pool = True
+        self._owns_solve_pool = True
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pools = []
+        if self._stage_pool is not None:
+            pools.append("stage")
+        if self._solve_pool is not None:
+            pools.append("solve")
+        return (
+            f"ExecutionContext(engine={self.engine!r}, mode={self.mode!r}, "
+            f"workers={self.effective_workers}, "
+            f"pools=[{', '.join(pools)}])"
+        )

@@ -1,0 +1,94 @@
+"""Serving-layer request objects for the batched ``solve_many`` front door.
+
+A :class:`SolveRequest` is one user's planning query: a problem (graph +
+group size + constraints), the solver to run, its configuration, and a
+per-request seed.  :meth:`ExecutionContext.solve_many
+<repro.runtime.context.ExecutionContext.solve_many>` takes a list of
+them — heterogeneous ``k`` / constraints / solvers / budgets over one
+shared graph — and multiplexes them over the runtime's pools.
+
+:func:`request_from_spec` builds a request from a plain dict (one JSONL
+line of the CLI's ``solve-many`` subcommand, or one message of a future
+network front end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import RngLike
+from repro.core.problem import WASOProblem
+from repro.graph.social_graph import SocialGraph
+
+__all__ = ["SolveRequest", "request_from_spec"]
+
+#: Spec keys that configure the problem rather than the solver.
+_PROBLEM_KEYS = ("k", "connected", "required", "forbidden", "solver", "seed")
+
+
+@dataclass
+class SolveRequest:
+    """One planning request for the batched front door.
+
+    Parameters
+    ----------
+    problem:
+        The WASO instance to solve.
+    solver:
+        Registry name of the solver (a name, not an instance, so the
+        request can be shipped to a worker process).
+    rng:
+        Per-request seed (or ``None`` for a nondeterministic run).  A
+        shared :class:`random.Random` instance forces the whole batch to
+        run serially in request order — that is the only way its stream
+        consumption can match a hand-written loop.
+    solver_kwargs:
+        Solver configuration (``budget``, ``m``, ``stages``, ...),
+        forwarded to the registry factory.
+    """
+
+    problem: WASOProblem
+    solver: str = "cbas-nd"
+    rng: RngLike = None
+    solver_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.solver, str):
+            raise TypeError(
+                "SolveRequest.solver must be a registry name (str) so the "
+                f"request stays shippable, got {type(self.solver).__name__}"
+            )
+
+    @property
+    def budget(self) -> int:
+        """The request's sample budget (0 when the solver has none)."""
+        budget = self.solver_kwargs.get("budget")
+        return int(budget) if budget is not None else 0
+
+
+def request_from_spec(graph: SocialGraph, spec: dict) -> SolveRequest:
+    """Build a :class:`SolveRequest` from a plain dict over ``graph``.
+
+    Recognized keys: ``k`` (required), ``connected`` (default ``True``),
+    ``required`` / ``forbidden`` (node-id lists), ``solver`` (registry
+    name, default ``"cbas-nd"``), ``seed`` (int), and any remaining keys
+    are passed through as solver kwargs (``budget``, ``m``, ...).
+    """
+    if "k" not in spec:
+        raise ValueError(f"request spec needs a 'k' field: {spec!r}")
+    problem = WASOProblem(
+        graph=graph,
+        k=int(spec["k"]),
+        connected=bool(spec.get("connected", True)),
+        required=frozenset(spec.get("required", ())),
+        forbidden=frozenset(spec.get("forbidden", ())),
+    )
+    solver_kwargs = {
+        key: value for key, value in spec.items() if key not in _PROBLEM_KEYS
+    }
+    return SolveRequest(
+        problem=problem,
+        solver=spec.get("solver", "cbas-nd"),
+        rng=spec.get("seed"),
+        solver_kwargs=solver_kwargs,
+    )

@@ -1,0 +1,121 @@
+"""Cost-model routing between the execution modes.
+
+PR 3 left the choice between the two parallel modes to a rule-of-thumb
+comment in :mod:`repro.parallel` ("one big solve → stage-level; many
+small solves → solve-level").  This module turns that comment into
+tested code: :func:`choose_mode` answers, for one request of size
+``(n, budget)`` arriving in a batch of ``batch_size``, which execution
+mode the runtime should use.
+
+The model behind the thresholds
+-------------------------------
+A solve's work is roughly proportional to ``n × T`` — ``T`` complete
+samples, each an O(k·deg) expansion whose constant grows with the graph
+(frontier size, CE vector width).  Parallel execution buys that work
+with fixed overheads:
+
+* **stage mode** pays one RPC round per OCBA stage (ship shard budgets +
+  CE patches, collect summaries) plus a one-off O(V+E) payload install,
+  so it only wins when the per-stage draw work dwarfs the round trips —
+  a *single large* solve;
+* **solve mode** pays one payload pickle per worker and nothing during
+  the solve, but each worker refits its CE vectors from only ``T/W`` of
+  the evidence — fine for *many independent* requests, where every
+  request runs serially inside one worker at full statistical strength;
+* **serial** pays nothing, and on one core is also the fastest option.
+
+``STAGE_WORK_THRESHOLD`` is calibrated from the repo's own benches: the
+Fig. 5(d) stage-parallel point (n=600, T=1600 → 9.6e5) and the
+``BENCH_sampler`` gate point (n=10k, T=3200 → 3.2e7) must route to
+stage mode, while the test-suite-sized solves (n≈200, T≈120 → 2.4e4)
+must stay serial — their wall clock is smaller than a handful of RPCs.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "MODES",
+    "STAGE_WORK_THRESHOLD",
+    "MIN_STAGE_BUDGET",
+    "validate_mode",
+    "choose_mode",
+]
+
+#: Execution modes the runtime understands.  ``auto`` resolves to one of
+#: the other three via :func:`choose_mode`.
+MODES = ("auto", "serial", "solve", "stage")
+
+#: Minimum ``n × budget`` work volume before stage-sharding a single
+#: solve beats running it inline (see the module docstring's
+#: calibration).
+STAGE_WORK_THRESHOLD = 500_000
+
+#: Below this budget a solve has too few draws per (stage, start, shard)
+#: for the shard protocol to amortize, whatever the graph size.
+MIN_STAGE_BUDGET = 256
+
+
+def validate_mode(mode: str) -> str:
+    """Validate and return an execution mode name."""
+    if mode not in MODES:
+        raise ValueError(
+            f"mode must be one of {'|'.join(MODES)}, got {mode!r}"
+        )
+    return mode
+
+
+def choose_mode(
+    n: int,
+    budget: int,
+    batch_size: int = 1,
+    workers: "int | None" = None,
+    cpu_count: "int | None" = None,
+) -> str:
+    """Pick the execution mode for one request.
+
+    Parameters
+    ----------
+    n:
+        Number of graph nodes the request solves over.
+    budget:
+        The request's sample budget ``T`` (0 for budget-less solvers
+        such as DGreedy — they always route serial).
+    batch_size:
+        How many requests share the call (``solve_many`` passes the
+        batch length; single solves pass 1).
+    workers:
+        Requested worker count (``None`` = one per CPU).  The effective
+        parallelism is capped by ``cpu_count`` — asking for 8 workers on
+        one core buys nothing, so the router degrades to serial there.
+    cpu_count:
+        Override for ``os.cpu_count()`` (tests).
+
+    Returns one of ``"serial"`` / ``"solve"`` / ``"stage"`` — never
+    ``"auto"``, and always ``"serial"`` on a single-CPU machine.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    effective = min(workers, cpus) if workers is not None else cpus
+    if effective <= 1:
+        # One core: every parallel mode only adds process overhead.
+        return "serial"
+    if budget >= MIN_STAGE_BUDGET and n * budget >= STAGE_WORK_THRESHOLD:
+        # A single large solve: only stage-sharding can accelerate it
+        # (splitting its budget would weaken the CE fit instead), and
+        # that holds whether it arrives alone or inside a batch.
+        return "stage"
+    if batch_size > 1:
+        # Many small solves: multiplex whole requests onto the
+        # solve-level pool, each running serially at full statistical
+        # strength inside one worker.
+        return "solve"
+    return "serial"

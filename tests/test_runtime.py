@@ -1,0 +1,563 @@
+"""Tests for the unified runtime layer (repro.runtime).
+
+The load-bearing properties:
+
+* the auto-router always returns a valid mode and degrades to serial on
+  a single CPU;
+* ``ExecutionContext.solve_many`` results (and RNG consumption) are
+  bit-identical to looped single ``solve()`` calls, across scenario
+  transforms and both engines;
+* pools are lazy, resident, and never leak worker processes — including
+  after a mid-solve exception.
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.algorithms.cbas_nd import CBASND
+from repro.core.problem import WASOProblem
+from repro.online import OnlinePlanner
+from repro.runtime import (
+    ExecutionContext,
+    MODES,
+    SolveRequest,
+    choose_mode,
+    request_from_spec,
+    validate_mode,
+)
+from repro.runtime.router import MIN_STAGE_BUDGET, STAGE_WORK_THRESHOLD
+from repro.scenarios import exhibition_problem, mark_foes, merge_couple
+from repro.scenarios.filters import filtered_problem
+
+
+def _children() -> set:
+    return set(multiprocessing.active_children())
+
+
+#: extra-dict keys that describe pool warmth rather than the solve
+#: itself (a resident graph is shipped once per pool, so the second of
+#: two otherwise-identical solves legitimately reports different
+#: residency bookkeeping).
+_POOL_WARMTH_KEYS = frozenset({"graph_shipped", "shard_rpcs"})
+
+
+def _assert_same_result(lhs, rhs) -> None:
+    """Bit-identity check between two SolveResults (timing excepted)."""
+    assert lhs.members == rhs.members
+    assert lhs.willingness == rhs.willingness
+    assert lhs.stats.samples_drawn == rhs.stats.samples_drawn
+    assert lhs.stats.failed_samples == rhs.stats.failed_samples
+    assert lhs.stats.stages == rhs.stats.stages
+    strip = lambda extra: {  # noqa: E731
+        key: value
+        for key, value in extra.items()
+        if key not in _POOL_WARMTH_KEYS
+    }
+    assert strip(lhs.stats.extra) == strip(rhs.stats.extra)
+
+
+class TestRouter:
+    def test_always_returns_a_valid_mode(self):
+        """Property: every input combination resolves to a concrete mode."""
+        rng = random.Random(7)
+        for _ in range(300):
+            mode = choose_mode(
+                n=rng.randrange(0, 100_000),
+                budget=rng.randrange(0, 10_000),
+                batch_size=rng.randrange(1, 50),
+                workers=rng.choice([None, 1, 2, 4, 8, 64]),
+                cpu_count=rng.randrange(1, 65),
+            )
+            assert mode in MODES and mode != "auto"
+
+    def test_degrades_to_serial_on_one_cpu(self):
+        """Property: a 1-CPU machine always routes serial."""
+        rng = random.Random(8)
+        for _ in range(200):
+            assert (
+                choose_mode(
+                    n=rng.randrange(0, 100_000),
+                    budget=rng.randrange(0, 10_000),
+                    batch_size=rng.randrange(1, 50),
+                    workers=rng.choice([None, 1, 4, 16]),
+                    cpu_count=1,
+                )
+                == "serial"
+            )
+
+    def test_one_big_solve_routes_stage(self):
+        assert choose_mode(10_000, 3200, 1, None, 8) == "stage"
+
+    def test_big_solve_in_a_batch_still_routes_stage(self):
+        assert choose_mode(10_000, 3200, 12, None, 8) == "stage"
+
+    def test_many_small_solves_route_solve_level(self):
+        assert choose_mode(500, 200, 16, None, 8) == "solve"
+
+    def test_one_small_solve_routes_serial(self):
+        assert choose_mode(200, 120, 1, None, 8) == "serial"
+
+    def test_thresholds_are_the_documented_ones(self):
+        budget = MIN_STAGE_BUDGET
+        n = -(-STAGE_WORK_THRESHOLD // budget)  # ceil division
+        assert choose_mode(n, budget, 1, None, 4) == "stage"
+        assert choose_mode(n - 1, budget, 1, None, 4) == "serial"
+        assert choose_mode(n, budget - 1, 1, None, 4) == "serial"
+
+    def test_workers_cap_parallelism(self):
+        assert choose_mode(10_000, 3200, 1, workers=1, cpu_count=8) == "serial"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_mode(-1, 10)
+        with pytest.raises(ValueError):
+            choose_mode(10, -1)
+        with pytest.raises(ValueError):
+            choose_mode(10, 10, batch_size=0)
+        with pytest.raises(ValueError):
+            choose_mode(10, 10, workers=0)
+        with pytest.raises(ValueError):
+            validate_mode("threads")
+        assert validate_mode("auto") == "auto"
+
+
+class TestExecutionContext:
+    def test_context_solve_matches_direct_solver(self, small_facebook):
+        """The runtime front door reproduces a bare solver.solve exactly."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        direct = CBASND(budget=60, m=6, stages=3).solve(problem, rng=4)
+        with ExecutionContext() as context:
+            routed = context.solve(
+                problem, "cbas-nd", rng=4, budget=60, m=6, stages=3
+            )
+        _assert_same_result(direct, routed)
+
+    def test_make_solver_injects_context_and_engine(self):
+        context = ExecutionContext(engine="reference")
+        solver = context.make_solver("cbas-nd", budget=50)
+        assert solver.context is context
+        assert solver.engine == "reference"
+        # An explicit engine kwarg still overrides the context default.
+        assert context.make_solver("cbas", engine="compiled").engine == (
+            "compiled"
+        )
+        # Solvers without execution state build fine too.
+        assert context.make_solver("exact-bnb").name == "exact-bnb"
+
+    def test_private_context_is_serial(self):
+        solver = CBASND(budget=50)
+        assert solver.context.mode == "serial"
+        assert solver.engine == "compiled"
+        assert CBASND(budget=50, engine="reference").engine == "reference"
+
+    def test_serial_solves_create_no_pools(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        before = _children()
+        with ExecutionContext(workers=2) as context:
+            context.solve(problem, "cbas-nd", rng=1, budget=40, m=4, stages=2)
+            assert context._stage_pool is None
+            assert context._solve_pool is None
+        assert _children() == before
+
+    def test_solver_pickles_without_its_context(self, small_facebook):
+        import pickle
+
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with ExecutionContext(workers=2) as context:
+            solver = context.make_solver("cbas-nd", budget=40, m=4, stages=2)
+            context.stage_pool()  # pools must never cross the pickle
+            clone = pickle.loads(pickle.dumps(solver))
+        assert clone.context is not solver.context
+        assert clone.context.mode == "serial"
+        assert clone.engine == solver.engine
+        _assert_same_result(
+            clone.solve(problem, rng=3), solver.solve(problem, rng=3)
+        )
+
+    def test_instance_with_kwargs_rejected(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with ExecutionContext() as context:
+            with pytest.raises(ValueError, match="by name"):
+                context.solve(problem, CBASND(budget=40), budget=50)
+
+    def test_mode_solve_requires_a_registry_name(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with ExecutionContext(workers=2) as context:
+            with pytest.raises(ValueError, match="registry name"):
+                context.solve(problem, CBASND(budget=40), mode="solve")
+
+    def test_foreign_instances_adopt_the_calling_context(
+        self, small_facebook
+    ):
+        """Regression: a solver built outside the context must still honor
+        the routed mode — its private context is swapped out for the
+        call (and restored afterwards)."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        solver = CBASND(budget=40, m=4, stages=2)
+        with ExecutionContext(workers=2) as context:
+            result = context.solve(problem, solver, rng=1, mode="stage")
+            assert result.stats.extra["stage_workers"] == 2
+        assert solver.context is not context
+        assert solver.context.mode == "serial"
+
+    def test_solve_mode_context_degrades_for_instances(self, small_facebook):
+        """A solver *instance* under a mode='solve' context default runs
+        serially instead of erroring — only an explicit mode='solve'
+        argument insists on the impossible split."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        direct = CBASND(budget=40, m=4, stages=2).solve(problem, rng=3)
+        with ExecutionContext(workers=2, mode="solve") as context:
+            routed = context.solve(
+                problem, CBASND(budget=40, m=4, stages=2), rng=3
+            )
+        _assert_same_result(direct, routed)
+
+    def test_explicit_executor_override_wins(self, small_facebook):
+        from repro.algorithms.stage_exec import SerialStageExecutor
+
+        problem = WASOProblem(graph=small_facebook, k=5)
+        pinned = SerialStageExecutor()
+        context = ExecutionContext(
+            mode="stage", workers=2, executor=pinned
+        )
+        solver = context.make_solver("cbas-nd", budget=40, m=4, stages=2)
+        assert context.executor_for(solver, problem) is pinned
+        context.close()
+
+    def test_resolve_mode_precedence(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        context = ExecutionContext(mode="stage", cpu_count=8)
+        assert context.resolve_mode(problem, 40) == "stage"
+        assert context.resolve_mode(problem, 40, mode="serial") == "serial"
+        assert context.resolve_mode(problem, 40, mode="auto") == "serial"
+        with pytest.raises(ValueError):
+            context.resolve_mode(problem, 40, mode="openmp")
+
+    def test_stage_mode_degrades_for_unshardable_solvers(
+        self, small_facebook
+    ):
+        """Reference engines / hook-less solvers stay serial even when the
+        routing says stage — the workers hold only compiled arrays."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        context = ExecutionContext(mode="stage", workers=2)
+        reference = context.make_solver(
+            "cbas-nd", budget=40, m=4, stages=2, engine="reference"
+        )
+        serial = context.executor_for(reference, problem)
+        assert not hasattr(serial, "pool")
+        assert context._stage_pool is None  # lazily skipped, too
+        context.close()
+
+
+@pytest.fixture(scope="module")
+def runtime_graph():
+    from repro.graph.generators import facebook_like
+
+    return facebook_like(150, seed=31)
+
+
+def _scenario_requests(graph, engine):
+    """Heterogeneous batch over one graph: every §2.2/§4.4.3 transform."""
+    kwargs = dict(budget=40, m=4, stages=2, engine=engine)
+    plain = WASOProblem(graph=graph, k=5)
+    u, v = next(iter(graph.edges()))
+    couples, _merged = merge_couple(WASOProblem(graph=graph, k=6), u, v)
+    foes = WASOProblem(graph=mark_foes(graph, [next(iter(graph.edges()))]), k=5)
+    themed = exhibition_problem(graph, 5)  # WASO-dis by construction
+    filtered = filtered_problem(
+        graph, 4, lambda _graph, node: hash(node) % 5 != 0
+    )
+    return [
+        SolveRequest(plain, "cbas-nd", 11, dict(kwargs)),
+        SolveRequest(couples, "cbas-nd", 12, dict(kwargs)),
+        SolveRequest(foes, "cbas-nd", 13, dict(kwargs)),
+        SolveRequest(themed, "cbas", 14, dict(kwargs)),
+        SolveRequest(filtered, "cbas-nd", 15, dict(kwargs)),
+        SolveRequest(plain, "dgreedy", 16, {"engine": engine}),
+        SolveRequest(plain, "rgreedy", 17, {"budget": 30, "engine": engine}),
+    ]
+
+
+class TestSolveMany:
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_bit_identical_to_looped_solves_across_scenarios(
+        self, runtime_graph, engine
+    ):
+        """The differential suite: batch == loop, per scenario, per engine."""
+        from repro.algorithms.registry import make_solver
+
+        requests = _scenario_requests(runtime_graph, engine)
+        looped = [
+            make_solver(request.solver, **request.solver_kwargs).solve(
+                request.problem, rng=request.rng
+            )
+            for request in requests
+        ]
+        with ExecutionContext(workers=2) as context:
+            batched = context.solve_many(requests, mode="solve")
+        assert len(batched) == len(looped)
+        for lhs, rhs in zip(looped, batched):
+            _assert_same_result(lhs, rhs)
+
+    def test_auto_routing_matches_looped_context_solves(self, runtime_graph):
+        """Mixed batch under auto routing: a stage-sized request and small
+        ones resolve exactly like the same requests solved one by one."""
+        small = WASOProblem(graph=runtime_graph, k=5)
+        big_budget = max(
+            MIN_STAGE_BUDGET,
+            -(-STAGE_WORK_THRESHOLD // runtime_graph.number_of_nodes()),
+        )
+        requests = [
+            SolveRequest(small, "cbas-nd", 3, dict(budget=40, m=4, stages=2)),
+            SolveRequest(
+                small, "cbas-nd", 4, dict(budget=big_budget, m=6, stages=3)
+            ),
+            SolveRequest(small, "cbas", 5, dict(budget=30, m=3, stages=2)),
+        ]
+        # Pretend 4 CPUs so auto routing engages on the 1-CPU container.
+        with ExecutionContext(workers=2, cpu_count=4) as context:
+            routes = [
+                context.resolve_mode(
+                    r.problem, r.budget, batch_size=len(requests)
+                )
+                for r in requests
+            ]
+            assert routes == ["solve", "stage", "solve"]
+            looped = [
+                context.solve(r.problem, r.solver, rng=r.rng, **r.solver_kwargs)
+                for r in requests
+            ]
+            batched = context.solve_many(requests)
+        for lhs, rhs in zip(looped, batched):
+            _assert_same_result(lhs, rhs)
+
+    def test_unshardable_large_requests_demote_to_the_multiplexer(
+        self, runtime_graph
+    ):
+        """Regression: a batch of large solves whose solver cannot shard
+        (no shard hooks / reference engine) must multiplex onto the
+        solve pool, not run sequentially inline via a dead stage route."""
+        problem = WASOProblem(graph=runtime_graph, k=5)
+        big_budget = max(
+            MIN_STAGE_BUDGET,
+            -(-STAGE_WORK_THRESHOLD // runtime_graph.number_of_nodes()),
+        )
+        requests = [
+            SolveRequest(problem, "rgreedy", seed, {"budget": big_budget})
+            for seed in (1, 2)
+        ] + [
+            SolveRequest(
+                problem,
+                "cbas-nd",
+                3,
+                {"budget": big_budget, "m": 4, "engine": "reference"},
+            )
+        ]
+        from repro.algorithms.registry import make_solver
+
+        looped = [
+            make_solver(r.solver, **r.solver_kwargs).solve(
+                r.problem, rng=r.rng
+            )
+            for r in requests
+        ]
+        with ExecutionContext(workers=2, cpu_count=4) as context:
+            batched = context.solve_many(requests)
+            assert context._stage_pool is None  # nothing took the dead route
+            assert context._solve_pool is not None
+        for lhs, rhs in zip(looped, batched):
+            _assert_same_result(lhs, rhs)
+
+    def test_shared_rng_instance_runs_serially_in_order(self, runtime_graph):
+        """A shared generator's stream consumption matches a plain loop."""
+        problem = WASOProblem(graph=runtime_graph, k=5)
+        kwargs = dict(budget=40, m=4, stages=2)
+
+        loop_rng = random.Random(9)
+        looped = [
+            CBASND(**kwargs).solve(problem, rng=loop_rng) for _ in range(3)
+        ]
+        batch_rng = random.Random(9)
+        requests = [
+            SolveRequest(problem, "cbas-nd", batch_rng, dict(kwargs))
+            for _ in range(3)
+        ]
+        with ExecutionContext(workers=2) as context:
+            batched = context.solve_many(requests, mode="solve")
+        for lhs, rhs in zip(looped, batched):
+            _assert_same_result(lhs, rhs)
+
+    def test_empty_batch(self):
+        with ExecutionContext() as context:
+            assert context.solve_many([]) == []
+
+    def test_rejects_non_requests(self, runtime_graph):
+        with ExecutionContext() as context:
+            with pytest.raises(TypeError, match="SolveRequest"):
+                context.solve_many([{"k": 5}])
+
+    def test_request_from_spec(self, runtime_graph):
+        request = request_from_spec(
+            runtime_graph,
+            {"k": 5, "solver": "cbas", "seed": 3, "budget": 77, "m": 4},
+        )
+        assert request.problem.k == 5
+        assert request.solver == "cbas"
+        assert request.rng == 3
+        assert request.budget == 77
+        assert request.solver_kwargs == {"budget": 77, "m": 4}
+        with pytest.raises(ValueError, match="'k'"):
+            request_from_spec(runtime_graph, {"solver": "cbas"})
+        with pytest.raises(TypeError, match="registry name"):
+            SolveRequest(WASOProblem(graph=runtime_graph, k=3), CBASND())
+
+
+class TestPoolHygiene:
+    def test_no_workers_leak_after_with_exit(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        before = _children()
+        with ExecutionContext(workers=2) as context:
+            context.solve(
+                problem, "cbas-nd", rng=1, mode="stage",
+                budget=40, m=4, stages=2,
+            )
+            requests = [
+                SolveRequest(problem, "cbas-nd", s, dict(budget=30, m=3))
+                for s in (1, 2)
+            ]
+            context.solve_many(requests, mode="solve")
+            assert _children() - before  # both pools actually spawned
+        assert _children() == before
+
+    def test_no_workers_leak_after_close(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        before = _children()
+        context = ExecutionContext(workers=2)
+        context.solve(
+            problem, "cbas-nd", rng=1, mode="stage", budget=40, m=4, stages=2
+        )
+        context.close()
+        assert _children() == before
+        # The context stays usable: a later solve recreates the pool.
+        result = context.solve(
+            problem, "cbas-nd", rng=1, mode="stage", budget=40, m=4, stages=2
+        )
+        assert result.solution.is_feasible(problem)
+        context.close()
+        assert _children() == before
+
+    def test_no_workers_leak_after_mid_solve_exception(self, small_facebook):
+        class Exploding(CBASND):
+            def _merge_start_stage(self, *args, **kwargs):
+                raise RuntimeError("boom mid-stage")
+
+        problem = WASOProblem(graph=small_facebook, k=5)
+        before = _children()
+        with ExecutionContext(workers=2) as context:
+            solver = Exploding(budget=40, m=4, stages=2, context=context)
+            with pytest.raises(RuntimeError, match="boom"):
+                context.solve(problem, solver, rng=1, mode="stage")
+            # The pool survived the failed solve and serves the next one.
+            good = context.solve(
+                problem, "cbas-nd", rng=2, mode="stage",
+                budget=40, m=4, stages=2,
+            )
+            assert good.solution.is_feasible(problem)
+        assert _children() == before
+
+    def test_shared_pools_are_not_closed(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        before = _children()
+        with ExecutionContext(workers=2) as owner:
+            owner.solve(
+                problem, "cbas-nd", rng=1, mode="stage",
+                budget=40, m=4, stages=2,
+            )
+            with ExecutionContext(
+                workers=2, stage_pool=owner.stage_pool()
+            ) as borrower:
+                borrower.solve(
+                    problem, "cbas-nd", rng=2, mode="stage",
+                    budget=40, m=4, stages=2,
+                )
+            # The borrower's exit must leave the owner's pool running.
+            again = owner.solve(
+                problem, "cbas-nd", rng=3, mode="stage",
+                budget=40, m=4, stages=2,
+            )
+            assert again.solution.is_feasible(problem)
+        assert _children() == before
+
+
+class TestOnlinePlannerRuntime:
+    def test_planner_runs_through_a_shared_context(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        before = _children()
+        with ExecutionContext(workers=2, mode="stage") as context:
+            solver = context.make_solver("cbas-nd", budget=80, m=5, stages=2)
+            with OnlinePlanner(
+                problem, solver=solver, rng=6, context=context
+            ) as planner:
+                group = planner.plan()
+                assert planner.last_result.stats.extra["graph_shipped"]
+                assert context._stage_pool is not None
+                installs = context._stage_pool.installs
+                victim = next(iter(sorted(group.members)))
+                planner.record_decline(victim)
+                # The replan reused the resident pool: no second install,
+                # no re-shipped graph.
+                assert context._stage_pool.installs == installs
+                assert (
+                    planner.last_result.stats.extra["graph_shipped"] is False
+                )
+            # Planner closed, but the caller's context must stay alive.
+            result = context.solve(
+                problem, "cbas-nd", rng=9, mode="stage",
+                budget=40, m=4, stages=2,
+            )
+            assert result.solution.is_feasible(problem)
+        assert _children() == before
+
+    def test_planner_warm_state_lives_in_the_context(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with ExecutionContext() as context:
+            planner = OnlinePlanner(
+                problem,
+                solver=context.make_solver("cbas-nd", budget=60, m=6, stages=3),
+                rng=7,
+                context=context,
+            )
+            solution = planner.plan()
+            assert context.warm_state(planner._warm_key) is not None
+            planner.record_decline(next(iter(sorted(solution.members))))
+            assert (
+                planner.last_result.stats.extra.get("warm_start") is True
+            )
+            planner.close()
+            # close() clears the planner's slot in the shared storage.
+            assert context.warm_state(planner._warm_key) is None
+
+    def test_planner_survives_a_solve_mode_context(self, small_facebook):
+        """Regression: a forced-solve-mode context must not break online
+        planning — the planner's instance solves degrade to serial."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with ExecutionContext(workers=2, mode="solve") as context:
+            with OnlinePlanner(problem, rng=6, context=context) as planner:
+                group = planner.plan()
+                refreshed = planner.record_decline(
+                    next(iter(sorted(group.members)))
+                )
+                assert len(refreshed.members) == 5
+
+    def test_default_planner_still_serial_and_warm(self, small_facebook):
+        """No context anywhere: the planner behaves exactly as before."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        planner = OnlinePlanner(
+            problem, solver=CBASND(budget=60, m=6, stages=3), rng=7
+        )
+        solution = planner.plan()
+        planner.record_decline(next(iter(solution.members)))
+        assert planner.last_result.stats.extra.get("warm_start") is True
+        assert planner.context.mode == "serial"

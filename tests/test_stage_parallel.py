@@ -263,6 +263,38 @@ class TestShardedSolvers:
         assert first.members == second.members
         assert first.stats.extra["stage_workers"] == stage_pool.workers
 
+    def test_shard_protocol_overhead_recorded(
+        self, small_facebook, stage_pool
+    ):
+        """`extra` carries the overhead-curve inputs: RPCs + patch bytes."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        executor = ShardedStageExecutor(pool=stage_pool)
+        solver = CBASND(budget=120, m=6, stages=3, executor=executor)
+        extra = solver.solve(problem, rng=4).stats.extra
+        stages = 3
+        workers = stage_pool.workers
+        # One request/reply round per worker per stage, plus the solve
+        # broadcast (and the graph install when it was not yet resident).
+        assert extra["shard_rpcs"] >= (stages + 1) * workers
+        assert extra["shard_rpcs"] <= (stages + 2) * workers
+        # One entry per executed stage; stage 0 ships no CE patches (the
+        # cold vectors are rebuilt worker-side), later stages do.
+        patch_bytes = extra["shard_patch_bytes"]
+        assert len(patch_bytes) == stages
+        assert patch_bytes[0] == 0
+        assert all(isinstance(b, int) and b >= 0 for b in patch_bytes)
+        assert sum(patch_bytes[1:]) > 0
+
+    def test_uniform_cbas_ships_no_patches(self, small_facebook, stage_pool):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        executor = ShardedStageExecutor(pool=stage_pool)
+        solver = CBAS(budget=90, m=6, stages=3, executor=executor)
+        extra = solver.solve(problem, rng=9).stats.extra
+        # Uniform CBAS has no CE vectors to sync: every stage's patch
+        # payload is empty.
+        assert extra["shard_patch_bytes"] == [0, 0, 0]
+        assert extra["shard_rpcs"] >= 3 * stage_pool.workers
+
     def test_full_budget_drawn(self, small_facebook, stage_pool):
         problem = WASOProblem(graph=small_facebook, k=5)
         executor = ShardedStageExecutor(pool=stage_pool)
