@@ -20,7 +20,14 @@ Measures, on synthetic Facebook-regime graphs of n ∈ {1k, 10k}:
   slot, elite counts off ``Sample.indices``) versus the reference
   engine's per-node dict probes;
 * pool worker payload sizes: the detached compiled-arrays payload
-  (``WASOProblem.detached()``) versus the historical dict-graph pickle;
+  (``WASOProblem.detached()``) versus the historical dict-graph pickle
+  — gated on the slim number only, since the resident pools never ship
+  the dict graph (and a detached problem has no dict size at all);
+* the resident serving session (``resident_solve``): wire-level payload
+  bytes of a ``solve_many`` session on the n=10k graph — the first
+  batch installs the detached arrays once per worker, the second batch
+  and an interleaved replan ship only O(1) specs, so the per-batch
+  payload series drops from megabytes to hundreds of bytes;
 * stage-sharded CBAS-ND (``repro.parallel.stage_pool``) wall clock on
   one large n=10k solve (T=3200, 4 workers, persistent pool, payload
   resident before timing) versus the serial compiled engine — the
@@ -30,18 +37,25 @@ Results are persisted to ``BENCH_sampler.json`` next to the repo root so
 future PRs can diff against them.  Acceptance gates, all measured in the
 same run: the compiled engine delivers ≥3× samples/sec for uniform CBAS
 expansion on the n=10k graph, ≥2× for CBAS-ND on the n=10k graph, the
-slim worker payload is strictly smaller than the dict-graph pickle,
-both engines return identical seeded solutions, and — on machines with
-at least 4 CPUs — the stage-sharded solve beats the serial wall clock by
-≥1.5× (machines with fewer cores record the numbers without gating,
-matching ``bench_fig5_parallel``'s convention).
+slim worker payload is strictly smaller than the dict-graph pickle, the
+resident session performs exactly one graph install per (graph, worker)
+pair, both engines return identical seeded solutions, and — on machines
+with at least 4 CPUs — the stage-sharded solve beats the serial wall
+clock by ≥1.5× (machines with fewer cores record the numbers without
+gating, matching ``bench_fig5_parallel``'s convention).
 
 Regression checking: ``python benchmarks/bench_perf_sampler.py --check``
 re-measures and compares against the *committed* ``BENCH_sampler.json``
 without overwriting it, failing (exit 1) on any throughput metric more
-than 20% below the baseline or on any worker-payload byte growth.
-Baselines are machine-specific — regenerate them (run without
-``--check``) when the hardware changes.
+than 20% below the baseline or on growth of any shipped payload byte
+count (the slim arrays and the resident-session series; pickle sizes
+are deterministic, so any growth is a real regression).  Payload bytes
+are also machine-independent, so the tier-2 marker exposes them as a
+standalone gate: ``pytest benchmarks/ -m tier2`` runs the payload
+regression check (plus the multi-core wall-clock gates where the CPUs
+exist) — the CI job documented in ROADMAP.md.  Throughput baselines are
+machine-specific — regenerate them (run without ``--check``) when the
+hardware changes.
 """
 
 from __future__ import annotations
@@ -76,6 +90,10 @@ CBASND_STAGES = 6
 STAGE_PARALLEL_N = 10000
 STAGE_PARALLEL_BUDGET = 3200
 STAGE_PARALLEL_WORKERS = 4
+RESIDENT_N = 10000
+RESIDENT_WORKERS = 2
+RESIDENT_REQUESTS = 6
+RESIDENT_BUDGET = 60
 JSON_PATH = Path(__file__).parent.parent / "BENCH_sampler.json"
 
 #: Acceptance gate for the n=10k uniform-CBAS expansion speedup.
@@ -214,6 +232,72 @@ def _bench_stage_parallel(problem: WASOProblem) -> dict:
     }
 
 
+def _bench_resident_solve(problem: WASOProblem) -> dict:
+    """Wire-level payload series of a resident serving session.
+
+    Drives ``solve_many`` twice plus an interleaved replan over the same
+    problem through one :class:`ExecutionContext` and records what each
+    step actually pickled onto the worker pipes: the first batch
+    installs the detached graph arrays exactly once per worker, the
+    second batch and the replan ship only O(1) specs.  The byte counts
+    are deterministic (pure pickle sizes), so ``--check`` and the tier-2
+    payload gate treat any growth as a regression.
+    """
+    from repro.online import OnlinePlanner
+    from repro.runtime import SolveRequest
+
+    slim = worker_payload_bytes(problem)["compiled_arrays_bytes"]
+
+    def batch():
+        return [
+            SolveRequest(
+                problem, "cbas-nd", seed,
+                dict(budget=RESIDENT_BUDGET, m=10, stages=3),
+            )
+            for seed in range(RESIDENT_REQUESTS)
+        ]
+
+    with ExecutionContext(workers=RESIDENT_WORKERS) as context:
+        first = context.solve_many(batch(), mode="solve")
+        installs_first = context.solve_pool().installs
+        with OnlinePlanner(
+            problem,
+            solver=context.make_solver("cbas-nd", budget=80, m=10, stages=2),
+            rng=5,
+            context=context,
+        ) as planner:
+            group = planner.plan()
+            planner.record_decline(next(iter(sorted(group.members))))
+        installs_replan = context.solve_pool().installs
+        second = context.solve_many(batch(), mode="solve")
+        installs_second = context.solve_pool().installs
+        # A warm forced-solve-mode single solve exercises the resident
+        # best-of path non-vacuously (the planner's small replans route
+        # serial by design, so they could never re-ship anything): the
+        # graph must already be resident in both workers.
+        warm = context.solve(
+            problem, "cbas-nd", rng=9, mode="solve",
+            budget=RESIDENT_BUDGET, m=10, stages=3,
+        )
+    first_extra = first[0].stats.extra
+    second_extra = second[0].stats.extra
+    return {
+        "n": RESIDENT_N,
+        "workers": RESIDENT_WORKERS,
+        "requests": RESIDENT_REQUESTS,
+        "budget": RESIDENT_BUDGET,
+        "detached_graph_bytes": slim,
+        "first_batch_payload_bytes": first_extra["batch_payload_bytes"],
+        "first_batch_graph_installs": first_extra["graph_installs"],
+        "second_batch_payload_bytes": second_extra["batch_payload_bytes"],
+        "second_batch_graph_installs": second_extra["graph_installs"],
+        "replan_graph_installs": installs_replan - installs_first,
+        "warm_solve_graph_installs": warm.stats.extra["graph_installs"],
+        "warm_solve_payload_bytes": warm.stats.extra["batch_payload_bytes"],
+        "session_graph_installs": installs_second,
+    }
+
+
 def run_experiment(write: bool = True) -> dict:
     payload: dict = {"k": K, "start_nodes": START_NODES, "sizes": {}}
     for n in NS:
@@ -258,6 +342,8 @@ def run_experiment(write: bool = True) -> dict:
         )
         entry["worker_payload"] = worker_payload_bytes(problem)
         payload["sizes"][str(n)] = entry
+        if n == RESIDENT_N:
+            payload["resident_solve"] = _bench_resident_solve(problem)
         if n == STAGE_PARALLEL_N:
             payload["stage_parallel"] = _bench_stage_parallel(problem)
     if write:
@@ -269,9 +355,13 @@ def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
     """Compare a fresh run against the committed baseline.
 
     Returns human-readable failure strings: any ``*_per_sec`` metric more
-    than ``THROUGHPUT_TOLERANCE`` below baseline, and any worker-payload
-    byte count above baseline (payload bytes are deterministic, so any
-    growth is a real regression, not noise).
+    than ``THROUGHPUT_TOLERANCE`` below baseline, and any *shipped*
+    payload byte count above baseline (pickle sizes are deterministic,
+    so any growth is a real regression, not noise).  The payload gate
+    covers the slim number only — ``compiled_arrays_bytes`` plus the
+    ``resident_solve`` wire series — because the dict-graph pickle is
+    never shipped by the resident pools (and does not exist at all for a
+    detached problem, where it reports ``None``).
     """
     failures: list[str] = []
     for n, base_entry in baseline.get("sizes", {}).items():
@@ -297,20 +387,70 @@ def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
                         f">{THROUGHPUT_TOLERANCE:.0%} below baseline "
                         f"{base_value:,.0f}/s"
                     )
-        base_payload = base_entry.get("worker_payload", {})
-        fresh_payload = fresh_entry.get("worker_payload", {})
-        for field, base_bytes in base_payload.items():
-            fresh_bytes = fresh_payload.get(field)
+        base_bytes = base_entry.get("worker_payload", {}).get(
+            "compiled_arrays_bytes"
+        )
+        fresh_bytes = fresh_entry.get("worker_payload", {}).get(
+            "compiled_arrays_bytes"
+        )
+        if base_bytes is not None:
             if fresh_bytes is None:
                 failures.append(
-                    f"n={n} worker_payload {field}: missing from fresh "
-                    "results (baseline schema drift — regenerate it)"
+                    f"n={n} worker_payload compiled_arrays_bytes: missing "
+                    "from fresh results (baseline schema drift — "
+                    "regenerate it)"
                 )
             elif fresh_bytes > base_bytes:
                 failures.append(
-                    f"n={n} worker_payload {field}: {fresh_bytes}B grew "
-                    f"past baseline {base_bytes}B"
+                    f"n={n} worker_payload compiled_arrays_bytes: "
+                    f"{fresh_bytes}B grew past baseline {base_bytes}B"
                 )
+    failures.extend(_check_resident_series(fresh, baseline))
+    return failures
+
+
+def _check_resident_series(fresh: dict, baseline: dict) -> list[str]:
+    """Payload-byte regression check for the resident-session series."""
+    failures: list[str] = []
+    base_resident = baseline.get("resident_solve")
+    if not base_resident:
+        return failures
+    fresh_resident = fresh.get("resident_solve") or {}
+    for field in (
+        "detached_graph_bytes",
+        "first_batch_payload_bytes",
+        "second_batch_payload_bytes",
+        "warm_solve_payload_bytes",
+    ):
+        base_value = base_resident.get(field)
+        if base_value is None:
+            continue
+        fresh_value = fresh_resident.get(field)
+        if fresh_value is None:
+            failures.append(
+                f"resident_solve {field}: missing from fresh results "
+                "(baseline schema drift — regenerate it)"
+            )
+        elif fresh_value > base_value:
+            failures.append(
+                f"resident_solve {field}: {fresh_value}B grew past "
+                f"baseline {base_value}B"
+            )
+    for field in (
+        "first_batch_graph_installs",
+        "second_batch_graph_installs",
+        "replan_graph_installs",
+        "warm_solve_graph_installs",
+        "session_graph_installs",
+    ):
+        base_value = base_resident.get(field)
+        fresh_value = fresh_resident.get(field)
+        if base_value is not None and fresh_value != base_value:
+            failures.append(
+                f"resident_solve {field}: {fresh_value} != baseline "
+                f"{base_value} (the session must ship each graph exactly "
+                "once per worker)"
+            )
     return failures
 
 
@@ -346,6 +486,26 @@ def test_perf_sampler(benchmark):
         "compiled CBAS-ND fell below the 2x acceptance gate: "
         f"{big['speedup_cbas_nd_samples_per_sec']:.2f}x"
     )
+    # The resident serving session: exactly one graph install per
+    # (graph, worker) pair, warm batches and replans ship only specs.
+    resident = payload["resident_solve"]
+    print(
+        f"resident session n={resident['n']}: first batch "
+        f"{resident['first_batch_payload_bytes']}B "
+        f"({resident['first_batch_graph_installs']} installs), second "
+        f"{resident['second_batch_payload_bytes']}B "
+        f"({resident['second_batch_graph_installs']} installs)"
+    )
+    assert resident["first_batch_graph_installs"] == resident["workers"]
+    assert resident["second_batch_graph_installs"] == 0
+    assert resident["replan_graph_installs"] == 0
+    assert resident["warm_solve_graph_installs"] == 0
+    assert resident["session_graph_installs"] == resident["workers"]
+    assert (
+        resident["first_batch_payload_bytes"]
+        > resident["detached_graph_bytes"]
+        > resident["second_batch_payload_bytes"]
+    )
     stage = payload["stage_parallel"]
     print(
         f"stage-parallel n={stage['n']} T={stage['budget']} "
@@ -359,6 +519,40 @@ def test_perf_sampler(benchmark):
     # while a multi-core runner enforces it.  This test only records the
     # series.
     assert JSON_PATH.exists()
+
+
+@pytest.mark.tier2
+def test_payload_bytes_regression_gate():
+    """Tier-2 gate: shipped payload bytes must not grow past the baseline.
+
+    Pickle sizes are deterministic and machine-independent, so this gate
+    runs everywhere the tier-2 job runs (no CPU-count skip): it
+    re-measures the slim worker payloads and the resident-session wire
+    series and fails on any growth — the resident protocol's
+    ship-once-per-(graph, worker) invariant is checked exactly, not with
+    a tolerance.
+    """
+    if not JSON_PATH.exists():
+        pytest.skip(f"no committed baseline at {JSON_PATH}")
+    with open(JSON_PATH, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    fresh: dict = {"sizes": {}}
+    for n_key, base_entry in committed.get("sizes", {}).items():
+        if "worker_payload" not in base_entry:
+            continue
+        problem = WASOProblem(graph=bench_graph("facebook", int(n_key)), k=K)
+        problem.compiled()
+        fresh["sizes"][n_key] = {
+            "worker_payload": worker_payload_bytes(problem)
+        }
+        if int(n_key) == RESIDENT_N:
+            fresh["resident_solve"] = _bench_resident_solve(problem)
+    failures = [
+        line
+        for line in check_against_baseline(fresh, committed)
+        if "per_sec" not in line  # payload-only re-measurement
+    ]
+    assert not failures, "\n".join(failures)
 
 
 @pytest.mark.tier2
@@ -403,6 +597,17 @@ def _print_summary(result: dict) -> None:
             f"identical={entry['identical_solutions']}, "
             f"payload {sizes['compiled_arrays_bytes']}B vs "
             f"{sizes['dict_graph_bytes']}B dict"
+        )
+    resident = result.get("resident_solve")
+    if resident:
+        print(
+            f"resident session n={resident['n']} "
+            f"workers={resident['workers']}: batch1 "
+            f"{resident['first_batch_payload_bytes']}B "
+            f"({resident['first_batch_graph_installs']} installs) -> "
+            f"batch2 {resident['second_batch_payload_bytes']}B "
+            f"({resident['second_batch_graph_installs']} installs), "
+            f"replan installs {resident['replan_graph_installs']}"
         )
     stage = result.get("stage_parallel")
     if stage:

@@ -62,6 +62,28 @@ class SolverError(ReproError):
     """A solver failed to produce a feasible solution."""
 
 
+class BatchExecutionError(SolverError):
+    """One or more requests of a ``solve_many`` batch failed.
+
+    The batch drains fully before this is raised — completed requests
+    are never discarded by a neighbour's failure.  ``results`` holds the
+    batch outcome in request order (``None`` at each failed slot) and
+    ``failures`` maps the failed request indices to their worker-side
+    tracebacks; every completed result also records the failed indices
+    in ``stats.extra["failed_requests"]``.
+    """
+
+    def __init__(self, failures: dict, results: list) -> None:
+        self.failures = dict(failures)
+        self.results = list(results)
+        indices = sorted(self.failures)
+        first = self.failures[indices[0]].strip().splitlines()[-1]
+        super().__init__(
+            f"{len(indices)} of {len(results)} batched requests failed "
+            f"(indices {indices}); first failure: {first}"
+        )
+
+
 class BudgetExhaustedError(SolverError):
     """The computational budget ran out before any feasible sample."""
 

@@ -27,13 +27,16 @@ of resetting to the homogeneous prior.  Each solve's
 Runtime integration: the planner executes through an
 :class:`~repro.runtime.context.ExecutionContext` — passed in, adopted
 from the solver, or a private serial one — which owns the worker pools
-and the warm-state storage.  When the context (or a solver-level
+and the warm-state storage.  Both pools are resident
+(:mod:`repro.parallel.residency`): when the context (or a solver-level
 :class:`~repro.parallel.stage_pool.ShardedStageExecutor`) keeps a stage
-pool resident, the planner's re-plans reuse that pool *and* the graph
-arrays already resident in it — declines only grow the ``forbidden``
-set, which leaves the frozen index (and therefore its payload token)
-unchanged, so each re-plan ships an O(1) problem spec instead of the
-O(V+E) graph.  ``SolveStats.extra["graph_shipped"]`` exposes this: it is
+pool warm, or when re-plans route to the solve-level
+:class:`~repro.parallel.pool.ResidentSolvePool`, the planner's re-plans
+reuse that pool *and* the graph arrays already resident in it —
+declines only grow the ``forbidden`` set, which leaves the frozen index
+(and therefore its payload token) unchanged, so each re-plan ships an
+O(1) problem spec instead of the O(V+E) graph.  The shared accounting
+exposes this uniformly: ``SolveStats.extra["graph_shipped"]`` is
 ``True`` for the initial plan and ``False`` for every warm re-plan.
 Use the planner as a context manager (or call :meth:`OnlinePlanner.
 close`) to release the pools when the planning session ends.

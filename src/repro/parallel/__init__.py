@@ -1,50 +1,68 @@
 """Parallel execution of the randomized solvers (paper Fig. 5(d)).
 
 Two complementary modes, both process-based (CPython's GIL rules out the
-paper's OpenMP threads):
+paper's OpenMP threads) and both **resident**: each mode's persistent
+worker pool caches detached :class:`~repro.graph.compiled.CompiledGraph`
+arrays keyed by :attr:`~repro.graph.compiled.CompiledGraph.
+payload_token`, so a serving session ships each frozen graph at most
+once per (graph, worker) pair — follow-up solves, batches, and online
+re-planning rounds send only the O(1) problem spec plus seeds and
+budgets.  The protocol (generation-tagged payloads, parent-driven LRU
+eviction for long sessions over many graphs, uniform
+``SolveStats.extra`` shipping accounting) lives in one place:
+:mod:`repro.parallel.residency`.
 
-* **Solve-level best-of** (:mod:`repro.parallel.pool`,
-  :class:`ParallelSolver`): the budget ``T`` is split into ``W``
-  independent whole solves and the best result wins.  Each worker
-  re-derives its OCBA allocation — and CBAS-ND's cross-entropy fit —
-  from only its ``T/W`` slice of the evidence.  Use it for
-  portfolio-style throughput: many independent restarts on small/medium
-  instances, where statistical diversity across workers is the point and
-  nothing needs to be shared between them.
+* **Solve-level** (:mod:`repro.parallel.pool`,
+  :class:`ResidentSolvePool` / :class:`ParallelSolver`): whole solves
+  run inside workers.  ``solve_many`` multiplexes many independent
+  requests onto the pool (each one a full-strength serial solve inside
+  one worker); :func:`parallel_solve` splits one budget ``T`` into
+  ``W`` independent best-of slices — portfolio throughput, but each
+  worker refits its CE vectors from only ``T/W`` of the evidence.
 * **Stage-level sharded CE** (:mod:`repro.parallel.stage_pool`,
-  :class:`StagePool` + :class:`ShardedStageExecutor`): the draws *inside*
-  each CBAS/CBAS-ND stage are sharded across a persistent worker pool
-  and merged at stage boundaries, so every Eq. (4) refit sees the *full*
-  elite set — exactly the paper's OpenMP loop, with the frozen graph
-  arrays resident in the workers across stages, solves, and online
-  re-planning rounds.  Use it to accelerate a *single* large solve
-  (big ``n``/``T``) at full statistical strength, and for re-planning
-  loops where re-shipping the graph per solve would dominate.
+  :class:`StagePool` + :class:`ShardedStageExecutor`): the draws
+  *inside* each CBAS/CBAS-ND stage are sharded across the pool and
+  merged at stage boundaries, so every Eq. (4) refit sees the *full*
+  elite set — exactly the paper's OpenMP loop.  The only mode that
+  accelerates a *single* large solve at full statistical strength.
 
-Which mode when?  That decision now lives in the runtime layer: the
-cost model in :mod:`repro.runtime.router` (one big solve → stage-level;
-many small solves → solve-level; one core → serial) resolves
-``mode="auto"`` per request, and
-:class:`~repro.runtime.context.ExecutionContext` owns the pool
-lifecycles — prefer going through it rather than instantiating the
-classes here directly.  The modes compose with everything else (engines,
-warm starts); stage-level requires ``engine="compiled"`` because workers
-hold only the detached flat arrays.
+Which mode when?  That decision lives in the runtime layer: the cost
+model in :mod:`repro.runtime.router` resolves ``mode="auto"`` per
+request (``choose_mode`` — thresholds recalibrated for the resident
+wire protocol), and :class:`~repro.runtime.context.ExecutionContext`
+owns both pool lifecycles — prefer going through it rather than
+instantiating the classes here directly.  The modes compose with
+everything else (engines, warm starts); residency requires
+``engine="compiled"`` because workers hold only the detached flat
+arrays — reference-engine solvers fall back to shipping the dict graph
+per task.
 """
 
 from repro.parallel.pool import (
     ParallelSolver,
+    ResidentSolvePool,
     parallel_solve,
     split_budget,
     worker_payload_bytes,
 )
+from repro.parallel.residency import (
+    DEFAULT_RESIDENT_GRAPHS,
+    ResidencyLedger,
+    ResidentGraphStore,
+    record_shipping,
+)
 from repro.parallel.stage_pool import ShardedStageExecutor, StagePool
 
 __all__ = [
+    "DEFAULT_RESIDENT_GRAPHS",
     "ParallelSolver",
+    "ResidencyLedger",
+    "ResidentGraphStore",
+    "ResidentSolvePool",
     "ShardedStageExecutor",
     "StagePool",
     "parallel_solve",
+    "record_shipping",
     "split_budget",
     "worker_payload_bytes",
 ]

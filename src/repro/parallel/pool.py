@@ -1,53 +1,75 @@
-"""Solve-level multi-worker execution (best-of over budget slices).
+"""Solve-level multi-worker execution with resident graph payloads.
 
 This module is the *solve-level* of the two parallel modes (see
-:mod:`repro.parallel` for when to use which): the total budget ``T`` is
-split into one share per worker (the remainder spread over the first
-workers so no sample is dropped), each worker runs an **independent
-whole solve** on its share with its own RNG stream, and the best of the
-partial results wins.  CPython threads cannot exploit the paper's OpenMP
-parallelism (GIL), so workers are processes.
+:mod:`repro.parallel` for the split and :mod:`repro.runtime.router` for
+which one a request should use): whole solves run inside worker
+processes — either one request per worker chunk
+(:meth:`~repro.runtime.context.ExecutionContext.solve_many`'s
+multiplexer) or one budget slice per worker with the best result winning
+(:func:`parallel_solve` / :class:`ParallelSolver`).  CPython threads
+cannot exploit the paper's OpenMP parallelism (GIL), so workers are
+processes.
 
-The statistical fine print: each worker re-derives its own OCBA
-allocation — and, for CBAS-ND, refits its own cross-entropy vectors —
-from only its ``T/W`` slice of the evidence.  That weakens the CE fit
-relative to one solve with the full budget, and it cannot accelerate a
-*single* large solve.  Both limitations are what the stage-level mode
-(:mod:`repro.parallel.stage_pool`) exists for; this mode remains the
-right tool for portfolio-style throughput (many independent restarts,
-keep the best).
+The statistical fine print of the best-of split: each worker re-derives
+its own OCBA allocation — and, for CBAS-ND, refits its own cross-entropy
+vectors — from only its ``T/W`` slice of the evidence.  That weakens the
+CE fit relative to one solve with the full budget, and it cannot
+accelerate a *single* large solve.  Both limitations are what the
+stage-level mode (:mod:`repro.parallel.stage_pool`) exists for; the
+solve level remains the right tool for portfolio-style throughput and
+for multiplexing many independent requests.
 
-Worker payloads are slim: when every worker solver runs the compiled
-engine (the default), the pool ships ``problem.detached()`` — the frozen
-flat arrays behind an :class:`~repro.graph.compiled.ArrayBackedGraph`
-facade, **no adjacency dicts** — and each worker reconstructs its solve
-state locally from the arrays.  Only a solver explicitly configured with
-``engine="reference"`` falls back to pickling the full dict graph.
-Callers that run many measurements (e.g. the Fig. 5(d) bench sweeping
-worker counts) can pass a pre-started ``ProcessPoolExecutor`` via
-``pool=`` so per-run process startup does not pollute the timings.
+Worker payloads follow the residency protocol of
+:mod:`repro.parallel.residency`: a :class:`ResidentSolvePool` keeps W
+long-lived worker processes whose caches hold detached
+:class:`~repro.graph.compiled.CompiledGraph` arrays keyed by
+:attr:`~repro.graph.compiled.CompiledGraph.payload_token`.  A serving
+session therefore pickles each frozen graph **at most once per (graph,
+worker) pair** — every later chunk, batch, or re-plan on that graph
+ships only the O(1) :meth:`~repro.core.problem.WASOProblem.
+payload_spec` plus per-request seeds and budgets.  Only solvers
+explicitly configured with ``engine="reference"`` (or without an engine
+knob at all) fall back to pickling the full dict graph per request —
+the dict path has no resident representation.
+
+A plain ``concurrent.futures`` executor is still accepted by
+``parallel_solve(pool=...)`` for callers that manage their own
+processes; it gets the pre-residency protocol (detached graph pickled
+per task).
 """
 
 from __future__ import annotations
 
 import pickle
 import random
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from typing import Optional
 
 from repro.algorithms.base import RngLike, SolveResult, Solver, SolveStats, coerce_rng
 from repro.algorithms.cbas_nd import CBASND
-from repro.core.problem import WASOProblem
+from repro.core.problem import WASOProblem, problem_from_payload_spec
+from repro.parallel.residency import (
+    DEFAULT_RESIDENT_GRAPHS,
+    ResidencyLedger,
+    ResidentGraphStore,
+    WorkerPoolBase,
+    record_shipping,
+)
 
 __all__ = [
     "ParallelSolver",
+    "ResidentSolvePool",
     "parallel_solve",
     "split_budget",
     "worker_payload_bytes",
 ]
 
-
 def _worker(args) -> tuple[frozenset, float, int, int]:
-    """Run one budget share in a worker process (module-level: picklable)."""
+    """Run one budget share in a worker process (module-level: picklable).
+
+    This is the legacy executor-pool task — kept for callers that pass a
+    plain ``concurrent.futures`` pool to :func:`parallel_solve`.
+    """
     problem, solver, seed = args
     result = solver.solve(problem, rng=seed)
     return (
@@ -70,21 +92,25 @@ def split_budget(total_budget: int, workers: int) -> list[int]:
     return shares
 
 
-def worker_payload_bytes(problem: WASOProblem) -> dict[str, int]:
+def worker_payload_bytes(problem: WASOProblem) -> dict:
     """Pickled payload sizes: slim compiled arrays vs the dict graph.
 
-    ``compiled_arrays_bytes`` measures ``problem.detached()`` — what the
-    pool ships to compiled-engine workers; ``dict_graph_bytes`` measures
-    the problem over the plain dict-backed graph (compiled cache
-    excluded), i.e. the historical payload.  Benchmarks gate the former
-    strictly below the latter.
+    ``compiled_arrays_bytes`` measures the detached flat-array payload —
+    what the resident pools install into a worker exactly once per
+    session; ``dict_graph_bytes`` measures the problem over the plain
+    dict-backed graph (compiled cache excluded), i.e. the historical
+    payload.  An already array-backed (detached) problem *is* the slim
+    payload, so it reports its own pickled size with
+    ``dict_graph_bytes=None`` — there is no dict graph left to measure
+    (this is exactly the shape the resident pools account for, so
+    raising here would break payload accounting on the resident path).
+    Benchmarks gate on the slim number only.
     """
     graph = problem.graph
     if not hasattr(graph, "_compiled_cache"):
-        raise ValueError(
-            "worker_payload_bytes needs a problem over the dict-backed "
-            "SocialGraph; this one is already array-backed (detached)"
-        )
+        # Already detached: the problem is the compiled-arrays payload.
+        slim = len(pickle.dumps(problem))
+        return {"compiled_arrays_bytes": slim, "dict_graph_bytes": None}
     slim = len(pickle.dumps(problem.detached()))
     cache = graph._compiled_cache
     graph._compiled_cache = None
@@ -95,13 +121,266 @@ def worker_payload_bytes(problem: WASOProblem) -> dict[str, int]:
     return {"compiled_arrays_bytes": slim, "dict_graph_bytes": full}
 
 
+# ----------------------------------------------------------------------
+# Worker side of the resident solve pool
+# ----------------------------------------------------------------------
+def _run_solve_entry(store: ResidentGraphStore, entry: dict):
+    """Execute one whole-solve entry; failures are captured per entry.
+
+    Returns ``("ok", index, members, willingness, samples_drawn,
+    failed_samples, stages, extra)`` or ``("error", index, traceback)``
+    so one failing request never discards its chunk-mates' results
+    (the parent re-raises after the batch drains).
+    """
+    index = entry["index"]
+    try:
+        problem = entry["problem"]
+        if isinstance(problem, dict):
+            compiled = store.get(problem["token"])
+            problem = problem_from_payload_spec(compiled, problem)
+        solver = entry.get("solver_obj")
+        if solver is None:
+            from repro.algorithms.registry import make_solver
+
+            solver = make_solver(entry["solver"], **entry["kwargs"])
+        result = solver.solve(problem, rng=entry["seed"])
+        return (
+            "ok",
+            index,
+            result.solution.members,
+            result.solution.willingness,
+            result.stats.samples_drawn,
+            result.stats.failed_samples,
+            result.stats.stages,
+            result.stats.extra,
+        )
+    except BaseException:
+        return ("error", index, traceback.format_exc())
+
+
+def _solve_worker_main(conn) -> None:
+    """Worker loop: resident graph store + whole-solve chunk execution."""
+    store = ResidentGraphStore()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "close":
+            break
+        try:
+            if kind == "graph":
+                _, token, compiled, evict = message
+                store.install(token, compiled, evict)
+                reply = ("ok", token)
+            elif kind == "chunk":
+                _, entries = message
+                reply = (
+                    "ok",
+                    [_run_solve_entry(store, entry) for entry in entries],
+                )
+            else:
+                raise RuntimeError(f"unknown solve-pool message {kind!r}")
+        except BaseException:
+            reply = ("error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ResidentSolvePool(WorkerPoolBase):
+    """W persistent whole-solve workers with resident graph payloads.
+
+    The solve-level twin of :class:`~repro.parallel.stage_pool.
+    StagePool`: create it once per serving session, dispatch any number
+    of chunk batches (one in flight at a time), and :meth:`close` it
+    when done (also usable as a context manager).  Each worker caches
+    detached compiled-graph arrays keyed by payload token
+    (:mod:`repro.parallel.residency`), bounded to ``resident_graphs``
+    entries with parent-driven LRU eviction, so a session ships each
+    graph at most once per (graph, worker) pair.
+
+    Dispatch is two-phase so large stage-routed solves can run on the
+    parent while chunks are in flight: :meth:`ship` sends one worker's
+    chunk (prefixing any graph installs that worker still needs), and
+    :meth:`collect` drains every outstanding reply — several chunks per
+    worker are fine; outcomes come back in shipping order.  Per-request
+    solve failures travel inside ``"ok"`` replies, so a protocol-level
+    failure (a dead worker, a broken pipe) is terminal: the pool closes
+    itself and raises, rather than serving desynchronized residency
+    state to later batches.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        resident_graphs: int = DEFAULT_RESIDENT_GRAPHS,
+    ) -> None:
+        super().__init__(workers, _solve_worker_main)
+        self._ledgers = [
+            ResidencyLedger(resident_graphs) for _ in range(workers)
+        ]
+        #: Expected reply kinds per worker ("install" / "chunk"), in
+        #: send order — replies arrive in the same order per pipe, so
+        #: this is all :meth:`collect` needs to parse the stream.
+        self._pending_tags: "list[list[str]]" = [[] for _ in range(workers)]
+        #: Worker index of every shipped chunk, in shipping order.
+        self._chunk_order: "list[int]" = []
+        self._batch_bytes = 0
+        self._batch_installs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def installs(self) -> int:
+        """Total (graph, worker) installs performed over the session."""
+        return sum(ledger.installs for ledger in self._ledgers)
+
+    def resident_tokens(self, worker: int) -> tuple:
+        """Tokens resident in ``worker`` (least recently used first)."""
+        return self._ledgers[worker].resident_tokens()
+
+    @property
+    def batch_payload_bytes(self) -> int:
+        """Pickled bytes shipped since the last :meth:`begin_batch`."""
+        return self._batch_bytes
+
+    @property
+    def batch_installs(self) -> int:
+        """(graph, worker) installs since the last :meth:`begin_batch`."""
+        return self._batch_installs
+
+    # ------------------------------------------------------------------
+    def begin_batch(self) -> None:
+        """Reset the per-batch shipping accounting."""
+        if self._chunk_order or any(self._pending_tags):
+            raise RuntimeError(
+                "cannot begin a batch while replies are outstanding; "
+                "collect() the previous dispatch first"
+            )
+        self._batch_bytes = 0
+        self._batch_installs = 0
+
+    def _send(self, worker: int, message, tag: str) -> None:
+        data = pickle.dumps(message)
+        try:
+            self._conns[worker].send_bytes(data)
+        except (BrokenPipeError, OSError):
+            self._fail(
+                f"solve-pool worker {worker} is gone (send failed); "
+                "the pool has been closed"
+            )
+        self._batch_bytes += len(data)
+        self._pending_tags[worker].append(tag)
+
+    def ship(self, worker: int, entries: "list[dict]", graphs: dict) -> None:
+        """Send one chunk of whole-solve entries to ``worker``.
+
+        ``entries`` is a list of entry dicts (``index`` / ``problem`` /
+        ``solver``+``kwargs`` or ``solver_obj`` / ``seed``); an entry
+        whose ``problem`` is a payload-spec dict references
+        ``graphs[token]`` — the detached compiled arrays — which are
+        installed first *only* where the worker's ledger says they are
+        missing.  Replies are deferred: call :meth:`collect` after every
+        chunk of the batch has been shipped.
+        """
+        if self._closed:
+            raise RuntimeError("resident solve pool is closed")
+        ledger = self._ledgers[worker]
+        # Every token this chunk references is pinned against eviction:
+        # the installs all travel ahead of the chunk, so a later install
+        # must never displace arrays an earlier entry still needs.
+        chunk_tokens = {
+            entry["problem"]["token"]
+            for entry in entries
+            if isinstance(entry["problem"], dict)
+        }
+        planned = set()
+        for entry in entries:
+            problem = entry["problem"]
+            if not isinstance(problem, dict):
+                continue
+            token = problem["token"]
+            if token in planned:
+                continue
+            planned.add(token)
+            ship, evictions = ledger.plan(token, pinned=chunk_tokens)
+            if ship:
+                self._send(
+                    worker,
+                    ("graph", token, graphs[token], evictions),
+                    tag="install",
+                )
+                self._batch_installs += 1
+        self._send(worker, ("chunk", entries), tag="chunk")
+        self._chunk_order.append(worker)
+
+    def collect(self) -> "list[list]":
+        """Drain every outstanding reply; one outcome list per chunk,
+        in shipping order (several chunks per worker parse correctly —
+        each worker's reply stream is matched against the send-order
+        tags recorded by :meth:`ship`).
+
+        Per-request solve failures come back inside the outcomes as
+        ``("error", index, traceback)`` for the caller to surface after
+        the batch drains.  Protocol-level failures — a worker that died
+        or replied with a message-level error — close the pool and
+        raise: worker residency state is unknowable afterwards.
+        """
+        chunk_replies: "list[list]" = [[] for _ in range(self.workers)]
+        errors = []
+        for worker, tags in enumerate(self._pending_tags):
+            dead = False
+            for tag in tags:
+                if not dead:
+                    try:
+                        kind, payload = self._conns[worker].recv()
+                    except (EOFError, OSError):
+                        errors.append(
+                            f"solve-pool worker {worker} died mid-batch "
+                            "(pipe closed)"
+                        )
+                        dead = True
+                if dead or kind == "error":
+                    if not dead:
+                        errors.append(payload)
+                    if tag == "chunk":
+                        chunk_replies[worker].append(None)
+                elif tag == "chunk":
+                    chunk_replies[worker].append(payload)
+        for tags in self._pending_tags:
+            tags.clear()
+        cursors = [0] * self.workers
+        outcomes = []
+        for worker in self._chunk_order:
+            reply = chunk_replies[worker][cursors[worker]]
+            cursors[worker] += 1
+            if reply is not None:
+                outcomes.append(reply)
+        self._chunk_order = []
+        if errors:
+            self._fail(
+                "solve-pool worker failed; the pool has been closed:\n"
+                + "\n".join(errors)
+            )
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# Best-of budget split
+# ----------------------------------------------------------------------
 def parallel_solve(
     problem: WASOProblem,
     solver_factory,
     total_budget: int,
     workers: int,
     rng: RngLike = None,
-    pool: "ProcessPoolExecutor | None" = None,
+    pool=None,
 ) -> SolveResult:
     """Split ``total_budget`` across ``workers`` processes and merge.
 
@@ -109,10 +388,13 @@ def parallel_solve(
     given per-worker budget.  ``workers == 1`` runs inline (no process
     overhead), so speedup measurements have an honest baseline.
 
-    ``pool`` reuses a caller-owned ``ProcessPoolExecutor`` (it must offer
-    at least ``workers`` processes and is *not* shut down here) so a
-    sweep over worker counts measures solving, not process startup; by
-    default a fresh pool is created and torn down per call.
+    ``pool`` reuses a caller-owned :class:`ResidentSolvePool` (it must
+    offer at least ``workers`` processes and is *not* shut down here) so
+    a serving session — or a sweep over worker counts — ships each graph
+    once per worker instead of once per call; by default a fresh pool is
+    created and torn down per call.  A plain ``concurrent.futures``
+    executor is also accepted for backward compatibility and gets the
+    pre-residency payload (detached problem pickled per task).
     """
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
@@ -131,25 +413,90 @@ def parallel_solve(
     # Freeze the compiled index once before building payloads: both
     # flavours below reuse it instead of re-freezing per process.
     problem.compiled()
-    if all(getattr(s, "engine", None) == "compiled" for s in solvers):
-        # Compiled-only workers never touch the dict graph: ship the
-        # detached flat arrays and let each worker rebuild locally.
-        payload = problem.detached()
-        payload_kind = "compiled-arrays"
+    compiled_only = all(
+        getattr(s, "engine", None) == "compiled" for s in solvers
+    )
+
+    if pool is not None and not isinstance(pool, ResidentSolvePool):
+        # Legacy executor pool: detached problem pickled per task.
+        outcomes = _legacy_pool_solve(
+            pool, problem, solvers, seeds, compiled_only
+        )
+        return _merge_best_of(outcomes, workers, shares, compiled_only)
+
+    if compiled_only:
+        # Compiled-only workers never touch the dict graph: install the
+        # detached flat arrays once per (graph, worker) and ship only
+        # the O(1) problem spec afterwards.
+        spec = problem.payload_spec()
+        graphs = {spec["token"]: problem.compiled().detach()}
+        payloads = [spec] * workers
     else:
         # Reference-engine workers need the dict graph; the frozen index
-        # cache rides along so they still skip the re-freeze.
-        payload = problem
-        payload_kind = "dict-graph"
-    tasks = [
-        (payload, solver, seed) for solver, seed in zip(solvers, seeds)
-    ]
-    if pool is not None:
-        outcomes = list(pool.map(_worker, tasks))
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as owned_pool:
-            outcomes = list(owned_pool.map(_worker, tasks))
+        # cache rides along so they still skip the re-freeze.  No
+        # resident representation exists for the dict path, so the full
+        # problem ships per task.
+        graphs = {}
+        payloads = [problem] * workers
 
+    owned = pool is None
+    if owned:
+        pool = ResidentSolvePool(workers)
+    elif pool.workers < workers:
+        raise ValueError(
+            f"pool offers {pool.workers} workers, {workers} requested"
+        )
+    try:
+        pool.begin_batch()
+        for index, (payload, solver, seed) in enumerate(
+            zip(payloads, solvers, seeds)
+        ):
+            entry = {
+                "index": index,
+                "problem": payload,
+                "solver_obj": solver,
+                "seed": seed,
+            }
+            pool.ship(index, [entry], graphs)
+        replies = pool.collect()
+        shipped_bytes = pool.batch_payload_bytes
+        installs = pool.batch_installs
+    finally:
+        if owned:
+            pool.close()
+
+    outcomes: "list" = [None] * workers
+    failures = []
+    for chunk in replies:
+        for outcome in chunk:
+            if outcome[0] == "error":
+                failures.append(outcome[2])
+            else:
+                _, index, members, value, drawn, failed, _, _ = outcome
+                outcomes[index] = (members, value, drawn, failed)
+    if failures:
+        raise RuntimeError(
+            "parallel_solve worker failed:\n" + "\n".join(failures)
+        )
+    result = _merge_best_of(outcomes, workers, shares, compiled_only)
+    record_shipping(
+        result.stats.extra,
+        shipped=installs > 0,
+        payload_bytes=shipped_bytes,
+        installs=installs,
+    )
+    return result
+
+
+def _legacy_pool_solve(pool, problem, solvers, seeds, compiled_only):
+    """Pre-residency path for caller-owned ``concurrent.futures`` pools."""
+    payload = problem.detached() if compiled_only else problem
+    tasks = [(payload, solver, seed) for solver, seed in zip(solvers, seeds)]
+    return list(pool.map(_worker, tasks))
+
+
+def _merge_best_of(outcomes, workers, shares, compiled_only) -> SolveResult:
+    """Fold per-worker best-of outcomes into one :class:`SolveResult`."""
     best_members, best_value = None, -float("inf")
     stats = SolveStats()
     for members, value, drawn, failed in outcomes:
@@ -159,7 +506,9 @@ def parallel_solve(
             best_members, best_value = members, value
     stats.extra["workers"] = workers
     stats.extra["worker_budgets"] = shares
-    stats.extra["payload"] = payload_kind
+    stats.extra["payload"] = (
+        "compiled-arrays" if compiled_only else "dict-graph"
+    )
 
     from repro.core.solution import GroupSolution
 
@@ -177,9 +526,11 @@ class ParallelSolver(Solver):
     workers:
         Number of processes (1 = inline execution).
     pool:
-        Optional caller-owned ``ProcessPoolExecutor`` reused across
-        solves (see :func:`parallel_solve`); the solver never shuts it
-        down.
+        Optional caller-owned :class:`ResidentSolvePool` reused across
+        solves — repeated solves on one graph then ship its arrays only
+        once per worker (see :func:`parallel_solve`); the solver never
+        shuts it down.  A ``concurrent.futures`` executor is accepted
+        for backward compatibility.
     solver_kwargs:
         Extra arguments for each worker's :class:`CBASND` (``m``,
         ``stages``, ``rho``, ...).
@@ -191,7 +542,7 @@ class ParallelSolver(Solver):
         self,
         budget: int = 400,
         workers: int = 2,
-        pool: "ProcessPoolExecutor | None" = None,
+        pool: "Optional[ResidentSolvePool]" = None,
         **solver_kwargs,
     ) -> None:
         if budget < 1:

@@ -1,0 +1,264 @@
+"""Shared graph-residency machinery for the persistent worker pools.
+
+Both parallel modes keep the O(V+E) detached
+:class:`~repro.graph.compiled.CompiledGraph` arrays *resident* in their
+worker processes so a serving session ships each frozen graph **exactly
+once per (graph, worker) pair** — follow-up solves, batches, and online
+re-planning rounds send only the O(1)
+:meth:`~repro.core.problem.WASOProblem.payload_spec` plus per-request
+seeds and budgets.  This module is the single implementation of that
+protocol; :class:`~repro.parallel.stage_pool.StagePool` (stage-level)
+and :class:`~repro.parallel.pool.ResidentSolvePool` (solve-level) both
+build on it instead of duplicating the bookkeeping.
+
+The protocol has three parts:
+
+* **generation tags** — every freeze of a graph mints a fresh
+  :attr:`~repro.graph.compiled.CompiledGraph.payload_token`; the token
+  survives pickling and :meth:`~repro.graph.compiled.CompiledGraph.
+  detach`, so "the arrays already resident in a worker" and "a new
+  freeze that must be shipped" are distinguishable without comparing
+  arrays.  A graph mutation produces a new freeze and therefore a new
+  tag, transparently invalidating stale residency.
+* **parent-driven eviction** — long serving sessions touch many graphs,
+  so each worker's resident cache is bounded
+  (:data:`DEFAULT_RESIDENT_GRAPHS` per worker) with least-recently-used
+  eviction.  The parent holds one :class:`ResidencyLedger` per worker (a
+  mirror of that worker's cache) and *decides* the evictions itself,
+  attaching them to the install message — both sides therefore agree on
+  the resident set without any handshake, and the parent can answer
+  "would shipping be needed?" locally.
+* **uniform accounting** — :func:`record_shipping` writes the same
+  ``SolveStats.extra`` keys (``graph_shipped``, ``graph_installs``,
+  ``batch_payload_bytes``) for every consumer, so stage-sharded solves,
+  multiplexed ``solve_many`` chunks, and best-of budget splits are
+  comparable in one overhead curve (the benches persist these series).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+__all__ = [
+    "DEFAULT_RESIDENT_GRAPHS",
+    "ResidentGraphStore",
+    "ResidencyLedger",
+    "WorkerPoolBase",
+    "record_shipping",
+]
+
+#: How many distinct graphs' frozen arrays a worker keeps resident
+#: before the least-recently-used one is evicted.  Payloads are O(V+E),
+#: so the bound exists to keep long multi-tenant serving sessions (many
+#: graphs cycling through one pool) from pinning unbounded memory in
+#: every worker; sessions over fewer graphs never evict at all.
+DEFAULT_RESIDENT_GRAPHS = 4
+
+
+class ResidentGraphStore:
+    """Worker-side cache of detached compiled-graph arrays, by token.
+
+    The store itself is a plain mapping: capacity and LRU order live in
+    the parent's :class:`ResidencyLedger`, which sends explicit eviction
+    lists with each install, so the two sides can never disagree about
+    what is resident.
+    """
+
+    def __init__(self) -> None:
+        self._graphs: dict = {}
+
+    def install(self, token: str, compiled, evict: Iterable[str] = ()) -> None:
+        """Make ``compiled`` resident under ``token``, dropping ``evict``."""
+        for stale in evict:
+            self._graphs.pop(stale, None)
+        self._graphs[token] = compiled
+
+    def get(self, token: str):
+        """The resident arrays for ``token`` (protocol error when absent)."""
+        try:
+            return self._graphs[token]
+        except KeyError:
+            raise RuntimeError(
+                f"graph {token!r} is not resident in this worker "
+                f"(resident: {sorted(self._graphs)})"
+            ) from None
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._graphs
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def tokens(self) -> tuple:
+        return tuple(self._graphs)
+
+
+class ResidencyLedger:
+    """Parent-side mirror of one worker's resident-graph cache.
+
+    :meth:`plan` is the single decision point: it marks the token as
+    just-used and answers whether the arrays must be shipped, and which
+    resident tokens the worker must evict to make room.  Because every
+    install the parent performs goes through here, the mirror is exact.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RESIDENT_GRAPHS) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        #: Number of installs planned so far (monotone; tests / stats).
+        self.installs = 0
+
+    def plan(
+        self, token: str, pinned: "Iterable[str]" = ()
+    ) -> "tuple[bool, tuple[str, ...]]":
+        """Record a use of ``token``; return ``(ship, evictions)``.
+
+        ``ship`` is ``True`` when the worker does not hold the arrays
+        and they must be sent; ``evictions`` lists the least-recently
+        used tokens the install must displace to respect the capacity.
+        ``pinned`` tokens are never selected for eviction — a dispatch
+        touching several graphs pins the whole set it is about to
+        reference, because installs are shipped ahead of the work that
+        uses them (the cache may transiently exceed its capacity when
+        one dispatch references more graphs than fit; it shrinks back
+        on later plans).
+        """
+        if token in self._lru:
+            self._lru.move_to_end(token)
+            return False, ()
+        pinned = set(pinned)
+        evictions = []
+        for candidate in list(self._lru):  # least recently used first
+            if len(self._lru) - len(evictions) < self.capacity:
+                break
+            if candidate in pinned:
+                continue
+            evictions.append(candidate)
+        for stale in evictions:
+            del self._lru[stale]
+        self._lru[token] = None
+        self.installs += 1
+        return True, tuple(evictions)
+
+    def is_resident(self, token: str) -> bool:
+        return token in self._lru
+
+    def resident_tokens(self) -> tuple:
+        """Tokens currently resident, least recently used first."""
+        return tuple(self._lru)
+
+    def most_recent(self) -> Optional[str]:
+        """The most recently used resident token (``None`` when empty)."""
+        return next(reversed(self._lru)) if self._lru else None
+
+
+class WorkerPoolBase:
+    """Process-lifecycle scaffolding shared by the resident pools.
+
+    Owns the spawn loop (one pipe-connected daemon process per worker),
+    idempotent :meth:`close` (graceful ``("close",)`` message, join,
+    terminate stragglers), context-manager support, and the terminal
+    failure path :meth:`_fail`: a pipe-level protocol failure (a worker
+    died, a connection broke) leaves worker state unknowable, so the
+    pool tears itself down and raises instead of serving desynchronized
+    residency state to later dispatches.
+    """
+
+    def __init__(self, workers: int, worker_main) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        context = multiprocessing.get_context()
+        self._procs = []
+        self._conns = []
+        for _ in range(workers):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    def _fail(self, reason: str) -> None:
+        """Tear the pool down after a protocol-level failure and raise."""
+        self.close()
+        raise RuntimeError(reason)
+
+    def close(self) -> None:
+        """Shut the workers down (best effort, idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"{type(self).__name__}(workers={self.workers}, {state})"
+
+
+def record_shipping(
+    extra: dict,
+    shipped: bool,
+    payload_bytes: "Optional[int]" = None,
+    installs: "Optional[int]" = None,
+) -> None:
+    """Uniform ``SolveStats.extra`` accounting for residency shipping.
+
+    Every consumer of a resident pool — the stage-sharded executor, the
+    ``solve_many`` multiplexer, and the best-of budget split — records
+    its shipping through this one function so the keys (and therefore
+    the bench overhead curves) stay comparable:
+
+    * ``graph_shipped`` — whether this solve / batch installed resident
+      graph arrays into any worker (``False`` on every warm follow-up,
+      and always ``False`` on the dict-graph reference path, which has
+      no resident representation — its per-request problem pickles show
+      up in the byte count below instead);
+    * ``graph_installs`` — how many (graph, worker) installs it
+      performed (omitted when the caller does not track per-worker
+      installs);
+    * ``batch_payload_bytes`` — total pickled bytes put on the wire for
+      the solve / batch: graph installs, problem specs, *and* any
+      full dict problems shipped for reference-engine requests.
+    """
+    extra["graph_shipped"] = shipped
+    if installs is not None:
+        extra["graph_installs"] = installs
+    if payload_bytes is not None:
+        extra["batch_payload_bytes"] = payload_bytes

@@ -12,12 +12,16 @@ Architecture
 ------------
 * :class:`StagePool` — W long-lived worker processes, each holding the
   problem's frozen :class:`~repro.graph.compiled.CompiledGraph` arrays
-  *resident* across stages, solves, and online re-planning rounds.
+  *resident* across stages, solves, and online re-planning rounds,
+  through the shared residency protocol of
+  :mod:`repro.parallel.residency` (the solve-level
+  :class:`~repro.parallel.pool.ResidentSolvePool` speaks the same one).
   Payloads are keyed by :attr:`~repro.graph.compiled.CompiledGraph.
   payload_token`: a re-plan on the same graph ships only the O(1)
-  problem spec (``k`` / ``required`` / ``forbidden``), while a graph
-  mutation mints a new token and transparently invalidates the resident
-  arrays.
+  problem spec (``k`` / ``required`` / ``forbidden``), a graph mutation
+  mints a new token and transparently invalidates the resident arrays,
+  and long sessions over many graphs evict least-recently-used entries
+  from the bounded worker caches.
 * :class:`ShardedStageExecutor` — the :class:`~repro.algorithms.
   stage_exec.StageExecutor` strategy solvers plug in.  Per stage it
   splits every funded start node's budget share into per-worker shards
@@ -53,7 +57,6 @@ exactly.
 from __future__ import annotations
 
 import itertools
-import multiprocessing
 import pickle
 import random
 import traceback
@@ -74,6 +77,13 @@ from repro.ce.probability import SelectionProbabilities
 from repro.core.problem import problem_from_payload_spec
 from repro.core.willingness import FastWillingnessEvaluator
 from repro.parallel.pool import split_budget
+from repro.parallel.residency import (
+    DEFAULT_RESIDENT_GRAPHS,
+    ResidencyLedger,
+    ResidentGraphStore,
+    WorkerPoolBase,
+    record_shipping,
+)
 
 __all__ = ["StagePool", "ShardedStageExecutor"]
 
@@ -162,7 +172,7 @@ class _WorkerSolveState:
 
 def _stage_worker_main(conn) -> None:
     """Worker process loop: resident graphs + per-solve state + stage RPC."""
-    resident: dict = {}
+    store = ResidentGraphStore()
     solve: "Optional[_WorkerSolveState]" = None
     while True:
         try:
@@ -174,20 +184,13 @@ def _stage_worker_main(conn) -> None:
             break
         try:
             if kind == "graph":
-                _, token, compiled = message
-                # Keep exactly the latest graph resident: payloads are
-                # O(V+E) and a superseded freeze is never asked for again.
-                resident.clear()
-                resident[token] = compiled
+                _, token, compiled, evict = message
+                store.install(token, compiled, evict)
                 reply = ("ok", token)
             elif kind == "solve":
                 _, spec = message
                 token = spec["problem"]["token"]
-                if token not in resident:
-                    raise RuntimeError(
-                        f"graph {token!r} is not resident in this worker"
-                    )
-                solve = _WorkerSolveState(resident[token], spec)
+                solve = _WorkerSolveState(store.get(token), spec)
                 reply = ("ok", solve.solve_id)
             elif kind == "stage":
                 _, solve_id, entries = message
@@ -210,59 +213,71 @@ def _stage_worker_main(conn) -> None:
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
-class StagePool:
+class StagePool(WorkerPoolBase):
     """W persistent worker processes with resident graph payloads.
 
     The pool outlives individual solves: create it once, hand it to any
     number of :class:`ShardedStageExecutor` solves (one at a time), and
     :meth:`close` it when done (also usable as a context manager).
-    Workers keep the latest installed graph's frozen arrays resident, so
-    repeated solves and online re-planning rounds on one graph pay the
-    O(V+E) payload shipping exactly once.
+    Workers keep installed graphs' frozen arrays resident — bounded to
+    ``resident_graphs`` entries with LRU eviction, per the shared
+    protocol in :mod:`repro.parallel.residency` — so repeated solves and
+    online re-planning rounds on one graph pay the O(V+E) payload
+    shipping exactly once.  Installs broadcast to every worker, so one
+    ledger mirrors them all.
     """
 
-    def __init__(self, workers: int) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be positive, got {workers}")
-        context = multiprocessing.get_context()
-        self._procs = []
-        self._conns = []
-        for _ in range(workers):
-            parent_conn, child_conn = context.Pipe()
-            proc = context.Process(
-                target=_stage_worker_main, args=(child_conn,), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
-        self._resident_token: Optional[str] = None
-        #: Number of graph payload installs performed (tests / stats).
-        self.installs = 0
-        self._closed = False
+    def __init__(
+        self,
+        workers: int,
+        resident_graphs: int = DEFAULT_RESIDENT_GRAPHS,
+    ) -> None:
+        super().__init__(workers, _stage_worker_main)
+        self._ledger = ResidencyLedger(resident_graphs)
+        #: Wire bytes of the most recent :meth:`ensure_resident` install
+        #: (0 when the graph was already resident) — the stage executor
+        #: records it through the shared accounting.
+        self.last_install_bytes = 0
 
     # ------------------------------------------------------------------
     @property
-    def workers(self) -> int:
-        return len(self._procs)
+    def installs(self) -> int:
+        """Number of graph payload installs performed (tests / stats)."""
+        return self._ledger.installs
 
     @property
     def resident_token(self) -> Optional[str]:
-        """Payload token of the graph currently resident in the workers."""
-        return self._resident_token
+        """Most recently used graph token resident in the workers."""
+        return self._ledger.most_recent()
 
     # ------------------------------------------------------------------
-    def _broadcast(self, message) -> None:
+    def _broadcast(self, message) -> int:
         # Serialize once and fan the bytes out: Connection.send would
         # re-pickle the message per worker, which matters for the
         # O(V+E) graph install (the workers' recv() unpickles either way).
         data = pickle.dumps(message)
         for conn in self._conns:
-            conn.send_bytes(data)
+            try:
+                conn.send_bytes(data)
+            except (BrokenPipeError, OSError):
+                # A dead worker leaves the pool's residency state
+                # unknowable (some workers got the message, some did
+                # not): terminal.
+                self._fail(
+                    "stage-pool worker is gone (send failed); the pool "
+                    "has been closed"
+                )
+        return len(data) * len(self._conns)
 
     def _gather(self) -> list:
         """One reply per worker; raises if any worker reported an error."""
-        replies = [conn.recv() for conn in self._conns]
+        try:
+            replies = [conn.recv() for conn in self._conns]
+        except (EOFError, OSError):
+            self._fail(
+                "stage-pool worker died mid-request (pipe closed); the "
+                "pool has been closed"
+            )
         errors = [payload for kind, payload in replies if kind == "error"]
         if errors:
             raise RuntimeError(
@@ -282,12 +297,14 @@ class StagePool:
         if self._closed:
             raise RuntimeError("stage pool is closed")
         token = problem.payload_token()
-        if token == self._resident_token:
+        ship, evictions = self._ledger.plan(token)
+        if not ship:
+            self.last_install_bytes = 0
             return False
-        self._broadcast(("graph", token, problem.compiled().detach()))
+        self.last_install_bytes = self._broadcast(
+            ("graph", token, problem.compiled().detach(), evictions)
+        )
         self._gather()
-        self._resident_token = token
-        self.installs += 1
         return True
 
     def start_solve(self, spec: dict) -> None:
@@ -309,45 +326,6 @@ class StagePool:
         for conn, entries in zip(self._conns, worker_entries):
             conn.send(("stage", solve_id, entries))
         return self._gather()
-
-    # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut the workers down (best effort, idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        for conn in self._conns:
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=2.0)
-        for proc in self._procs:
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-
-    def __enter__(self) -> "StagePool":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
-        try:
-            self.close()
-        except Exception:
-            pass
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "closed" if self._closed else "open"
-        return f"StagePool(workers={self.workers}, {state})"
-
 
 class ShardedStageExecutor(StageExecutor):
     """Stage strategy that shards every stage's draws across a pool.
@@ -417,7 +395,15 @@ class ShardedStageExecutor(StageExecutor):
             [0] * start_count for _ in range(self.pool.workers)
         ]
         ctx.stats.extra["stage_workers"] = self.pool.workers
-        ctx.stats.extra["graph_shipped"] = shipped
+        # Shipping accounting through the shared residency module, so
+        # stage-sharded solves and solve-pool batches report the same
+        # keys (solve-mode shipping used to go unrecorded, which made
+        # the bench overhead curve undercount it).
+        record_shipping(
+            ctx.stats.extra,
+            shipped=shipped,
+            payload_bytes=self.pool.last_install_bytes,
+        )
         # Shard-protocol overhead accounting (the ROADMAP's "overhead
         # curve"): every broadcast/stage message exchanged with a worker
         # counts as one RPC; per stage the pickled bytes of the CE-vector

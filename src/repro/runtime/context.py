@@ -11,12 +11,15 @@ consolidates all of it:
 
 * **engine selection** — ``engine="compiled"|"reference"``, inherited by
   every solver the context builds;
-* **pool lifecycle** — the solve-level ``ProcessPoolExecutor`` and the
-  stage-level :class:`~repro.parallel.stage_pool.StagePool` are created
-  lazily, stay resident across solves and re-planning rounds (graph
-  payloads shipped once), are reference-counted across co-owners
-  (:meth:`acquire` / :meth:`release`), and are torn down by
-  :meth:`close` or ``with``-exit;
+* **pool lifecycle** — the solve-level :class:`~repro.parallel.pool.
+  ResidentSolvePool` and the stage-level :class:`~repro.parallel.
+  stage_pool.StagePool` are created lazily, stay resident across
+  solves, batches, and re-planning rounds — each graph's detached
+  arrays are shipped **at most once per (graph, worker) pair**, per the
+  shared residency protocol in :mod:`repro.parallel.residency` — are
+  reference-counted across co-owners (:meth:`acquire` /
+  :meth:`release`), and are torn down by :meth:`close` or
+  ``with``-exit;
 * **mode routing** — ``mode="auto"`` resolves per request through the
   cost model in :mod:`repro.runtime.router`; ``"serial"`` / ``"solve"``
   / ``"stage"`` force a mode;
@@ -43,6 +46,7 @@ from __future__ import annotations
 
 import inspect
 import os
+import traceback
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Optional
 
@@ -57,44 +61,16 @@ from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
 from repro.core.willingness import evaluator_for as _evaluator_for
 from repro.core.willingness import validate_engine
+from repro.exceptions import BatchExecutionError
+from repro.parallel.residency import record_shipping
 from repro.runtime.requests import SolveRequest
 from repro.runtime.router import choose_mode, validate_mode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from concurrent.futures import ProcessPoolExecutor
-
+    from repro.parallel.pool import ResidentSolvePool
     from repro.parallel.stage_pool import StagePool
 
 __all__ = ["ExecutionContext"]
-
-
-def _batch_worker(task) -> list:
-    """Solve one worker's chunk of a ``solve_many`` batch.
-
-    ``task`` is ``(entries,)``-free: a list of ``(index, problem, name,
-    kwargs, seed)`` tuples.  Problems in one chunk share their compiled
-    graph object, so the O(V+E) arrays are pickled once per chunk, not
-    once per request.  Each request runs a plain serial solve — the same
-    call the parent would have made inline — so results are bit-identical
-    to the unbatched path.
-    """
-    from repro.algorithms.registry import make_solver
-
-    out = []
-    for index, problem, name, kwargs, seed in task:
-        result = make_solver(name, **kwargs).solve(problem, rng=seed)
-        out.append(
-            (
-                index,
-                result.solution.members,
-                result.solution.willingness,
-                result.stats.samples_drawn,
-                result.stats.failed_samples,
-                result.stats.stages,
-                result.stats.extra,
-            )
-        )
-    return out
 
 
 def _factory_params(name: str):
@@ -142,7 +118,7 @@ class ExecutionContext:
         workers: Optional[int] = None,
         executor: Optional[StageExecutor] = None,
         stage_pool: "Optional[StagePool]" = None,
-        solve_pool: "Optional[ProcessPoolExecutor]" = None,
+        solve_pool: "Optional[ResidentSolvePool]" = None,
         cpu_count: Optional[int] = None,
     ) -> None:
         self.engine = validate_engine(engine)
@@ -192,13 +168,18 @@ class ExecutionContext:
             self._owns_stage_pool = True
         return self._stage_pool
 
-    def solve_pool(self) -> "ProcessPoolExecutor":
-        """The resident solve-level pool, created on first use."""
-        if self._solve_pool is None:
-            from concurrent.futures import ProcessPoolExecutor
+    def solve_pool(self) -> "ResidentSolvePool":
+        """The resident solve-level pool, created on first use.
 
-            self._solve_pool = ProcessPoolExecutor(
-                max_workers=max(1, self.effective_workers)
+        Like the stage pool, its workers cache detached compiled-graph
+        arrays keyed by payload token (:mod:`repro.parallel.residency`),
+        so a serving session ships each graph at most once per worker.
+        """
+        if self._solve_pool is None:
+            from repro.parallel.pool import ResidentSolvePool
+
+            self._solve_pool = ResidentSolvePool(
+                max(1, self.effective_workers)
             )
             self._owns_solve_pool = True
         return self._solve_pool
@@ -425,6 +406,12 @@ class ExecutionContext:
         kwargs.pop("budget", None)  # replaced by each worker's share
         self._dispatch_engine(name, kwargs)
         workers = max(1, min(self.effective_workers, budget))
+        pool = None
+        if workers > 1:
+            pool = self.solve_pool()
+            # A caller-shared pool may be smaller than the context's
+            # worker setting; never dispatch past its processes.
+            workers = min(workers, pool.workers)
 
         def factory(share: int) -> Solver:
             from repro.algorithms.registry import make_solver
@@ -437,7 +424,7 @@ class ExecutionContext:
             total_budget=budget,
             workers=workers,
             rng=rng,
-            pool=self.solve_pool() if workers > 1 else None,
+            pool=pool if workers > 1 else None,
         )
 
     # ------------------------------------------------------------------
@@ -452,12 +439,25 @@ class ExecutionContext:
         SolveRequest` (or plain ``(problem, solver-name)``-style dicts
         are *not* accepted here — build them with
         :func:`~repro.runtime.requests.request_from_spec`).  Routing is
-        per request: large solves go to the resident stage pool, the
-        rest multiplex onto the solve-level pool — each inside one
-        worker as a plain serial solve — and on one CPU everything runs
-        inline.  Results come back in request order and are bit-identical
-        to calling :meth:`solve` once per request (stats excepted only
-        in ``elapsed_seconds``).
+        per request: large solves go to the resident stage pool,
+        pool-worthy ones multiplex onto the resident solve-level pool —
+        each inside one worker as a plain serial solve — while requests
+        the router judges too small to win their dispatch round trip
+        run inline in the parent (on one CPU, everything does).  Compiled-engine requests ship only their O(1)
+        payload spec once a worker holds the graph's detached arrays,
+        so a serving session pickles each graph at most once per
+        (graph, worker) pair; every multiplexed result records the
+        batch's shipping in ``stats.extra`` (``graph_shipped`` /
+        ``graph_installs`` / ``batch_payload_bytes``).
+
+        Results come back in request order and are bit-identical to
+        calling :meth:`solve` once per request (stats excepted only in
+        ``elapsed_seconds`` and the pool-warmth accounting keys).  A
+        failing request never discards the rest of the batch: the batch
+        drains fully, completed results record the failed indices in
+        ``stats.extra["failed_requests"]``, and a
+        :class:`~repro.exceptions.BatchExecutionError` carrying the
+        partial ``results`` and per-request ``failures`` is raised.
         """
         requests = [self._coerce_request(r) for r in requests]
         if not requests:
@@ -478,22 +478,37 @@ class ExecutionContext:
                 # hooks): multiplexing is the only parallelism it has.
                 route = "solve"
             routed.append(route)
+        failures: dict[int, str] = {}
+        results: list[Optional[SolveResult]] = [None] * batch
         if shared_rng or all(route == "serial" for route in routed):
             # Stateful generators must consume their streams in request
             # order — and a fully serial batch has nothing to dispatch.
-            return [self._solve_request(r) for r in requests]
+            for index, request in enumerate(requests):
+                try:
+                    results[index] = self._solve_request(request)
+                except Exception:
+                    failures[index] = traceback.format_exc()
+            return self._finish_batch(results, failures)
 
         # Distinct graphs are frozen and detached at most once (lazily —
         # an all-stage or all-reference batch never pays the detach);
-        # detached clones share the frozen arrays, so each worker chunk
-        # ships them once.
+        # detached clones share the frozen arrays, and the resident pool
+        # pickles them only into workers that do not hold them yet.
         detached_graphs: dict[int, object] = {}
-        results: list[Optional[SolveResult]] = [None] * batch
-        entries = []  # multiplexed requests: (index, problem, name, kw, seed)
+        graphs: dict = {}  # payload token -> detached CompiledGraph
+        entries = []  # multiplexed requests, as solve-pool entry dicts
         stage_indices = []
+        inline_indices = []
         for index, (request, route) in enumerate(zip(requests, routed)):
             if route == "stage":
                 stage_indices.append(index)
+                continue
+            if route == "serial":
+                # The router judged this request too small (or too
+                # opaque — budget-less) to win its dispatch round trip:
+                # honour that and solve it in-parent while the chunks
+                # are in flight, instead of multiplexing it anyway.
+                inline_indices.append(index)
                 continue
             kwargs = dict(request.solver_kwargs)
             engine = self._dispatch_engine(request.solver, kwargs)
@@ -501,48 +516,100 @@ class ExecutionContext:
             if engine == "compiled":
                 detached = detached_graphs.get(id(problem.graph))
                 if detached is None:
-                    detached = problem.compiled().detach().graph
+                    detached = problem.compiled().detach()
                     detached_graphs[id(problem.graph)] = detached
-                problem = WASOProblem(
-                    graph=detached,
-                    k=problem.k,
-                    connected=problem.connected,
-                    required=problem.required,
-                    forbidden=problem.forbidden,
-                )
+                payload = problem.payload_spec()
+                graphs[payload["token"]] = detached
+            else:
+                # Reference / engine-less solvers have no resident
+                # representation: the dict problem ships per request.
+                payload = problem
             entries.append(
-                (index, problem, request.solver, kwargs, request.rng)
+                {
+                    "index": index,
+                    "problem": payload,
+                    "solver": request.solver,
+                    "kwargs": kwargs,
+                    "seed": request.rng,
+                }
             )
 
-        futures = []
-        if entries:
+        dispatched = bool(entries)
+        if dispatched:
             pool = self.solve_pool()
-            workers = max(1, min(self.effective_workers, len(entries)))
-            # Round-robin chunking: one task per worker, graphs pickled
-            # once per chunk via shared references.
-            chunks = [entries[w::workers] for w in range(workers)]
-            futures = [pool.submit(_batch_worker, chunk) for chunk in chunks]
+            pool.begin_batch()
+            workers = max(
+                1, min(self.effective_workers, pool.workers, len(entries))
+            )
+            # Round-robin chunking: one chunk per worker; each graph is
+            # installed only where the worker's residency ledger says it
+            # is missing, then referenced by token.
+            for worker in range(workers):
+                pool.ship(worker, entries[worker::workers], graphs)
 
-        # Large solves run on the stage pool while the chunks are in
-        # flight on the solve pool.
+        # Large solves run on the stage pool — and serial-routed ones
+        # inline — while the chunks are in flight on the solve pool; a
+        # failure here must not abandon the in-flight chunks (they are
+        # collected below regardless).
         for index in stage_indices:
-            results[index] = self._solve_request(requests[index], mode="stage")
-
-        for future in futures:
-            for index, members, willingness, drawn, failed, stages, extra in (
-                future.result()
-            ):
-                results[index] = SolveResult(
-                    solution=GroupSolution(
-                        members=members, willingness=willingness
-                    ),
-                    stats=SolveStats(
-                        samples_drawn=drawn,
-                        failed_samples=failed,
-                        stages=stages,
-                        extra=extra,
-                    ),
+            try:
+                results[index] = self._solve_request(
+                    requests[index], mode="stage"
                 )
+            except Exception:
+                failures[index] = traceback.format_exc()
+        for index in inline_indices:
+            try:
+                results[index] = self._solve_request(requests[index])
+            except Exception:
+                failures[index] = traceback.format_exc()
+
+        if dispatched:
+            for chunk_outcomes in pool.collect():
+                for outcome in chunk_outcomes:
+                    if outcome[0] == "error":
+                        failures[outcome[1]] = outcome[2]
+                        continue
+                    (_, index, members, willingness, drawn, failed,
+                     stages, extra) = outcome
+                    results[index] = SolveResult(
+                        solution=GroupSolution(
+                            members=members, willingness=willingness
+                        ),
+                        stats=SolveStats(
+                            samples_drawn=drawn,
+                            failed_samples=failed,
+                            stages=stages,
+                            extra=extra,
+                        ),
+                    )
+            # Per-batch shipping accounting on every multiplexed result,
+            # through the shared residency module (the stage path records
+            # the same keys from its executor).
+            installs = pool.batch_installs
+            payload_bytes = pool.batch_payload_bytes
+            for entry in entries:
+                result = results[entry["index"]]
+                if result is not None:
+                    record_shipping(
+                        result.stats.extra,
+                        shipped=installs > 0,
+                        payload_bytes=payload_bytes,
+                        installs=installs,
+                    )
+        return self._finish_batch(results, failures)
+
+    @staticmethod
+    def _finish_batch(
+        results: "list[Optional[SolveResult]]", failures: "dict[int, str]"
+    ) -> list[SolveResult]:
+        """Return a fully-solved batch, or raise after it has drained."""
+        if failures:
+            failed = sorted(failures)
+            for result in results:
+                if result is not None:
+                    result.stats.extra["failed_requests"] = failed
+            raise BatchExecutionError(failures, results)
         assert all(result is not None for result in results)
         return results
 
@@ -587,9 +654,9 @@ class ExecutionContext:
         pool, self._stage_pool = self._stage_pool, None
         if pool is not None and self._owns_stage_pool:
             pool.close()
-        executor, self._solve_pool = self._solve_pool, None
-        if executor is not None and self._owns_solve_pool:
-            executor.shutdown()
+        solve_pool, self._solve_pool = self._solve_pool, None
+        if solve_pool is not None and self._owns_solve_pool:
+            solve_pool.close()
         self._owns_stage_pool = True
         self._owns_solve_pool = True
 

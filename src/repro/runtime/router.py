@@ -18,10 +18,16 @@ with fixed overheads:
   CE patches, collect summaries) plus a one-off O(V+E) payload install,
   so it only wins when the per-stage draw work dwarfs the round trips —
   a *single large* solve;
-* **solve mode** pays one payload pickle per worker and nothing during
-  the solve, but each worker refits its CE vectors from only ``T/W`` of
-  the evidence — fine for *many independent* requests, where every
-  request runs serially inside one worker at full statistical strength;
+* **solve mode** historically paid one O(V+E) graph pickle per worker
+  chunk *per batch*; since the solve-level pool became resident
+  (:class:`~repro.parallel.pool.ResidentSolvePool`), that cost is paid
+  at most once per (graph, worker) *session*, and what remains per
+  request is a fixed dispatch overhead — an O(1) payload-spec pickle
+  out, one result pickle back, one solver construction in the worker.
+  Each worker still refits its CE vectors from only its own requests'
+  evidence, which is exactly right for *many independent* requests:
+  every request runs serially inside one worker at full statistical
+  strength;
 * **serial** pays nothing, and on one core is also the fastest option.
 
 ``STAGE_WORK_THRESHOLD`` is calibrated from the repo's own benches: the
@@ -29,6 +35,16 @@ Fig. 5(d) stage-parallel point (n=600, T=1600 → 9.6e5) and the
 ``BENCH_sampler`` gate point (n=10k, T=3200 → 3.2e7) must route to
 stage mode, while the test-suite-sized solves (n≈200, T≈120 → 2.4e4)
 must stay serial — their wall clock is smaller than a handful of RPCs.
+
+``MIN_SOLVE_WORK`` is the re-calibration for the resident path: the old
+model multiplexed *any* multi-request batch, because batching was what
+amortized the per-chunk graph pickle.  With the graph resident, the
+per-request overhead no longer scales with the graph at all, so the
+threshold compares a request's work volume ``n × T`` against the fixed
+dispatch round trip instead — only genuinely tiny solves (n·T below a
+few thousand; sub-millisecond inline) now stay out of the pool, and
+budget-less solvers (T=0, e.g. DGreedy), whose work the model cannot
+see, conservatively run inline.
 """
 
 from __future__ import annotations
@@ -39,6 +55,7 @@ __all__ = [
     "MODES",
     "STAGE_WORK_THRESHOLD",
     "MIN_STAGE_BUDGET",
+    "MIN_SOLVE_WORK",
     "validate_mode",
     "choose_mode",
 ]
@@ -55,6 +72,13 @@ STAGE_WORK_THRESHOLD = 500_000
 #: Below this budget a solve has too few draws per (stage, start, shard)
 #: for the shard protocol to amortize, whatever the graph size.
 MIN_STAGE_BUDGET = 256
+
+#: Minimum ``n × budget`` work volume before multiplexing a batched
+#: request onto the resident solve-level pool beats solving it inline
+#: (see the module docstring: the resident protocol removed the
+#: per-batch graph pickle, leaving only the fixed per-request dispatch
+#: round trip to amortize).
+MIN_SOLVE_WORK = 2_000
 
 
 def validate_mode(mode: str) -> str:
@@ -113,9 +137,11 @@ def choose_mode(
         # (splitting its budget would weaken the CE fit instead), and
         # that holds whether it arrives alone or inside a batch.
         return "stage"
-    if batch_size > 1:
-        # Many small solves: multiplex whole requests onto the
+    if batch_size > 1 and n * budget >= MIN_SOLVE_WORK:
+        # Many small solves: multiplex whole requests onto the resident
         # solve-level pool, each running serially at full statistical
-        # strength inside one worker.
+        # strength inside one worker.  Requests below the work floor
+        # (including budget-less solvers, whose work the model cannot
+        # see) finish inline faster than their dispatch round trip.
         return "solve"
     return "serial"

@@ -1,4 +1,4 @@
-"""Tests for the parallel sampling pool."""
+"""Tests for the solve-level parallel pool and its residency protocol."""
 
 import pickle
 
@@ -8,6 +8,7 @@ from repro.algorithms.cbas_nd import CBASND
 from repro.core.problem import WASOProblem
 from repro.parallel import (
     ParallelSolver,
+    ResidentSolvePool,
     parallel_solve,
     split_budget,
     worker_payload_bytes,
@@ -107,10 +108,20 @@ class TestParallelSolve:
         with_cache = len(pickle.dumps(problem))
         assert sizes["compiled_arrays_bytes"] < with_cache
 
-    def test_payload_bytes_rejects_detached_problem(self, small_facebook):
+    def test_payload_bytes_on_detached_problem(self, small_facebook):
+        """Regression: an already array-backed problem — exactly what the
+        resident pools ship — must report its slim size instead of
+        raising (``dict_graph_bytes`` has nothing left to measure)."""
         problem = WASOProblem(graph=small_facebook, k=5)
-        with pytest.raises(ValueError):
-            worker_payload_bytes(problem.detached())
+        both = worker_payload_bytes(problem)
+        detached_only = worker_payload_bytes(problem.detached())
+        assert detached_only["dict_graph_bytes"] is None
+        assert detached_only["compiled_arrays_bytes"] > 0
+        # The detached problem *is* the slim payload: same bytes.
+        assert (
+            detached_only["compiled_arrays_bytes"]
+            == both["compiled_arrays_bytes"]
+        )
 
     def test_validation(self, small_facebook):
         problem = WASOProblem(graph=small_facebook, k=5)
@@ -141,6 +152,158 @@ class TestParallelSolve:
             assert second.solution.is_feasible(problem)
             # The pool survives parallel_solve: it still accepts work.
             assert shared.submit(sum, (1, 2)).result() == 3
+
+
+class TestResidentSolvePool:
+    def _factory(self, **kwargs):
+        merged = dict(m=5, stages=3)
+        merged.update(kwargs)
+        return lambda budget: CBASND(budget=budget, **merged)
+
+    def test_graph_ships_once_per_worker_across_calls(self, small_facebook):
+        """The tentpole property: repeated best-of solves on one graph
+        install the detached arrays exactly once per worker."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with ResidentSolvePool(2) as pool:
+            first = parallel_solve(
+                problem, self._factory(), total_budget=60, workers=2,
+                rng=4, pool=pool,
+            )
+            assert pool.installs == 2  # one per (graph, worker) pair
+            assert first.stats.extra["graph_shipped"] is True
+            assert first.stats.extra["graph_installs"] == 2
+            second = parallel_solve(
+                problem, self._factory(), total_budget=60, workers=2,
+                rng=5, pool=pool,
+            )
+            assert pool.installs == 2  # nothing re-shipped
+            assert second.stats.extra["graph_shipped"] is False
+            assert second.stats.extra["graph_installs"] == 0
+            # The warm call ships only specs + seeds + solver configs.
+            slim = worker_payload_bytes(problem)["compiled_arrays_bytes"]
+            assert second.stats.extra["batch_payload_bytes"] < slim
+            assert first.stats.extra["batch_payload_bytes"] > slim
+
+    def test_resident_pool_matches_legacy_and_owned(self, small_facebook):
+        """Bit-identity across the three pool flavours: owned resident
+        pool, shared resident pool, and a legacy executor pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        problem = WASOProblem(graph=small_facebook, k=5)
+        owned = parallel_solve(
+            problem, self._factory(), total_budget=60, workers=2, rng=4
+        )
+        with ResidentSolvePool(2) as pool:
+            resident = parallel_solve(
+                problem, self._factory(), total_budget=60, workers=2,
+                rng=4, pool=pool,
+            )
+        with ProcessPoolExecutor(max_workers=2) as legacy_pool:
+            legacy = parallel_solve(
+                problem, self._factory(), total_budget=60, workers=2,
+                rng=4, pool=legacy_pool,
+            )
+        for other in (resident, legacy):
+            assert other.members == owned.members
+            assert other.willingness == owned.willingness
+            assert other.stats.samples_drawn == owned.stats.samples_drawn
+
+    def test_eviction_forces_reshipping(self, small_facebook):
+        """A capacity-1 cache alternating two graphs re-ships on every
+        switch — and still solves correctly afterwards."""
+        from repro.graph.generators import facebook_like
+
+        problem_a = WASOProblem(graph=small_facebook, k=5)
+        problem_b = WASOProblem(graph=facebook_like(120, seed=9), k=4)
+        with ResidentSolvePool(2, resident_graphs=1) as pool:
+            for expected_installs, problem, seed in (
+                (2, problem_a, 1),   # cold: ship A
+                (2, problem_a, 2),   # warm: nothing
+                (4, problem_b, 3),   # B evicts A
+                (6, problem_a, 4),   # A must be re-shipped
+            ):
+                result = parallel_solve(
+                    problem, self._factory(), total_budget=40, workers=2,
+                    rng=seed, pool=pool,
+                )
+                assert result.solution.is_feasible(problem)
+                assert pool.installs == expected_installs
+            token_a = problem_a.payload_token()
+            assert pool.resident_tokens(0) == (token_a,)
+
+    def test_reference_solvers_ship_dict_problems(self, small_facebook):
+        """The dict path has no resident representation: reference-engine
+        workers get the full problem, and no graph is installed."""
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with ResidentSolvePool(2) as pool:
+            result = parallel_solve(
+                problem,
+                self._factory(engine="reference"),
+                total_budget=60,
+                workers=2,
+                rng=4,
+                pool=pool,
+            )
+            assert result.stats.extra["payload"] == "dict-graph"
+            assert result.stats.extra["graph_installs"] == 0
+            assert pool.installs == 0
+            assert result.solution.is_feasible(problem)
+
+    def test_multiple_chunks_per_worker_parse_correctly(
+        self, small_facebook
+    ):
+        """Regression: a worker shipped several chunks in one batch must
+        have its interleaved install-ack / chunk-reply stream parsed by
+        send-order tags, not by draining all acks first."""
+        from repro.graph.generators import facebook_like
+
+        problem_a = WASOProblem(graph=small_facebook, k=5)
+        problem_b = WASOProblem(graph=facebook_like(120, seed=9), k=4)
+        solver = CBASND(budget=30, m=4, stages=2)
+        with ResidentSolvePool(1) as pool:
+            pool.begin_batch()
+            for index, problem in enumerate((problem_a, problem_b)):
+                spec = problem.payload_spec()
+                pool.ship(
+                    0,
+                    [{
+                        "index": index,
+                        "problem": spec,
+                        "solver_obj": solver,
+                        "seed": 7,
+                    }],
+                    {spec["token"]: problem.compiled().detach()},
+                )
+            outcomes = pool.collect()
+        assert len(outcomes) == 2
+        for index, (chunk, problem) in enumerate(
+            zip(outcomes, (problem_a, problem_b))
+        ):
+            status, echoed, members, value = chunk[0][:4]
+            assert status == "ok" and echoed == index
+            direct = solver.solve(problem, rng=7)
+            assert members == direct.members and value == direct.willingness
+
+    def test_pool_smaller_than_workers_rejected(self, small_facebook):
+        problem = WASOProblem(graph=small_facebook, k=5)
+        with ResidentSolvePool(1) as pool:
+            with pytest.raises(ValueError, match="workers"):
+                parallel_solve(
+                    problem, self._factory(), total_budget=60, workers=2,
+                    rng=4, pool=pool,
+                )
+
+    def test_closed_pool_rejected(self, small_facebook):
+        pool = ResidentSolvePool(1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.ship(0, [], {})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResidentSolvePool(0)
+        with pytest.raises(ValueError):
+            ResidentSolvePool(1, resident_graphs=0)
 
 
 class TestParallelSolver:

@@ -27,7 +27,11 @@ from repro.runtime import (
     request_from_spec,
     validate_mode,
 )
-from repro.runtime.router import MIN_STAGE_BUDGET, STAGE_WORK_THRESHOLD
+from repro.runtime.router import (
+    MIN_SOLVE_WORK,
+    MIN_STAGE_BUDGET,
+    STAGE_WORK_THRESHOLD,
+)
 from repro.scenarios import exhibition_problem, mark_foes, merge_couple
 from repro.scenarios.filters import filtered_problem
 
@@ -37,10 +41,18 @@ def _children() -> set:
 
 
 #: extra-dict keys that describe pool warmth rather than the solve
-#: itself (a resident graph is shipped once per pool, so the second of
-#: two otherwise-identical solves legitimately reports different
-#: residency bookkeeping).
-_POOL_WARMTH_KEYS = frozenset({"graph_shipped", "shard_rpcs"})
+#: itself (a resident graph is shipped once per (graph, worker) pair,
+#: so the second of two otherwise-identical solves legitimately reports
+#: different residency bookkeeping).
+_POOL_WARMTH_KEYS = frozenset(
+    {
+        "graph_shipped",
+        "graph_installs",
+        "batch_payload_bytes",
+        "shard_rpcs",
+        "failed_requests",
+    }
+)
 
 
 def _assert_same_result(lhs, rhs) -> None:
@@ -108,6 +120,22 @@ class TestRouter:
 
     def test_workers_cap_parallelism(self):
         assert choose_mode(10_000, 3200, 1, workers=1, cpu_count=8) == "serial"
+
+    def test_tiny_batched_solves_stay_serial(self):
+        """Recalibration for the resident path: a request whose work
+        volume is below the fixed dispatch round trip runs inline even
+        inside a batch (the old model multiplexed any batch, because
+        batching had to amortize a per-chunk graph pickle that the
+        resident protocol no longer pays)."""
+        budget = 50
+        n = -(-MIN_SOLVE_WORK // budget)  # ceil division
+        assert choose_mode(n, budget, 16, None, 8) == "solve"
+        assert choose_mode(n - 1, budget, 16, None, 8) == "serial"
+
+    def test_budget_less_solvers_stay_serial_in_batches(self):
+        """T=0 (DGreedy-style) hides the work volume from the model, so
+        it conservatively runs inline."""
+        assert choose_mode(50_000, 0, 16, None, 8) == "serial"
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -370,6 +398,43 @@ class TestSolveMany:
         for lhs, rhs in zip(looped, batched):
             _assert_same_result(lhs, rhs)
 
+    def test_serial_routed_requests_run_inline_in_mixed_batches(
+        self, runtime_graph
+    ):
+        """Regression: the router's 'serial' verdict (tiny or budget-less
+        requests) must be honoured inside a mixed batch — those requests
+        run in-parent, are never shipped to the pool, and the results
+        still match a plain loop."""
+        from repro.algorithms.registry import make_solver
+
+        problem = WASOProblem(graph=runtime_graph, k=5)
+        requests = [
+            SolveRequest(problem, "cbas-nd", 1, dict(budget=40, m=4, stages=2)),
+            SolveRequest(problem, "dgreedy", 2, {}),  # budget-less: serial
+            SolveRequest(problem, "cbas-nd", 3, dict(budget=40, m=4, stages=2)),
+        ]
+        looped = [
+            make_solver(r.solver, **r.solver_kwargs).solve(
+                r.problem, rng=r.rng
+            )
+            for r in requests
+        ]
+        with ExecutionContext(workers=2, cpu_count=4) as context:
+            routes = [
+                context.resolve_mode(
+                    r.problem, r.budget, batch_size=len(requests)
+                )
+                for r in requests
+            ]
+            assert routes == ["solve", "serial", "solve"]
+            batched = context.solve_many(requests)
+        for lhs, rhs in zip(looped, batched):
+            _assert_same_result(lhs, rhs)
+        # The inline request carries no pool-shipping accounting — it
+        # never touched the pool; the multiplexed ones do.
+        assert "graph_installs" not in batched[1].stats.extra
+        assert "graph_installs" in batched[0].stats.extra
+
     def test_shared_rng_instance_runs_serially_in_order(self, runtime_graph):
         """A shared generator's stream consumption matches a plain loop."""
         problem = WASOProblem(graph=runtime_graph, k=5)
@@ -412,6 +477,219 @@ class TestSolveMany:
             request_from_spec(runtime_graph, {"solver": "cbas"})
         with pytest.raises(TypeError, match="registry name"):
             SolveRequest(WASOProblem(graph=runtime_graph, k=3), CBASND())
+
+
+class TestServingSessionResidency:
+    """The tentpole differential suite: a long serving session — several
+    ``solve_many`` batches, interleaved replans, two distinct graphs,
+    forced cache eviction — ships each graph exactly once per (graph,
+    worker) pair and stays bit-identical to serial loops."""
+
+    def _looped(self, requests):
+        from repro.algorithms.registry import make_solver
+
+        return [
+            make_solver(request.solver, **request.solver_kwargs).solve(
+                request.problem, rng=request.rng
+            )
+            for request in requests
+        ]
+
+    def _requests(self, problem, seeds, engine):
+        return [
+            SolveRequest(
+                problem, "cbas-nd", seed,
+                dict(budget=40, m=4, stages=2, engine=engine),
+            )
+            for seed in seeds
+        ]
+
+    def test_session_ships_graph_once_per_worker(self, runtime_graph):
+        """Acceptance: ``solve_many`` twice plus a replan over the same
+        problem pickles the detached arrays at most once per worker."""
+        from repro.parallel import ResidentSolvePool, worker_payload_bytes
+
+        problem = WASOProblem(graph=runtime_graph, k=5)
+        slim = worker_payload_bytes(problem)["compiled_arrays_bytes"]
+        looped = self._looped(self._requests(problem, (11, 12, 13), "compiled"))
+        with ResidentSolvePool(2) as pool:
+            with ExecutionContext(workers=2, solve_pool=pool) as context:
+                first = context.solve_many(
+                    self._requests(problem, (11, 12, 13), "compiled"),
+                    mode="solve",
+                )
+                # Cold batch: one install per worker, graph bytes on the
+                # wire.
+                assert pool.installs == 2
+                assert first[0].stats.extra["graph_shipped"] is True
+                assert first[0].stats.extra["graph_installs"] == 2
+                assert first[0].stats.extra["batch_payload_bytes"] > slim
+
+                # An interleaved replan on the same problem must not
+                # re-ship anything to the solve pool.
+                with OnlinePlanner(
+                    problem,
+                    solver=context.make_solver(
+                        "cbas-nd", budget=60, m=5, stages=2
+                    ),
+                    rng=6,
+                    context=context,
+                ) as planner:
+                    group = planner.plan()
+                    planner.record_decline(next(iter(sorted(group.members))))
+                assert pool.installs == 2
+
+                second = context.solve_many(
+                    self._requests(problem, (11, 12, 13), "compiled"),
+                    mode="solve",
+                )
+                # Warm batch: zero installs, only specs + seeds shipped.
+                assert pool.installs == 2
+                assert second[0].stats.extra["graph_shipped"] is False
+                assert second[0].stats.extra["graph_installs"] == 0
+                assert second[0].stats.extra["batch_payload_bytes"] < slim
+
+                # Non-vacuous warm-path check: a forced solve-mode
+                # single solve actually dispatches to the pool (the
+                # planner's small replans route serial by design) and
+                # must find the graph already resident everywhere.
+                warm = context.solve(
+                    problem, "cbas-nd", rng=9, mode="solve",
+                    budget=40, m=4, stages=2,
+                )
+                assert warm.stats.extra["workers"] == 2
+                assert warm.stats.extra["graph_installs"] == 0
+                assert pool.installs == 2
+        for lhs, batch in ((looped, first), (looped, second)):
+            for expected, got in zip(lhs, batch):
+                _assert_same_result(expected, got)
+
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_two_graph_session_with_eviction(self, runtime_graph, engine):
+        """Three-plus batches over two graphs with a capacity-1 cache:
+        eviction forces a re-ship, and every batch stays bit-identical
+        to its serial loop — on both engines."""
+        from repro.graph.generators import facebook_like
+        from repro.parallel import ResidentSolvePool
+
+        problem_a = WASOProblem(graph=runtime_graph, k=5)
+        problem_b = WASOProblem(graph=facebook_like(120, seed=32), k=4)
+        batches = [
+            self._requests(problem_a, (1, 2, 3), engine),
+            self._requests(problem_b, (4, 5), engine),
+            self._requests(problem_a, (6, 7, 8), engine),
+            self._requests(problem_a, (6, 7, 8), engine),
+        ]
+        looped = [self._looped(batch) for batch in batches]
+        with ResidentSolvePool(2, resident_graphs=1) as pool:
+            with ExecutionContext(workers=2, solve_pool=pool) as context:
+                outcomes = [
+                    context.solve_many(batch, mode="solve")
+                    for batch in batches
+                ]
+                if engine == "compiled":
+                    # A cold, B evicts A, A re-ships, A warm: 2 installs
+                    # per worker switch — and the fourth batch is free.
+                    assert pool.installs == 6
+                    shipped = [
+                        batch[0].stats.extra["graph_shipped"]
+                        for batch in outcomes
+                    ]
+                    assert shipped == [True, True, True, False]
+                else:
+                    # The dict path has no resident representation.
+                    assert pool.installs == 0
+        for expected_batch, got_batch in zip(looped, outcomes):
+            for expected, got in zip(expected_batch, got_batch):
+                _assert_same_result(expected, got)
+
+
+class TestSolveManyFailures:
+    """A failing request must never discard its batch-mates (the batch
+    drains, partial results ride on the raised error)."""
+
+    def _infeasible(self, graph):
+        nodes = graph.node_list()
+        return WASOProblem(graph=graph, k=5, forbidden=frozenset(nodes[3:]))
+
+    def test_worker_failure_drains_batch_and_reraises(self, runtime_graph):
+        from repro.exceptions import BatchExecutionError
+
+        good = WASOProblem(graph=runtime_graph, k=5)
+        kwargs = dict(budget=40, m=4, stages=2)
+        requests = [
+            SolveRequest(good, "cbas-nd", 1, dict(kwargs)),
+            SolveRequest(self._infeasible(runtime_graph), "cbas-nd", 2,
+                         dict(kwargs)),
+            SolveRequest(good, "cbas-nd", 3, dict(kwargs)),
+        ]
+        with ExecutionContext(workers=2) as context:
+            with pytest.raises(BatchExecutionError) as info:
+                context.solve_many(requests, mode="solve")
+        error = info.value
+        assert sorted(error.failures) == [1]
+        assert "Infeasible" in error.failures[1]
+        # Both healthy requests completed, bit-identical to solo solves.
+        assert error.results[1] is None
+        solo = CBASND(**kwargs).solve(good, rng=1)
+        _assert_same_result(solo, error.results[0])
+        assert error.results[2] is not None
+        # And each survivor records which batch-mates failed.
+        assert error.results[0].stats.extra["failed_requests"] == [1]
+        assert error.results[2].stats.extra["failed_requests"] == [1]
+
+    def test_stage_routed_failure_does_not_abandon_chunks(
+        self, runtime_graph
+    ):
+        """An in-flight stage-routed failure must still collect the
+        multiplexed chunks' results instead of tearing down mid-batch."""
+        from repro.exceptions import BatchExecutionError
+
+        good = WASOProblem(graph=runtime_graph, k=5)
+        big_budget = max(
+            MIN_STAGE_BUDGET,
+            -(-STAGE_WORK_THRESHOLD // runtime_graph.number_of_nodes()),
+        )
+        requests = [
+            SolveRequest(good, "cbas-nd", 1, dict(budget=40, m=4, stages=2)),
+            SolveRequest(
+                self._infeasible(runtime_graph), "cbas-nd", 2,
+                dict(budget=big_budget, m=6, stages=3),
+            ),
+            SolveRequest(good, "cbas-nd", 3, dict(budget=40, m=4, stages=2)),
+        ]
+        with ExecutionContext(workers=2, cpu_count=4) as context:
+            routes = [
+                context.resolve_mode(
+                    r.problem, r.budget, batch_size=len(requests)
+                )
+                for r in requests
+            ]
+            assert routes == ["solve", "stage", "solve"]
+            with pytest.raises(BatchExecutionError) as info:
+                context.solve_many(requests)
+        error = info.value
+        assert sorted(error.failures) == [1]
+        assert error.results[0] is not None
+        assert error.results[2] is not None
+
+    def test_serial_batch_failure_drains_too(self, runtime_graph):
+        from repro.exceptions import BatchExecutionError
+
+        good = WASOProblem(graph=runtime_graph, k=5)
+        rng = random.Random(9)  # shared generator: serial in-order path
+        requests = [
+            SolveRequest(good, "cbas-nd", rng, dict(budget=30, m=3)),
+            SolveRequest(self._infeasible(runtime_graph), "cbas-nd", rng,
+                         dict(budget=30, m=3)),
+            SolveRequest(good, "cbas-nd", rng, dict(budget=30, m=3)),
+        ]
+        with ExecutionContext(workers=2) as context:
+            with pytest.raises(BatchExecutionError) as info:
+                context.solve_many(requests, mode="solve")
+        error = info.value
+        assert sorted(error.failures) == [1]
+        assert error.results[0] is not None and error.results[2] is not None
 
 
 class TestPoolHygiene:

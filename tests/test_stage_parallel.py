@@ -370,6 +370,32 @@ class TestResidency:
             assert pool.resident_token != token_before
             assert result.stats.extra["graph_shipped"] is True
 
+    def test_bounded_cache_evicts_and_reships(self, small_facebook):
+        """A capacity-1 stage pool alternating two graphs re-ships the
+        evicted arrays — and keeps solving correctly (shared residency
+        protocol, satellite of the solve-pool tentpole)."""
+        from repro.graph.generators import facebook_like
+
+        problem_a = WASOProblem(graph=small_facebook, k=5)
+        problem_b = WASOProblem(graph=facebook_like(120, seed=8), k=4)
+        with StagePool(2, resident_graphs=1) as pool:
+            executor = ShardedStageExecutor(pool=pool)
+            solver_a = CBASND(budget=60, m=4, stages=2, executor=executor)
+            solver_b = CBASND(budget=60, m=4, stages=2, executor=executor)
+            solver_a.solve(problem_a, rng=1)
+            assert pool.installs == 1
+            solver_b.solve(problem_b, rng=2)  # evicts A
+            assert pool.installs == 2
+            result = solver_a.solve(problem_a, rng=3)  # re-ship
+            assert pool.installs == 3
+            assert result.stats.extra["graph_shipped"] is True
+            assert result.stats.extra["batch_payload_bytes"] > 0
+            again = solver_a.solve(problem_a, rng=4)  # warm
+            assert pool.installs == 3
+            assert again.stats.extra["graph_shipped"] is False
+            assert again.stats.extra["batch_payload_bytes"] == 0
+            assert pool.resident_token == problem_a.payload_token()
+
     def test_problem_spec_roundtrip(self, small_facebook):
         from repro.core.problem import problem_from_payload_spec
 
