@@ -84,6 +84,32 @@ def run_experiment() -> ExperimentTable:
                 workers,
                 result.stats.extra.get("batch_payload_bytes", 0),
             )
+            best_of_result = result
+
+        # --- crash-recovery overhead: the same warm max-worker run with
+        # one worker SIGKILLed mid-dispatch.  The seeds travel with the
+        # chunks, so the recovered result must be bit-identical; the
+        # extra cost (respawn + graph re-ship + redraw) is the series'
+        # overhead point.
+        if max(usable) > 1:
+            from repro.parallel import NEXT_RPC, FaultPlan
+
+            pool = shared.solve_pool()
+            pool.fault_plan = FaultPlan(kills=[(0, NEXT_RPC)])
+            try:
+                with ExecutionContext(
+                    workers=max(usable), solve_pool=pool
+                ) as context:
+                    started = time.perf_counter()
+                    recovered = context.solve(
+                        problem, "cbas-nd", rng=3, mode="solve", **kwargs
+                    )
+                    elapsed = time.perf_counter() - started
+            finally:
+                pool.fault_plan = None
+            assert recovered.willingness == best_of_result.willingness
+            assert recovered.stats.extra["worker_restarts"] >= 1
+            table.add("crash_recovery_time", max(usable), elapsed)
 
     # --- stage-level sharded CE: one solve, draws sharded per stage ---
     for workers in usable:
@@ -115,6 +141,14 @@ def test_fig5d_parallel_speedup(benchmark):
         [times.at(w) for w in workers], baseline=baseline
     )
     print(f"best-of speedups vs 1 worker: {[f'{s:.2f}x' for s in speedups]}")
+    if "crash_recovery_time" in table.series:
+        recovery = table.series["crash_recovery_time"]
+        clean = times.at(max(workers))
+        overhead = recovery.at(max(workers)) - clean
+        print(
+            f"crash-recovery overhead at {max(workers)} workers: "
+            f"{overhead * 1e3:+.1f} ms over a {clean * 1e3:.1f} ms clean run"
+        )
     stage_times = table.series["stage_time"]
     stage_speedups = geometric_speedup(
         [stage_times.at(w) for w in workers], baseline=stage_times.at(1)

@@ -21,6 +21,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 #: (one graph install per (graph, worker) pair, warm batches spec-only).
 TIER2_INVOCATION = (
     "PYTHONPATH=src python -m pytest benchmarks/ -m tier2 && "
+    "PYTHONPATH=src python -m pytest tests/test_faults.py -m chaos && "
     "PYTHONPATH=src python benchmarks/bench_perf_sampler.py --check"
 )
 
@@ -33,6 +34,12 @@ def pytest_configure(config):
         "(with a visible reason) on machines too small to run the "
         "workers in parallel, while the payload-byte gates are "
         "machine-independent and always run",
+    )
+    config.addinivalue_line(
+        "markers",
+        "chaos: deterministic fault-injection differential tests; the "
+        "suite lives in tests/test_faults.py and the tier-2 job re-runs "
+        "it standalone (see TIER2_INVOCATION)",
     )
 
 # Record every regenerated figure table to a file (pytest captures stdout,

@@ -22,7 +22,11 @@ is one request over the shared graph, e.g.::
     {"k": 5, "required": [3], "budget": 200, "seed": 8}
 
 Results come back in request order and are bit-identical to running
-``solve`` once per line.
+``solve`` once per line.  ``--timeout-s`` gives every request a
+deadline and ``--max-retries`` bounds crash recovery; on partial
+failure the completed requests print normally, each failed one prints a
+JSONL error record (``index`` / ``error`` / ``retries`` / ``message``),
+and the exit code is 2.
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ import sys
 
 from repro.algorithms.registry import available_solvers
 from repro.core.api import solve_k_range
-from repro.exceptions import ReproError
+from repro.exceptions import BatchExecutionError, ReproError
 from repro.graph import generators
 from repro.graph.io import load_json, save_json
 from repro.graph.stats import summarize
@@ -128,6 +132,22 @@ def build_parser() -> argparse.ArgumentParser:
         '(e.g. {"k": 8, "solver": "cbas-nd", "budget": 300, "seed": 7})',
     )
     _add_runtime_arguments(many, default_mode="auto")
+    many.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (a request's own "
+        "deadline_s field wins); an expired request fails with a "
+        "JSONL error record while the rest of the batch completes",
+    )
+    many.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="how many times a dispatch whose worker crashed is "
+        "retried before degrading to in-parent execution "
+        "(default: the pools' built-in budget)",
+    )
 
     return parser
 
@@ -215,15 +235,58 @@ def main(argv=None) -> int:
         if not requests:
             print("no requests")
             return 0
-        with ExecutionContext(mode=args.mode, workers=args.workers) as context:
-            results = context.solve_many(requests)
+        if args.timeout_s is not None:
+            if args.timeout_s <= 0:
+                raise SystemExit(
+                    f"--timeout-s must be positive, got {args.timeout_s}"
+                )
+            for request in requests:
+                if request.deadline_s is None:
+                    request.deadline_s = args.timeout_s
+        if args.max_retries is not None and args.max_retries < 0:
+            raise SystemExit(
+                f"--max-retries must be >= 0, got {args.max_retries}"
+            )
+        failures: dict = {}
+        with ExecutionContext(
+            mode=args.mode,
+            workers=args.workers,
+            max_retries=args.max_retries,
+        ) as context:
+            try:
+                results = context.solve_many(requests)
+            except BatchExecutionError as error:
+                # Partial failure is not a crash: the batch drained, the
+                # completed requests print normally, and each failed one
+                # becomes a machine-readable JSONL error record.
+                results = error.results
+                failures = error.failures
         for index, (request, result) in enumerate(zip(requests, results)):
+            if result is None:
+                failure = failures[index]
+                message = str(failure).strip()
+                print(
+                    json.dumps(
+                        {
+                            "index": index,
+                            "error": getattr(
+                                failure, "kind", "solver_error"
+                            ),
+                            "retries": getattr(failure, "retries", 0),
+                            "message": (
+                                message.splitlines()[-1] if message else ""
+                            ),
+                        },
+                        sort_keys=True,
+                    )
+                )
+                continue
             members = ", ".join(map(str, result.solution.sorted_members()))
             print(
                 f"#{index} {request.solver} k={request.problem.k}: "
                 f"W={result.willingness:.4f} members=[{members}]"
             )
-        return 0
+        return 2 if failures else 0
 
     return 1  # pragma: no cover - argparse enforces the choices
 

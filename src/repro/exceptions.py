@@ -62,25 +62,109 @@ class SolverError(ReproError):
     """A solver failed to produce a feasible solution."""
 
 
+class WorkerCrashError(ReproError):
+    """A pool worker process died (or its pipe broke) mid-RPC.
+
+    This is the supervision layer's internal signal: the resident pools
+    catch it, respawn the worker, invalidate its residency ledger, and
+    re-dispatch the affected work.  It surfaces to callers only as a
+    :class:`RequestFailure` with ``kind="worker_crash"`` once the retry
+    budget is exhausted.
+    """
+
+    def __init__(self, worker: int, message: "str | None" = None) -> None:
+        super().__init__(
+            message or f"pool worker {worker} died (pipe closed mid-RPC)"
+        )
+        self.worker = worker
+
+
+class DeadlineExpiredError(SolverError):
+    """An RPC wait outlived its request's deadline.
+
+    Raised by the pools' timeout-aware waits; the offending dispatch is
+    cancelled (the worker is killed and respawned) and the expired
+    request fails into :class:`BatchExecutionError` with a
+    ``kind="deadline"`` :class:`RequestFailure` — the rest of the batch
+    is unaffected.
+    """
+
+    def __init__(self, worker: "int | None" = None) -> None:
+        where = f" (worker {worker})" if worker is not None else ""
+        super().__init__(f"request deadline expired mid-dispatch{where}")
+        self.worker = worker
+
+
+class RequestFailure(str):
+    """One failed request of a batch, with structured failure fields.
+
+    A ``str`` subclass so historical callers that treated
+    ``BatchExecutionError.failures`` values as plain traceback strings
+    (``"..." in failure``, ``failure.splitlines()``) keep working, while
+    new callers can distinguish retryable from fatal failures:
+
+    * ``kind`` — ``"worker_crash"`` (pool worker died and the retry
+      budget ran out; retryable — the request itself may be fine),
+      ``"deadline"`` (the request's ``deadline_s`` expired; retryable
+      with a larger budget), or ``"solver_error"`` (the solve itself
+      raised — e.g. infeasible; fatal, a retry would fail identically);
+    * ``retries`` — how many re-dispatches were attempted before giving
+      up;
+    * ``index`` — the request's position in the batch (``None`` when
+      unknown).
+    """
+
+    KINDS = ("worker_crash", "deadline", "solver_error")
+
+    def __new__(
+        cls,
+        message: str,
+        kind: str = "solver_error",
+        retries: int = 0,
+        index: "int | None" = None,
+    ) -> "RequestFailure":
+        if kind not in cls.KINDS:
+            raise ValueError(
+                f"kind must be one of {cls.KINDS}, got {kind!r}"
+            )
+        self = super().__new__(cls, message)
+        self.kind = kind
+        self.retries = retries
+        self.index = index
+        return self
+
+
 class BatchExecutionError(SolverError):
     """One or more requests of a ``solve_many`` batch failed.
 
     The batch drains fully before this is raised — completed requests
     are never discarded by a neighbour's failure.  ``results`` holds the
     batch outcome in request order (``None`` at each failed slot) and
-    ``failures`` maps the failed request indices to their worker-side
-    tracebacks; every completed result also records the failed indices
-    in ``stats.extra["failed_requests"]``.
+    ``failures`` maps the failed request indices to
+    :class:`RequestFailure` records (``str`` subclasses carrying the
+    worker-side traceback plus ``kind`` / ``retries`` / ``index``, so
+    callers can tell a crashed worker from an infeasible request); every
+    completed result also records the failed indices in
+    ``stats.extra["failed_requests"]``.
     """
 
     def __init__(self, failures: dict, results: list) -> None:
-        self.failures = dict(failures)
+        self.failures = {
+            index: (
+                failure
+                if isinstance(failure, RequestFailure)
+                else RequestFailure(failure, index=index)
+            )
+            for index, failure in dict(failures).items()
+        }
         self.results = list(results)
         indices = sorted(self.failures)
-        first = self.failures[indices[0]].strip().splitlines()[-1]
+        head = self.failures[indices[0]]
+        first = head.strip().splitlines()[-1] if head.strip() else head.kind
         super().__init__(
             f"{len(indices)} of {len(results)} batched requests failed "
-            f"(indices {indices}); first failure: {first}"
+            f"(indices {indices}); first failure "
+            f"[{head.kind}]: {first}"
         )
 
 

@@ -36,8 +36,55 @@ everything else (engines, warm starts); residency requires
 ``engine="compiled"`` because workers hold only the detached flat
 arrays — reference-engine solvers fall back to shipping the dict graph
 per task.
+
+Fault tolerance
+---------------
+Both pools are *self-healing* — built for the long-lived serving
+sessions the runtime layer targets, where a worker OOM or segfault must
+not take down the process:
+
+* **Supervision** — every RPC wait polls worker liveness
+  (:class:`~repro.parallel.residency.WorkerPoolBase`), so a dead worker
+  surfaces as a typed crash instead of a hung ``recv``.  The worker is
+  respawned and its residency ledger reset (the fresh process holds
+  nothing; the payload-token generation tags make re-shipping exactly
+  as cheap as it needs to be).
+* **Deterministic retry** — the dead worker's chunk (solve level) or
+  stage shard (stage level) is re-dispatched, re-shipping whatever
+  graphs it references, up to ``max_retries`` times with bounded
+  backoff.  Every dispatch carries its explicit seeds, so a retried
+  dispatch is **bit-identical** to the original: crash recovery is
+  provably invisible in results (the chaos suite,
+  ``tests/test_faults.py``, asserts equality against fault-free runs at
+  every dispatch position).
+* **Deadlines** — a :class:`~repro.runtime.requests.SolveRequest` with
+  ``deadline_s`` bounds its wall-clock: an RPC wait that outlives the
+  deadline cancels the dispatch (the worker is killed and respawned)
+  and the request fails cleanly into
+  :class:`~repro.exceptions.BatchExecutionError` with a
+  ``kind="deadline"`` :class:`~repro.exceptions.RequestFailure` — the
+  rest of the batch is unaffected, and a reply that already arrived is
+  always delivered.
+* **Graceful degradation** — once a retry budget is exhausted the pool
+  goes ``healthy = False``: ``solve_many`` re-runs the affected
+  requests serially in-parent (still bit-identical — the seeds are in
+  the requests), the stage executor computes exhausted shards itself,
+  and the router sends subsequent work serial until the pools are
+  discarded.
+* **Accounting** — recovery events surface uniformly in
+  ``SolveStats.extra`` via :func:`~repro.parallel.residency.
+  record_recovery`: ``worker_restarts``, ``chunk_retries``,
+  ``degraded_to_serial``, ``deadline_missed`` — written only when
+  non-zero, so fault-free stats are byte-identical to pre-supervision
+  builds.
+* **Fault injection** — :class:`~repro.parallel.faults.FaultPlan`
+  (test-only, via the pools' ``fault_plan`` attribute) deterministically
+  kills a worker before its Nth RPC, drops a reply, or delays one past
+  a deadline, so recovery behaviour is asserted exactly rather than
+  observed anecdotally.
 """
 
+from repro.parallel.faults import NEXT_RPC, FaultPlan
 from repro.parallel.pool import (
     ParallelSolver,
     ResidentSolvePool,
@@ -46,15 +93,20 @@ from repro.parallel.pool import (
     worker_payload_bytes,
 )
 from repro.parallel.residency import (
+    DEFAULT_MAX_RETRIES,
     DEFAULT_RESIDENT_GRAPHS,
     ResidencyLedger,
     ResidentGraphStore,
+    record_recovery,
     record_shipping,
 )
 from repro.parallel.stage_pool import ShardedStageExecutor, StagePool
 
 __all__ = [
+    "DEFAULT_MAX_RETRIES",
     "DEFAULT_RESIDENT_GRAPHS",
+    "FaultPlan",
+    "NEXT_RPC",
     "ParallelSolver",
     "ResidencyLedger",
     "ResidentGraphStore",
@@ -62,6 +114,7 @@ __all__ = [
     "ShardedStageExecutor",
     "StagePool",
     "parallel_solve",
+    "record_recovery",
     "record_shipping",
     "split_budget",
     "worker_payload_bytes",

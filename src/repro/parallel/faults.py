@@ -1,0 +1,159 @@
+"""Deterministic fault injection for the resident worker pools.
+
+The self-healing machinery in :mod:`repro.parallel.residency` (liveness
+detection, respawn, ledger invalidation, chunk retry, deadline
+cancellation) is only trustworthy if its exact behaviour can be
+asserted — "kill a worker and see if it recovers" is not a test unless
+*which* worker dies, *when*, is reproducible.  This module provides that
+reproducibility: a :class:`FaultPlan` names faults by ``(worker,
+rpc)`` coordinates, where ``rpc`` counts the parent's sends to that
+worker slot (1-based, monotone across respawns), and both pools consult
+the plan at their single send/receive choke points
+(:meth:`~repro.parallel.residency.WorkerPoolBase._send_bytes` /
+:meth:`~repro.parallel.residency.WorkerPoolBase._recv`).
+
+Three fault kinds, mirroring the failure modes a long-lived serving
+process actually sees:
+
+* **kill** — the worker process is SIGKILLed immediately before the
+  parent sends it the named RPC: the send lands in a dead pipe (or a
+  soon-to-close one) and the crash surfaces at the next liveness-aware
+  wait, exactly like an OOM-killed or segfaulted worker;
+* **drop** — the worker's reply to the named RPC is received and
+  discarded by the parent, so the wait starves: with a deadline the
+  dispatch is cancelled and fails as ``kind="deadline"``, without one it
+  models a wedged reply stream;
+* **delay** — the reply is held for the given number of seconds before
+  delivery, so a generous hold with a short ``deadline_s`` exercises the
+  deadline path without any real slowness.
+
+Because every chunk and shard carries explicit seeds, a dispatch retried
+after an injected kill is bit-identical to the original — the chaos
+suite (``tests/test_faults.py``) asserts equality against fault-free
+runs at every dispatch position.
+
+The hook is test-only by design: pools expose a ``fault_plan``
+attribute, ``None`` by default, with zero cost on the hot path beyond
+one attribute check.  Production code must never set it.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["FaultPlan", "NEXT_RPC"]
+
+#: Sentinel RPC position: the fault fires on the *next* send to the
+#: worker, whatever its absolute sequence number — convenient for
+#: injecting into an already-warm pool (the bench does this).
+NEXT_RPC = "next"
+
+
+class FaultPlan:
+    """A deterministic schedule of injected pool faults.
+
+    Parameters
+    ----------
+    kills:
+        Iterable of ``(worker, rpc)``: SIGKILL the worker's process just
+        before the parent sends it its ``rpc``-th message (1-based; the
+        count is monotone per worker slot, surviving respawns).  ``rpc``
+        may be :data:`NEXT_RPC` to fire on the next send regardless of
+        position.
+    drops:
+        Iterable of ``(worker, rpc)``: discard the worker's reply to
+        that message after it arrives (the wait then starves until its
+        deadline).
+    delays:
+        Mapping ``(worker, rpc) -> seconds``: hold the reply for that
+        long before delivering it (a hold past the request's deadline
+        cancels the dispatch instead).
+
+    Each fault fires at most once; :attr:`log` records every firing as
+    ``(kind, worker, rpc)`` so tests can assert a fault actually
+    triggered (a kill planned past the last RPC never fires).
+    """
+
+    def __init__(
+        self,
+        kills: "tuple | list" = (),
+        drops: "tuple | list" = (),
+        delays: "dict | None" = None,
+    ) -> None:
+        self._kills = list(kills)
+        self._drops = list(drops)
+        self._delays = dict(delays or {})
+        #: Faults that actually fired, in firing order.
+        self.log: "list[tuple]" = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _matches(spec: tuple, worker: int, seq: int) -> bool:
+        spec_worker, spec_rpc = spec
+        return spec_worker == worker and (
+            spec_rpc == NEXT_RPC or spec_rpc == seq
+        )
+
+    def kill_before_send(self, worker: int, seq: int) -> bool:
+        """Should the worker be killed before its ``seq``-th send?"""
+        for spec in self._kills:
+            if self._matches(spec, worker, seq):
+                self._kills.remove(spec)
+                self.log.append(("kill", worker, seq))
+                return True
+        return False
+
+    def reply_disposition(self, worker: int, seq: int):
+        """How to treat the reply to the worker's ``seq``-th RPC.
+
+        Returns ``None`` (deliver normally), ``"drop"`` (discard), or a
+        float (hold for that many seconds before delivering).
+        """
+        for spec in self._drops:
+            if self._matches(spec, worker, seq):
+                self._drops.remove(spec)
+                self.log.append(("drop", worker, seq))
+                return "drop"
+        for spec, hold in list(self._delays.items()):
+            if self._matches(spec, worker, seq):
+                del self._delays[spec]
+                self.log.append(("delay", worker, seq))
+                return float(hold)
+        return None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        workers: int,
+        rpcs: int,
+        kills: int = 1,
+        drops: int = 0,
+    ) -> "FaultPlan":
+        """A reproducible random plan over ``workers × rpcs`` positions.
+
+        Draws ``kills + drops`` distinct ``(worker, rpc)`` positions
+        from a :class:`random.Random` seeded with ``seed`` — the same
+        seed always yields the same plan, so a chaos run that exposed a
+        recovery bug can be replayed exactly.
+        """
+        if kills + drops > workers * rpcs:
+            raise ValueError(
+                f"cannot place {kills + drops} faults over "
+                f"{workers * rpcs} (worker, rpc) positions"
+            )
+        rng = random.Random(seed)
+        positions = [
+            (worker, rpc)
+            for worker in range(workers)
+            for rpc in range(1, rpcs + 1)
+        ]
+        chosen = rng.sample(positions, kills + drops)
+        return cls(kills=chosen[:kills], drops=chosen[kills:])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(kills={self._kills!r}, drops={self._drops!r}, "
+            f"delays={self._delays!r}, fired={self.log!r})"
+        )

@@ -42,17 +42,25 @@ from __future__ import annotations
 
 import pickle
 import random
+import time
 import traceback
 from typing import Optional
 
 from repro.algorithms.base import RngLike, SolveResult, Solver, SolveStats, coerce_rng
 from repro.algorithms.cbas_nd import CBASND
 from repro.core.problem import WASOProblem, problem_from_payload_spec
+from repro.exceptions import (
+    DeadlineExpiredError,
+    RequestFailure,
+    WorkerCrashError,
+)
 from repro.parallel.residency import (
+    DEFAULT_MAX_RETRIES,
     DEFAULT_RESIDENT_GRAPHS,
     ResidencyLedger,
     ResidentGraphStore,
     WorkerPoolBase,
+    record_recovery,
     record_shipping,
 )
 
@@ -211,29 +219,62 @@ class ResidentSolvePool(WorkerPoolBase):
     chunk (prefixing any graph installs that worker still needs), and
     :meth:`collect` drains every outstanding reply — several chunks per
     worker are fine; outcomes come back in shipping order.  Per-request
-    solve failures travel inside ``"ok"`` replies, so a protocol-level
-    failure (a dead worker, a broken pipe) is terminal: the pool closes
-    itself and raises, rather than serving desynchronized residency
-    state to later batches.
+    solve failures travel inside ``"ok"`` replies.
+
+    The pool is *self-healing*: a worker that dies mid-dispatch is
+    respawned (its residency ledger reset — the fresh worker holds
+    nothing), and the chunks it owed are re-dispatched, re-shipping
+    whatever graphs they reference, up to ``max_retries`` times with
+    bounded backoff.  Every entry carries its explicit seed, so a retry
+    is bit-identical to the original dispatch — crash recovery is
+    invisible in results.  An entry whose ``"deadline"`` (an absolute
+    ``time.monotonic()`` instant) passes while its dispatch is pending
+    is cancelled: the worker is killed and respawned, the expired entry
+    fails as a ``kind="deadline"`` :class:`~repro.exceptions.
+    RequestFailure`, and its live chunk-mates are retried.  Exhausted
+    retries fail the affected entries as ``kind="worker_crash"`` and
+    mark the pool ``healthy = False`` so callers can degrade to serial
+    execution.  Recovery accounting (``batch_restarts`` /
+    ``batch_retries`` / ``batch_deadline_missed``) resets with each
+    :meth:`begin_batch`.  Only *protocol*-level errors (a live worker
+    replying with a message-level error, i.e. a bug rather than a
+    crash) remain terminal: the pool closes itself and raises.
     """
 
     def __init__(
         self,
         workers: int,
         resident_graphs: int = DEFAULT_RESIDENT_GRAPHS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
     ) -> None:
         super().__init__(workers, _solve_worker_main)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
         self._ledgers = [
             ResidencyLedger(resident_graphs) for _ in range(workers)
         ]
-        #: Expected reply kinds per worker ("install" / "chunk"), in
-        #: send order — replies arrive in the same order per pipe, so
-        #: this is all :meth:`collect` needs to parse the stream.
-        self._pending_tags: "list[list[str]]" = [[] for _ in range(workers)]
-        #: Worker index of every shipped chunk, in shipping order.
+        #: In-flight dispatch records per worker, in send order —
+        #: replies arrive in the same order per pipe, so the head record
+        #: is what the next reply answers.  Install records are
+        #: ``{"kind": "install"}``; chunk records carry everything a
+        #: crash recovery needs to re-dispatch (entries with their
+        #: seeds, the graphs they reference, the retry count, the
+        #: earliest entry deadline).
+        self._inflight: "list[list[dict]]" = [[] for _ in range(workers)]
+        #: Chunk ids in shipping order (collect returns outcomes in it).
         self._chunk_order: "list[int]" = []
+        self._next_chunk_id = 0
         self._batch_bytes = 0
         self._batch_installs = 0
+        #: Recovery events since the last :meth:`begin_batch`.
+        self.batch_restarts = 0
+        self.batch_retries = 0
+        self.batch_deadline_missed = 0
+        #: Sticky health flag: cleared when a dispatch exhausts its
+        #: retry budget.  Callers should route around an unhealthy pool
+        #: (``ExecutionContext`` degrades the remainder to serial).
+        self.healthy = True
 
     # ------------------------------------------------------------------
     @property
@@ -257,40 +298,35 @@ class ResidentSolvePool(WorkerPoolBase):
 
     # ------------------------------------------------------------------
     def begin_batch(self) -> None:
-        """Reset the per-batch shipping accounting."""
-        if self._chunk_order or any(self._pending_tags):
+        """Reset the per-batch shipping and recovery accounting."""
+        if self._chunk_order or any(self._inflight):
             raise RuntimeError(
                 "cannot begin a batch while replies are outstanding; "
                 "collect() the previous dispatch first"
             )
         self._batch_bytes = 0
         self._batch_installs = 0
+        self.batch_restarts = 0
+        self.batch_retries = 0
+        self.batch_deadline_missed = 0
 
-    def _send(self, worker: int, message, tag: str) -> None:
+    def _on_respawn(self, worker: int) -> None:
+        # The fresh worker's ResidentGraphStore is empty: forget every
+        # mirrored token so the next plan() re-ships what retries need.
+        self._ledgers[worker].reset()
+
+    def _send(self, worker: int, message, record: dict) -> None:
         data = pickle.dumps(message)
-        try:
-            self._conns[worker].send_bytes(data)
-        except (BrokenPipeError, OSError):
-            self._fail(
-                f"solve-pool worker {worker} is gone (send failed); "
-                "the pool has been closed"
-            )
+        self._send_bytes(worker, data)
         self._batch_bytes += len(data)
-        self._pending_tags[worker].append(tag)
+        self._inflight[worker].append(record)
 
-    def ship(self, worker: int, entries: "list[dict]", graphs: dict) -> None:
-        """Send one chunk of whole-solve entries to ``worker``.
-
-        ``entries`` is a list of entry dicts (``index`` / ``problem`` /
-        ``solver``+``kwargs`` or ``solver_obj`` / ``seed``); an entry
-        whose ``problem`` is a payload-spec dict references
-        ``graphs[token]`` — the detached compiled arrays — which are
-        installed first *only* where the worker's ledger says they are
-        missing.  Replies are deferred: call :meth:`collect` after every
-        chunk of the batch has been shipped.
-        """
-        if self._closed:
-            raise RuntimeError("resident solve pool is closed")
+    def _plan_installs(
+        self, worker: int, entries: "list[dict]", graphs: dict
+    ) -> None:
+        """Ship whatever resident graphs ``entries`` need that
+        ``worker``'s ledger says it lacks (also the re-ship path after a
+        respawn, where the reset ledger answers "ship" for everything)."""
         ledger = self._ledgers[worker]
         # Every token this chunk references is pinned against eviction:
         # the installs all travel ahead of the chunk, so a later install
@@ -314,61 +350,165 @@ class ResidentSolvePool(WorkerPoolBase):
                 self._send(
                     worker,
                     ("graph", token, graphs[token], evictions),
-                    tag="install",
+                    {"kind": "install"},
                 )
                 self._batch_installs += 1
-        self._send(worker, ("chunk", entries), tag="chunk")
-        self._chunk_order.append(worker)
+
+    @staticmethod
+    def _entries_deadline(entries: "list[dict]") -> "Optional[float]":
+        deadlines = [
+            entry["deadline"]
+            for entry in entries
+            if entry.get("deadline") is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def ship(self, worker: int, entries: "list[dict]", graphs: dict) -> None:
+        """Send one chunk of whole-solve entries to ``worker``.
+
+        ``entries`` is a list of entry dicts (``index`` / ``problem`` /
+        ``solver``+``kwargs`` or ``solver_obj`` / ``seed``, plus an
+        optional ``deadline`` — an absolute ``time.monotonic()``
+        instant); an entry whose ``problem`` is a payload-spec dict
+        references ``graphs[token]`` — the detached compiled arrays —
+        which are installed first *only* where the worker's ledger says
+        they are missing.  Replies are deferred: call :meth:`collect`
+        after every chunk of the batch has been shipped.
+        """
+        if self._closed:
+            raise RuntimeError("resident solve pool is closed")
+        entries = list(entries)
+        record = {
+            "kind": "chunk",
+            "id": self._next_chunk_id,
+            "entries": entries,
+            "graphs": graphs,
+            "retries": 0,
+            "deadline": self._entries_deadline(entries),
+        }
+        self._next_chunk_id += 1
+        self._plan_installs(worker, entries, graphs)
+        self._send(worker, ("chunk", entries), record)
+        self._chunk_order.append(record["id"])
 
     def collect(self) -> "list[list]":
         """Drain every outstanding reply; one outcome list per chunk,
         in shipping order (several chunks per worker parse correctly —
         each worker's reply stream is matched against the send-order
-        tags recorded by :meth:`ship`).
+        records kept by :meth:`ship`).
 
         Per-request solve failures come back inside the outcomes as
-        ``("error", index, traceback)`` for the caller to surface after
-        the batch drains.  Protocol-level failures — a worker that died
-        or replied with a message-level error — close the pool and
-        raise: worker residency state is unknowable afterwards.
+        ``("error", index, failure)``, where ``failure`` is the
+        worker-side traceback string or — for a crash that exhausted its
+        retries or an expired deadline — a structured
+        :class:`~repro.exceptions.RequestFailure`.  A dead worker is
+        *not* terminal: it is respawned, its ledger reset, and its
+        chunks re-dispatched (see the class docstring).  Only a
+        protocol-level error reply closes the pool and raises.
         """
-        chunk_replies: "list[list]" = [[] for _ in range(self.workers)]
-        errors = []
-        for worker, tags in enumerate(self._pending_tags):
-            dead = False
-            for tag in tags:
-                if not dead:
-                    try:
-                        kind, payload = self._conns[worker].recv()
-                    except (EOFError, OSError):
-                        errors.append(
-                            f"solve-pool worker {worker} died mid-batch "
-                            "(pipe closed)"
-                        )
-                        dead = True
-                if dead or kind == "error":
-                    if not dead:
-                        errors.append(payload)
-                    if tag == "chunk":
-                        chunk_replies[worker].append(None)
-                elif tag == "chunk":
-                    chunk_replies[worker].append(payload)
-        for tags in self._pending_tags:
-            tags.clear()
-        cursors = [0] * self.workers
-        outcomes = []
-        for worker in self._chunk_order:
-            reply = chunk_replies[worker][cursors[worker]]
-            cursors[worker] += 1
-            if reply is not None:
-                outcomes.append(reply)
-        self._chunk_order = []
-        if errors:
-            self._fail(
-                "solve-pool worker failed; the pool has been closed:\n"
-                + "\n".join(errors)
-            )
-        return outcomes
+        results: "dict[int, list]" = {}
+        for worker in range(self.workers):
+            self._drain_worker(worker, results)
+        order, self._chunk_order = self._chunk_order, []
+        return [results.get(chunk_id, []) for chunk_id in order]
+
+    def _worker_deadline(self, worker: int) -> "Optional[float]":
+        deadlines = [
+            record["deadline"]
+            for record in self._inflight[worker]
+            if record["kind"] == "chunk" and record["deadline"] is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _drain_worker(self, worker: int, results: "dict[int, list]") -> None:
+        while self._inflight[worker]:
+            record = self._inflight[worker][0]
+            try:
+                reply = self._recv(
+                    worker, deadline=self._worker_deadline(worker)
+                )
+            except WorkerCrashError:
+                self._recover(worker, results, expired=False)
+                continue
+            except DeadlineExpiredError:
+                self._recover(worker, results, expired=True)
+                continue
+            self._inflight[worker].pop(0)
+            kind, payload = reply
+            if kind == "error":
+                self._fail(
+                    f"solve-pool worker {worker} replied with a protocol "
+                    f"error; the pool has been closed:\n{payload}"
+                )
+            if record["kind"] == "chunk":
+                results.setdefault(record["id"], []).extend(payload)
+
+    def _recover(
+        self, worker: int, results: "dict[int, list]", expired: bool
+    ) -> None:
+        """Respawn ``worker`` and re-dispatch (or fail) what it owed.
+
+        ``expired`` distinguishes a deadline cancellation (the worker
+        may still be alive, wedged past a request's deadline — respawn
+        kills it) from a genuine crash.  Either way the fresh worker's
+        ledger is reset via :meth:`_on_respawn`, expired entries fail as
+        ``kind="deadline"``, and live entries are retried bit-identically
+        (their seeds are in the entries) until ``max_retries`` runs out,
+        at which point they fail as ``kind="worker_crash"`` and the pool
+        goes unhealthy.
+        """
+        records = list(self._inflight[worker])
+        self._inflight[worker].clear()
+        self.respawn(worker)
+        self.batch_restarts += 1
+        now = time.monotonic()
+        for record in records:
+            if record["kind"] != "chunk":
+                continue  # installs are re-planned against the reset ledger
+            live = []
+            for entry in record["entries"]:
+                deadline = entry.get("deadline")
+                if expired and deadline is not None and now >= deadline:
+                    self.batch_deadline_missed += 1
+                    failure = RequestFailure(
+                        f"request deadline expired mid-dispatch "
+                        f"(worker {worker}); the dispatch was cancelled",
+                        kind="deadline",
+                        retries=record["retries"],
+                        index=entry["index"],
+                    )
+                    results.setdefault(record["id"], []).append(
+                        ("error", entry["index"], failure)
+                    )
+                else:
+                    live.append(entry)
+            if not live:
+                continue
+            if record["retries"] >= self.max_retries:
+                self.healthy = False
+                for entry in live:
+                    failure = RequestFailure(
+                        f"pool worker died mid-dispatch and the retry "
+                        f"budget is exhausted "
+                        f"({record['retries']} of {self.max_retries} "
+                        f"retries used)",
+                        kind="worker_crash",
+                        retries=record["retries"],
+                        index=entry["index"],
+                    )
+                    results.setdefault(record["id"], []).append(
+                        ("error", entry["index"], failure)
+                    )
+                continue
+            record["entries"] = live
+            record["deadline"] = self._entries_deadline(live)
+            record["retries"] += 1
+            self.batch_retries += 1
+            # Bounded backoff: enough to let a transient cause (memory
+            # pressure, a dying sibling) clear, never enough to wedge.
+            time.sleep(min(0.01 * (2 ** (record["retries"] - 1)), 0.1))
+            self._plan_installs(worker, live, record["graphs"])
+            self._send(worker, ("chunk", live), record)
 
 
 # ----------------------------------------------------------------------
@@ -461,6 +601,8 @@ def parallel_solve(
         replies = pool.collect()
         shipped_bytes = pool.batch_payload_bytes
         installs = pool.batch_installs
+        restarts = pool.batch_restarts
+        retries = pool.batch_retries
     finally:
         if owned:
             pool.close()
@@ -485,6 +627,7 @@ def parallel_solve(
         payload_bytes=shipped_bytes,
         installs=installs,
     )
+    record_recovery(result.stats.extra, restarts=restarts, retries=retries)
     return result
 
 

@@ -59,6 +59,7 @@ from __future__ import annotations
 import itertools
 import pickle
 import random
+import time
 import traceback
 from typing import Optional
 
@@ -76,12 +77,15 @@ from repro.algorithms.stage_exec import (
 from repro.ce.probability import SelectionProbabilities
 from repro.core.problem import problem_from_payload_spec
 from repro.core.willingness import FastWillingnessEvaluator
+from repro.exceptions import WorkerCrashError
 from repro.parallel.pool import split_budget
 from repro.parallel.residency import (
+    DEFAULT_MAX_RETRIES,
     DEFAULT_RESIDENT_GRAPHS,
     ResidencyLedger,
     ResidentGraphStore,
     WorkerPoolBase,
+    record_recovery,
     record_shipping,
 )
 
@@ -223,67 +227,179 @@ class StagePool(WorkerPoolBase):
     ``resident_graphs`` entries with LRU eviction, per the shared
     protocol in :mod:`repro.parallel.residency` — so repeated solves and
     online re-planning rounds on one graph pay the O(V+E) payload
-    shipping exactly once.  Installs broadcast to every worker, so one
-    ledger mirrors them all.
+    shipping exactly once.  Installs normally broadcast to every worker,
+    but each worker keeps its own ledger mirror: after a respawn the
+    fresh worker's (reset) ledger diverges from its siblings', and
+    :meth:`ensure_resident` re-ships only where the arrays are missing.
+
+    The pool is *self-healing*: a worker that dies mid-stage is
+    respawned and brought back to the current solve (graph re-install,
+    solve spec re-send), and its shard is re-dispatched — with the
+    caller's ``rebuild`` hook refreshing the CE-vector sync patches to
+    the full history the rebuilt mirrors need — up to ``max_retries``
+    times with bounded backoff.  Shard entries carry explicit seeds, so
+    a retried shard draws bit-identically.  When retries run out the
+    shard runs through the caller's ``fallback`` hook (the executor
+    computes it in-parent), the pool goes ``healthy = False``, and the
+    worker is healed lazily before the next stage.
     """
 
     def __init__(
         self,
         workers: int,
         resident_graphs: int = DEFAULT_RESIDENT_GRAPHS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
     ) -> None:
         super().__init__(workers, _stage_worker_main)
-        self._ledger = ResidencyLedger(resident_graphs)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
+        self._resident_graphs = resident_graphs
+        self._ledgers = [
+            ResidencyLedger(resident_graphs) for _ in range(workers)
+        ]
+        #: Install *events* (an :meth:`ensure_resident` call that shipped
+        #: to at least one worker).  Fault-free sessions broadcast every
+        #: install, so this matches the historical one-ledger count.
+        self._install_events = 0
+        self._mru_token: "Optional[str]" = None
+        #: What crash recovery needs to rebuild a worker: the problem
+        #: whose graph the current solve runs on, and the solve spec.
+        self._current_problem = None
+        self._current_spec: "Optional[dict]" = None
+        #: Workers awaiting lazy recovery (post-fallback) before the
+        #: next stage can be dispatched to them.
+        self._needs_recovery: "set[int]" = set()
         #: Wire bytes of the most recent :meth:`ensure_resident` install
         #: (0 when the graph was already resident) — the stage executor
         #: records it through the shared accounting.
         self.last_install_bytes = 0
+        #: Lifetime recovery accounting (executors snapshot deltas).
+        self.shard_retries = 0
+        self.fallback_shards = 0
+        #: Sticky health flag: cleared when a shard exhausts its retry
+        #: budget and has to run through the fallback.
+        self.healthy = True
 
     # ------------------------------------------------------------------
     @property
     def installs(self) -> int:
         """Number of graph payload installs performed (tests / stats)."""
-        return self._ledger.installs
+        return self._install_events
 
     @property
     def resident_token(self) -> Optional[str]:
         """Most recently used graph token resident in the workers."""
-        return self._ledger.most_recent()
+        return self._mru_token
 
     # ------------------------------------------------------------------
+    def _on_respawn(self, worker: int) -> None:
+        # The fresh worker's ResidentGraphStore is empty: forget its
+        # mirror so the recovery install ships what retries need.
+        self._ledgers[worker].reset()
+
     def _broadcast(self, message) -> int:
         # Serialize once and fan the bytes out: Connection.send would
         # re-pickle the message per worker, which matters for the
         # O(V+E) graph install (the workers' recv() unpickles either way).
         data = pickle.dumps(message)
-        for conn in self._conns:
-            try:
-                conn.send_bytes(data)
-            except (BrokenPipeError, OSError):
-                # A dead worker leaves the pool's residency state
-                # unknowable (some workers got the message, some did
-                # not): terminal.
-                self._fail(
-                    "stage-pool worker is gone (send failed); the pool "
-                    "has been closed"
-                )
-        return len(data) * len(self._conns)
+        for worker in range(self.workers):
+            self._send_bytes(worker, data)
+        return len(data) * self.workers
 
-    def _gather(self) -> list:
-        """One reply per worker; raises if any worker reported an error."""
-        try:
-            replies = [conn.recv() for conn in self._conns]
-        except (EOFError, OSError):
+    def _expect_ok(self, worker: int):
+        """One supervised reply from ``worker``; protocol errors are
+        terminal (the pool closes itself and raises)."""
+        kind, payload = self._recv(worker)
+        if kind == "error":
             self._fail(
-                "stage-pool worker died mid-request (pipe closed); the "
-                "pool has been closed"
+                f"stage-pool worker {worker} failed; the pool has been "
+                f"closed:\n{payload}"
             )
-        errors = [payload for kind, payload in replies if kind == "error"]
-        if errors:
-            raise RuntimeError(
-                "stage-pool worker failed:\n" + "\n".join(errors)
+        return payload
+
+    def _recover_worker(self, worker: int) -> None:
+        """Bring a freshly respawned worker back to the current solve.
+
+        Re-installs the current problem's graph (the reset ledger says
+        "ship") and re-sends the solve spec; the caller then re-sends
+        whatever dispatch the dead worker owed.  May raise
+        :class:`~repro.exceptions.WorkerCrashError` if the replacement
+        dies too — callers loop with a retry budget.
+        """
+        problem = self._current_problem
+        if problem is None:
+            return
+        token = problem.payload_token()
+        ship, evictions = self._ledgers[worker].plan(token)
+        if ship:
+            self._send_bytes(
+                worker,
+                pickle.dumps(
+                    ("graph", token, problem.compiled().detach(), evictions)
+                ),
             )
-        return [payload for _, payload in replies]
+            self._expect_ok(worker)
+        if self._current_spec is not None:
+            self._send_bytes(
+                worker, pickle.dumps(("solve", self._current_spec))
+            )
+            self._expect_ok(worker)
+
+    def _await_ack(self, worker: int) -> None:
+        """Await one setup ack (install / solve), healing crashes.
+
+        A worker that dies during setup is respawned and rebuilt via
+        :meth:`_recover_worker` — which itself re-sends the install and
+        spec, so once recovery succeeds there is no further ack to
+        await.
+        """
+        attempts = 0
+        recovering = False
+        while True:
+            try:
+                if recovering:
+                    self._recover_worker(worker)
+                    return
+                self._expect_ok(worker)
+                return
+            except WorkerCrashError:
+                if attempts >= self.max_retries:
+                    self._fail(
+                        f"stage-pool worker {worker} keeps dying during "
+                        "solve setup; the pool has been closed"
+                    )
+                attempts += 1
+                self.respawn(worker)
+                recovering = True
+                time.sleep(min(0.01 * (2 ** (attempts - 1)), 0.1))
+
+    def heal(self) -> "list[int]":
+        """Recover workers left torn down by a fallback, lazily.
+
+        Returns the healed worker indices so the executor can reset its
+        per-worker sync bookkeeping (the rebuilt CE mirrors start from
+        the initial vectors again).
+        """
+        healed = []
+        for worker in sorted(self._needs_recovery):
+            attempts = 0
+            while True:
+                try:
+                    self._recover_worker(worker)
+                    break
+                except WorkerCrashError:
+                    if attempts >= self.max_retries:
+                        self._fail(
+                            f"stage-pool worker {worker} keeps dying "
+                            "during recovery; the pool has been closed"
+                        )
+                    attempts += 1
+                    self.respawn(worker)
+                    time.sleep(min(0.01 * (2 ** (attempts - 1)), 0.1))
+            healed.append(worker)
+        self._needs_recovery.clear()
+        return healed
 
     # ------------------------------------------------------------------
     def ensure_resident(self, problem) -> bool:
@@ -293,39 +409,121 @@ class StagePool(WorkerPoolBase):
         when the workers already held this freeze (re-plans, repeated
         solves).  The payload is the dict-free detached index — the same
         slim arrays :func:`~repro.parallel.pool.parallel_solve` ships.
+        Per-worker ledgers mean a respawned worker gets the arrays again
+        while its warm siblings do not.
         """
         if self._closed:
             raise RuntimeError("stage pool is closed")
         token = problem.payload_token()
-        ship, evictions = self._ledger.plan(token)
-        if not ship:
-            self.last_install_bytes = 0
+        self._current_problem = problem
+        self._mru_token = token
+        detached = None
+        payloads: "dict[tuple, bytes]" = {}
+        pending = []
+        total_bytes = 0
+        for worker in range(self.workers):
+            ship, evictions = self._ledgers[worker].plan(token)
+            if not ship:
+                continue
+            if detached is None:
+                detached = problem.compiled().detach()
+            data = payloads.get(evictions)
+            if data is None:
+                data = pickle.dumps(("graph", token, detached, evictions))
+                payloads[evictions] = data
+            self._send_bytes(worker, data)
+            total_bytes += len(data)
+            pending.append(worker)
+        self.last_install_bytes = total_bytes
+        if not pending:
             return False
-        self.last_install_bytes = self._broadcast(
-            ("graph", token, problem.compiled().detach(), evictions)
-        )
-        self._gather()
+        self._install_events += 1
+        for worker in pending:
+            self._await_ack(worker)
         return True
 
     def start_solve(self, spec: dict) -> None:
         """Set up per-solve worker state (problem spec, CE mirrors)."""
+        self._current_spec = spec
         self._broadcast(("solve", spec))
-        self._gather()
+        for worker in range(self.workers):
+            self._await_ack(worker)
 
-    def run_stage(self, solve_id: int, worker_entries: "list[list[dict]]"):
+    def run_stage(
+        self,
+        solve_id: int,
+        worker_entries: "list[list[dict]]",
+        rebuild=None,
+        fallback=None,
+    ):
         """Execute one stage: ``worker_entries[w]`` goes to worker ``w``.
 
         Returns, per worker, the list of :class:`~repro.algorithms.
-        sampling.ShardSummary` results aligned with that worker's entries.
+        sampling.ShardSummary` results aligned with that worker's
+        entries.
+
+        ``rebuild(worker, entries)`` (optional) refreshes a shard for a
+        respawned worker before it is re-dispatched — the executor
+        replaces the incremental CE-vector sync patches with the full
+        history the rebuilt mirrors need.  ``fallback(worker, entries)``
+        (optional) computes the shard in the parent once the retry
+        budget is exhausted; without it an exhausted shard is terminal
+        (the pool closes itself and raises).
         """
-        if len(worker_entries) != len(self._conns):
+        if len(worker_entries) != self.workers:
             raise ValueError(
-                f"expected entries for {len(self._conns)} workers, "
+                f"expected entries for {self.workers} workers, "
                 f"got {len(worker_entries)}"
             )
-        for conn, entries in zip(self._conns, worker_entries):
-            conn.send(("stage", solve_id, entries))
-        return self._gather()
+        for worker, entries in enumerate(worker_entries):
+            self._send_bytes(
+                worker, pickle.dumps(("stage", solve_id, entries))
+            )
+        return [
+            self._await_stage(
+                worker, solve_id, worker_entries[worker], rebuild, fallback
+            )
+            for worker in range(self.workers)
+        ]
+
+    def _await_stage(
+        self, worker: int, solve_id: int, entries, rebuild, fallback
+    ):
+        """Await one worker's stage reply, healing crashes by retry."""
+        attempts = 0
+        owes_reply = True
+        while True:
+            try:
+                if not owes_reply:
+                    # Re-arm the respawned worker: rebuild its solve
+                    # state, refresh the shard, and re-dispatch it.
+                    self._recover_worker(worker)
+                    if rebuild is not None:
+                        entries = rebuild(worker, entries)
+                    self._send_bytes(
+                        worker, pickle.dumps(("stage", solve_id, entries))
+                    )
+                    owes_reply = True
+                return self._expect_ok(worker)
+            except WorkerCrashError:
+                self.respawn(worker)
+                owes_reply = False
+                if attempts >= self.max_retries:
+                    self.healthy = False
+                    if fallback is None:
+                        self._fail(
+                            f"stage-pool worker {worker} keeps dying "
+                            "mid-stage and no fallback was provided; the "
+                            "pool has been closed"
+                        )
+                    # The respawned worker holds neither graph nor solve
+                    # state; heal() rebuilds it before the next stage.
+                    self._needs_recovery.add(worker)
+                    self.fallback_shards += 1
+                    return fallback(worker, entries)
+                attempts += 1
+                self.shard_retries += 1
+                time.sleep(min(0.01 * (2 ** (attempts - 1)), 0.1))
 
 class ShardedStageExecutor(StageExecutor):
     """Stage strategy that shards every stage's draws across a pool.
@@ -363,6 +561,14 @@ class ShardedStageExecutor(StageExecutor):
         self._patch_log: "list[list] | None" = None
         self._patch_sizes: "list[list[int]] | None" = None
         self._synced: "list[list[int]] | None" = None
+        #: Kept for crash recovery: the compiled index and solve spec
+        #: let the executor rebuild shard state in-parent (fallback) and
+        #: re-sync rebuilt workers (rebuild).
+        self._compiled = None
+        self._spec: "Optional[dict]" = None
+        self._restarts0 = 0
+        self._retries0 = 0
+        self._fallback0 = 0
 
     # ------------------------------------------------------------------
     def begin_solve(self, ctx: StageContext) -> None:
@@ -386,6 +592,11 @@ class ShardedStageExecutor(StageExecutor):
             "vectors": solver._shard_initial_vectors(),
         }
         self.pool.start_solve(spec)
+        self._compiled = problem.compiled()
+        self._spec = spec
+        self._restarts0 = self.pool.worker_restarts
+        self._retries0 = self.pool.shard_retries
+        self._fallback0 = self.pool.fallback_shards
         start_count = len(ctx.starts)
         self._patch_log = [[] for _ in range(start_count)]
         # Pickled size of each logged patch, measured once at append time
@@ -421,6 +632,11 @@ class ShardedStageExecutor(StageExecutor):
         solver = ctx.solver
         node_stats = ctx.node_stats
         workers = self.pool.workers
+        # Workers torn down by an earlier fallback come back here, with
+        # freshly rebuilt CE mirrors: their sync cursors restart at zero
+        # so this stage's entries replay the full patch history.
+        for worker in self.pool.heal():
+            self._synced[worker] = [0] * len(self._patch_log)
         funded = [
             (index, share)
             for index, share in enumerate(shares)
@@ -460,11 +676,25 @@ class ShardedStageExecutor(StageExecutor):
                 (index, carry, shard_counts, seeds, keep_rank, positions)
             )
 
-        results = self.pool.run_stage(self._solve_id, worker_entries)
+        results = self.pool.run_stage(
+            self._solve_id,
+            worker_entries,
+            rebuild=self._rebuild,
+            fallback=self._fallback,
+        )
 
         stats = ctx.stats
         stats.extra["shard_rpcs"] += workers
         stats.extra["shard_patch_bytes"].append(stage_patch_bytes)
+        # Cumulative recovery accounting: keys appear only when the pool
+        # actually had to heal something, so fault-free stats are
+        # unchanged.
+        record_recovery(
+            stats.extra,
+            restarts=self.pool.worker_restarts - self._restarts0,
+            retries=self.pool.shard_retries - self._retries0,
+            degraded=self.pool.fallback_shards - self._fallback0,
+        )
         best_sample = ctx.best_sample
         stage_trace = [] if self.trace is not None else None
         for index, carry, shard_counts, seeds, keep_rank, positions in placements:
@@ -530,6 +760,51 @@ class ShardedStageExecutor(StageExecutor):
         ctx.best_sample = best_sample
         if stage_trace is not None:
             self.trace[-1]["stages"].append(stage_trace)
+
+    # ------------------------------------------------------------------
+    # Crash-recovery hooks (invoked by StagePool.run_stage)
+    # ------------------------------------------------------------------
+    def _full_sync_entries(self, entries: "list[dict]") -> "list[dict]":
+        """Copies of ``entries`` whose sync patches are the full history.
+
+        A rebuilt CE mirror (fresh worker, or the in-parent fallback
+        state) starts from the initial solve-spec vectors, so the
+        incremental ``pending[synced_from:]`` slice the entries shipped
+        with is not enough — it needs every patch since the solve began.
+        Seeds, counts, and failure carries are untouched: the redrawn
+        shard is bit-identical.
+        """
+        rebuilt = []
+        for entry in entries:
+            refreshed = dict(entry)
+            refreshed["sync"] = list(self._patch_log[entry["start"]])
+            rebuilt.append(refreshed)
+        return rebuilt
+
+    def _rebuild(self, worker: int, entries: "list[dict]") -> "list[dict]":
+        """Refresh a crashed worker's shard for re-dispatch."""
+        rebuilt = self._full_sync_entries(entries)
+        self._synced[worker] = [0] * len(self._patch_log)
+        for entry in rebuilt:
+            self._synced[worker][entry["start"]] = len(entry["sync"])
+        return rebuilt
+
+    def _fallback(self, worker: int, entries: "list[dict]"):
+        """Run a retry-exhausted shard in the parent process.
+
+        Graceful degradation: the shard is computed with the same
+        :class:`_WorkerSolveState` machinery the workers run, built from
+        a detached copy of the compiled index (the very shape a worker
+        holds resident — ``detach`` preserves the payload token) and the
+        stored solve spec, so the summaries are bit-identical to what
+        the worker would have returned.  The pool marks the worker for
+        lazy :meth:`StagePool.heal` before the next stage.
+        """
+        state = _WorkerSolveState(self._compiled.detach(), self._spec)
+        return [
+            state.run_entry(entry)
+            for entry in self._full_sync_entries(entries)
+        ]
 
     @staticmethod
     def _make_sample(

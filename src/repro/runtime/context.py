@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import inspect
 import os
+import time
 import traceback
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Optional
@@ -61,8 +62,8 @@ from repro.core.problem import WASOProblem
 from repro.core.solution import GroupSolution
 from repro.core.willingness import evaluator_for as _evaluator_for
 from repro.core.willingness import validate_engine
-from repro.exceptions import BatchExecutionError
-from repro.parallel.residency import record_shipping
+from repro.exceptions import BatchExecutionError, RequestFailure
+from repro.parallel.residency import record_recovery, record_shipping
 from repro.runtime.requests import SolveRequest
 from repro.runtime.router import choose_mode, validate_mode
 
@@ -109,6 +110,13 @@ class ExecutionContext:
         ones; shared pools are never closed by this context.
     cpu_count:
         Override for ``os.cpu_count()`` (tests).
+    max_retries:
+        Crash-retry budget for the owned pools (``None`` = the pools'
+        default, :data:`~repro.parallel.residency.DEFAULT_MAX_RETRIES`).
+        Once a pool exhausts it, the context goes *degraded*: the
+        affected requests re-run serially in-parent
+        (``degraded_to_serial`` in their stats) and the router sends
+        everything serial until :meth:`close` discards the pools.
     """
 
     def __init__(
@@ -120,12 +128,18 @@ class ExecutionContext:
         stage_pool: "Optional[StagePool]" = None,
         solve_pool: "Optional[ResidentSolvePool]" = None,
         cpu_count: Optional[int] = None,
+        max_retries: Optional[int] = None,
     ) -> None:
         self.engine = validate_engine(engine)
         self.mode = validate_mode(mode)
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if max_retries is not None and max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
         self.workers = workers
+        self.max_retries = max_retries
         self._cpu_count = cpu_count
         self._executor_override = executor
         self._serial_executor = SerialStageExecutor()
@@ -135,6 +149,7 @@ class ExecutionContext:
         self._owns_solve_pool = solve_pool is None
         self._warm_states: dict = {}
         self._mode_force: Optional[str] = None
+        self._degraded = False
         self._refs = 1
 
     # ------------------------------------------------------------------
@@ -164,7 +179,12 @@ class ExecutionContext:
         if self._stage_pool is None:
             from repro.parallel.stage_pool import StagePool
 
-            self._stage_pool = StagePool(max(1, self.effective_workers))
+            kwargs = {}
+            if self.max_retries is not None:
+                kwargs["max_retries"] = self.max_retries
+            self._stage_pool = StagePool(
+                max(1, self.effective_workers), **kwargs
+            )
             self._owns_stage_pool = True
         return self._stage_pool
 
@@ -178,8 +198,11 @@ class ExecutionContext:
         if self._solve_pool is None:
             from repro.parallel.pool import ResidentSolvePool
 
+            kwargs = {}
+            if self.max_retries is not None:
+                kwargs["max_retries"] = self.max_retries
             self._solve_pool = ResidentSolvePool(
-                max(1, self.effective_workers)
+                max(1, self.effective_workers), **kwargs
             )
             self._owns_solve_pool = True
         return self._solve_pool
@@ -210,6 +233,7 @@ class ExecutionContext:
             batch_size=batch_size,
             workers=self.workers,
             cpu_count=self.cpu_count,
+            healthy=not self._degraded,
         )
 
     def executor_for(
@@ -458,6 +482,18 @@ class ExecutionContext:
         ``stats.extra["failed_requests"]``, and a
         :class:`~repro.exceptions.BatchExecutionError` carrying the
         partial ``results`` and per-request ``failures`` is raised.
+
+        The dispatch layer is self-healing (see :mod:`repro.parallel.
+        residency`): a worker crash respawns the worker and retries its
+        chunk bit-identically; exhausted retries degrade the affected
+        requests to in-parent serial execution instead of failing them;
+        a request whose :attr:`~repro.runtime.requests.SolveRequest.
+        deadline_s` expires mid-dispatch is cancelled and fails with a
+        ``kind="deadline"`` :class:`~repro.exceptions.RequestFailure`.
+        Recovery events surface in the surviving results'
+        ``stats.extra`` (``worker_restarts`` / ``chunk_retries`` /
+        ``degraded_to_serial`` / ``deadline_missed``), written only
+        when non-zero.
         """
         requests = [self._coerce_request(r) for r in requests]
         if not requests:
@@ -466,6 +502,14 @@ class ExecutionContext:
 
         shared_rng = any(isinstance(r.rng, _random.Random) for r in requests)
         batch = len(requests)
+        # Per-request deadlines, as absolute monotonic instants from the
+        # moment the batch starts executing.
+        batch_start = time.monotonic()
+        deadlines = [
+            batch_start + r.deadline_s if r.deadline_s is not None else None
+            for r in requests
+        ]
+        predispatch_missed = 0
         routed = []
         for request in requests:
             route = self.resolve_mode(
@@ -484,6 +528,10 @@ class ExecutionContext:
             # Stateful generators must consume their streams in request
             # order — and a fully serial batch has nothing to dispatch.
             for index, request in enumerate(requests):
+                expired = self._expired_failure(request, deadlines[index])
+                if expired is not None:
+                    failures[index] = expired
+                    continue
                 try:
                     results[index] = self._solve_request(request)
                 except Exception:
@@ -531,6 +579,7 @@ class ExecutionContext:
                     "solver": request.solver,
                     "kwargs": kwargs,
                     "seed": request.rng,
+                    "deadline": deadlines[index],
                 }
             )
 
@@ -552,6 +601,11 @@ class ExecutionContext:
         # failure here must not abandon the in-flight chunks (they are
         # collected below regardless).
         for index in stage_indices:
+            expired = self._expired_failure(requests[index], deadlines[index])
+            if expired is not None:
+                failures[index] = expired
+                predispatch_missed += 1
+                continue
             try:
                 results[index] = self._solve_request(
                     requests[index], mode="stage"
@@ -559,6 +613,11 @@ class ExecutionContext:
             except Exception:
                 failures[index] = traceback.format_exc()
         for index in inline_indices:
+            expired = self._expired_failure(requests[index], deadlines[index])
+            if expired is not None:
+                failures[index] = expired
+                predispatch_missed += 1
+                continue
             try:
                 results[index] = self._solve_request(requests[index])
             except Exception:
@@ -583,9 +642,32 @@ class ExecutionContext:
                             extra=extra,
                         ),
                     )
-            # Per-batch shipping accounting on every multiplexed result,
-            # through the shared residency module (the stage path records
-            # the same keys from its executor).
+            # Graceful degradation: a request whose dispatch died with
+            # the retry budget exhausted is not lost — it re-runs
+            # serially in-parent (bit-identically: the seed is in the
+            # request), the pool is flagged unhealthy, and the router
+            # sends everything serial until close() discards the pools.
+            degraded = 0
+            if not pool.healthy:
+                self._degraded = True
+                crashed = [
+                    index
+                    for index, failure in failures.items()
+                    if getattr(failure, "kind", None) == "worker_crash"
+                ]
+                for index in crashed:
+                    try:
+                        results[index] = self._solve_request(requests[index])
+                    except Exception:
+                        failures[index] = traceback.format_exc()
+                    else:
+                        del failures[index]
+                        degraded += 1
+            # Per-batch shipping and recovery accounting on every
+            # multiplexed result, through the shared residency module
+            # (the stage path records the same keys from its executor).
+            # Recovery keys appear only when something actually happened,
+            # so fault-free stats are unchanged.
             installs = pool.batch_installs
             payload_bytes = pool.batch_payload_bytes
             for entry in entries:
@@ -597,7 +679,35 @@ class ExecutionContext:
                         payload_bytes=payload_bytes,
                         installs=installs,
                     )
+                    record_recovery(
+                        result.stats.extra,
+                        restarts=pool.batch_restarts,
+                        retries=pool.batch_retries,
+                        degraded=degraded,
+                        deadline_missed=pool.batch_deadline_missed
+                        + predispatch_missed,
+                    )
         return self._finish_batch(results, failures)
+
+    @staticmethod
+    def _expired_failure(
+        request: SolveRequest, deadline: "Optional[float]"
+    ) -> "Optional[RequestFailure]":
+        """A ``kind="deadline"`` failure when ``deadline`` already passed.
+
+        The in-parent paths (serial batches, stage-routed and
+        inline-routed requests) cannot cancel a solve mid-flight, so
+        their deadline enforcement happens here, at the dispatch
+        boundary — matching the pools, which likewise never abandon a
+        reply that already arrived.
+        """
+        if deadline is None or time.monotonic() < deadline:
+            return None
+        return RequestFailure(
+            f"request deadline of {request.deadline_s}s expired before "
+            "dispatch",
+            kind="deadline",
+        )
 
     @staticmethod
     def _finish_batch(
@@ -650,7 +760,9 @@ class ExecutionContext:
 
     def close(self) -> None:
         """Tear down owned pools (idempotent; the context stays usable —
-        a later parallel solve lazily recreates them)."""
+        a later parallel solve lazily recreates them).  Discarding the
+        pools also clears the degraded flag: fresh pools are trusted
+        again."""
         pool, self._stage_pool = self._stage_pool, None
         if pool is not None and self._owns_stage_pool:
             pool.close()
@@ -659,6 +771,7 @@ class ExecutionContext:
             solve_pool.close()
         self._owns_stage_pool = True
         self._owns_solve_pool = True
+        self._degraded = False
 
     def __enter__(self) -> "ExecutionContext":
         return self

@@ -23,7 +23,15 @@ from repro.graph.social_graph import SocialGraph
 __all__ = ["SolveRequest", "request_from_spec"]
 
 #: Spec keys that configure the problem rather than the solver.
-_PROBLEM_KEYS = ("k", "connected", "required", "forbidden", "solver", "seed")
+_PROBLEM_KEYS = (
+    "k",
+    "connected",
+    "required",
+    "forbidden",
+    "solver",
+    "seed",
+    "deadline_s",
+)
 
 
 @dataclass
@@ -45,18 +53,32 @@ class SolveRequest:
     solver_kwargs:
         Solver configuration (``budget``, ``m``, ``stages``, ...),
         forwarded to the registry factory.
+    deadline_s:
+        Optional wall-clock budget, in seconds from the moment the
+        batch starts executing.  A request whose dispatch is still
+        pending when the deadline passes is cancelled and fails into
+        :class:`~repro.exceptions.BatchExecutionError` with a
+        ``kind="deadline"`` failure — the rest of the batch is
+        unaffected.  Enforcement is at dispatch boundaries: a reply
+        that already arrived is never discarded, and in-parent
+        execution is not interrupted mid-solve.
     """
 
     problem: WASOProblem
     solver: str = "cbas-nd"
     rng: RngLike = None
     solver_kwargs: dict = field(default_factory=dict)
+    deadline_s: "float | None" = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, str):
             raise TypeError(
                 "SolveRequest.solver must be a registry name (str) so the "
                 f"request stays shippable, got {type(self.solver).__name__}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
             )
 
     @property
@@ -71,7 +93,8 @@ def request_from_spec(graph: SocialGraph, spec: dict) -> SolveRequest:
 
     Recognized keys: ``k`` (required), ``connected`` (default ``True``),
     ``required`` / ``forbidden`` (node-id lists), ``solver`` (registry
-    name, default ``"cbas-nd"``), ``seed`` (int), and any remaining keys
+    name, default ``"cbas-nd"``), ``seed`` (int), ``deadline_s``
+    (per-request wall-clock budget in seconds), and any remaining keys
     are passed through as solver kwargs (``budget``, ``m``, ...).
     """
     if "k" not in spec:
@@ -86,9 +109,11 @@ def request_from_spec(graph: SocialGraph, spec: dict) -> SolveRequest:
     solver_kwargs = {
         key: value for key, value in spec.items() if key not in _PROBLEM_KEYS
     }
+    deadline_s = spec.get("deadline_s")
     return SolveRequest(
         problem=problem,
         solver=spec.get("solver", "cbas-nd"),
         rng=spec.get("seed"),
         solver_kwargs=solver_kwargs,
+        deadline_s=float(deadline_s) if deadline_s is not None else None,
     )

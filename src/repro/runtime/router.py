@@ -96,6 +96,7 @@ def choose_mode(
     batch_size: int = 1,
     workers: "int | None" = None,
     cpu_count: "int | None" = None,
+    healthy: bool = True,
 ) -> str:
     """Pick the execution mode for one request.
 
@@ -115,6 +116,11 @@ def choose_mode(
         one core buys nothing, so the router degrades to serial there.
     cpu_count:
         Override for ``os.cpu_count()`` (tests).
+    healthy:
+        Whether the runtime's pools are trustworthy.  ``False`` — a
+        pool has exhausted its crash-retry budget — routes everything
+        serial: in-parent execution is the graceful-degradation floor
+        that cannot be taken out by dying workers.
 
     Returns one of ``"serial"`` / ``"solve"`` / ``"stage"`` — never
     ``"auto"``, and always ``"serial"`` on a single-CPU machine.
@@ -127,6 +133,9 @@ def choose_mode(
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if not healthy:
+        # Degraded runtime: keep serving, without the pools.
+        return "serial"
     cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
     effective = min(workers, cpus) if workers is not None else cpus
     if effective <= 1:

@@ -6,6 +6,17 @@ import random
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: deterministic fault-injection differential tests "
+        "(tests/test_faults.py) — worker kills, reply drops/delays, "
+        "deadline expiry — asserting bit-identical recovery; part of "
+        "tier 1 and re-runnable standalone via "
+        "`PYTHONPATH=src python -m pytest tests/test_faults.py -m chaos`",
+    )
+
 from repro.core.problem import WASOProblem
 from repro.graph.generators import (
     dblp_like,
