@@ -19,6 +19,13 @@ Measures, on synthetic Facebook-regime graphs of n ∈ {1k, 10k}:
   array-backed ``SelectionProbabilities`` (one list index per frontier
   slot, elite counts off ``Sample.indices``) versus the reference
   engine's per-node dict probes;
+* end-to-end CBAS and CBAS-ND throughput for the **vector** engine —
+  the numpy stage-batched kernel (``repro.vector``), which replaces the
+  per-draw expansion loop with one batched kernel call per OCBA stage.
+  Its solutions are not bit-identical to the scalar engines (positional
+  Philox randomness, reassociated float sums), so no
+  ``identical_solutions`` check applies; the differential oracle lives
+  in ``tests/test_vector.py``;
 * pool worker payload sizes: the detached compiled-arrays payload
   (``WASOProblem.detached()``) versus the historical dict-graph pickle
   — gated on the slim number only, since the resident pools never ship
@@ -37,6 +44,8 @@ Results are persisted to ``BENCH_sampler.json`` next to the repo root so
 future PRs can diff against them.  Acceptance gates, all measured in the
 same run: the compiled engine delivers ≥3× samples/sec for uniform CBAS
 expansion on the n=10k graph, ≥2× for CBAS-ND on the n=10k graph, the
+vector engine ≥5× over the dict reference for CBAS-ND on the n=10k
+graph, the
 slim worker payload is strictly smaller than the dict-graph pickle, the
 resident session performs exactly one graph install per (graph, worker)
 pair, both engines return identical seeded solutions, and — on machines
@@ -100,6 +109,9 @@ JSON_PATH = Path(__file__).parent.parent / "BENCH_sampler.json"
 MIN_CBAS_SPEEDUP = 3.0
 #: Acceptance gate for the n=10k CBAS-ND (CE update + weighted frontier).
 MIN_CBASND_SPEEDUP = 2.0
+#: Acceptance gate for the vector engine's n=10k CBAS-ND solve over the
+#: dict reference path (the PR-7 tentpole number).
+MIN_VECTOR_CBASND_SPEEDUP = 5.0
 #: Acceptance gate for the stage-sharded n=10k solve (needs >= 4 CPUs).
 MIN_STAGE_PARALLEL_SPEEDUP = 1.5
 #: --check fails when a throughput metric drops below baseline by more
@@ -321,6 +333,20 @@ def run_experiment(write: bool = True) -> dict:
             entry[engine]["cbas_nd_members"] = sorted(
                 map(repr, nd_result.members)
             )
+        # The vector engine skips the scalar micro-kernels (its add_delta
+        # and single-draw paths are the inherited compiled ones); the
+        # end-to-end solves are where its batched kernel runs.
+        entry["vector"] = {}
+        rate, result = _bench_cbas(problem, "vector")
+        entry["vector"]["cbas_samples_per_sec"] = rate
+        entry["vector"]["cbas_willingness"] = result.willingness
+        entry["vector"]["cbas_members"] = sorted(map(repr, result.members))
+        nd_rate, nd_result = _bench_cbas_nd(problem, "vector")
+        entry["vector"]["cbas_nd_samples_per_sec"] = nd_rate
+        entry["vector"]["cbas_nd_willingness"] = nd_result.willingness
+        entry["vector"]["cbas_nd_members"] = sorted(
+            map(repr, nd_result.members)
+        )
         for metric in (
             "add_delta_per_sec",
             "draw_samples_per_sec",
@@ -329,6 +355,10 @@ def run_experiment(write: bool = True) -> dict:
         ):
             entry[f"speedup_{metric}"] = (
                 entry["compiled"][metric] / entry["reference"][metric]
+            )
+        for metric in ("cbas_samples_per_sec", "cbas_nd_samples_per_sec"):
+            entry[f"speedup_vector_{metric}"] = (
+                entry["vector"][metric] / entry["reference"][metric]
             )
         entry["identical_solutions"] = (
             entry["compiled"]["cbas_willingness"]
@@ -369,7 +399,7 @@ def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
         if fresh_entry is None:
             failures.append(f"n={n}: missing from fresh results")
             continue
-        for engine in ("reference", "compiled"):
+        for engine in ("reference", "compiled", "vector"):
             for metric, base_value in base_entry.get(engine, {}).items():
                 if not metric.endswith("_per_sec"):
                     continue
@@ -461,14 +491,21 @@ def test_perf_sampler(benchmark):
             f"n={n}: add_delta {entry['speedup_add_delta_per_sec']:.2f}x, "
             f"draw {entry['speedup_draw_samples_per_sec']:.2f}x, "
             f"cbas {entry['speedup_cbas_samples_per_sec']:.2f}x, "
-            f"cbas-nd {entry['speedup_cbas_nd_samples_per_sec']:.2f}x"
+            f"cbas-nd {entry['speedup_cbas_nd_samples_per_sec']:.2f}x, "
+            f"vector cbas-nd "
+            f"{entry['speedup_vector_cbas_nd_samples_per_sec']:.2f}x"
         )
-        # Seeded solutions must agree bit-for-bit between the engines.
+        # Seeded solutions must agree bit-for-bit between the scalar
+        # engines (the vector engine is tolerance-checked in
+        # tests/test_vector.py, not here).
         assert entry["identical_solutions"]
         # The compiled sampler must never lose to the dict path.
         assert entry["speedup_draw_samples_per_sec"] > 1.0
         assert entry["speedup_cbas_samples_per_sec"] > 1.0
         assert entry["speedup_cbas_nd_samples_per_sec"] > 1.0
+        # The batched vector kernel must never lose to the dict path
+        # either, at any size.
+        assert entry["speedup_vector_cbas_nd_samples_per_sec"] > 1.0
         # The slim pool payload must undercut the dict-graph pickle.
         sizes = entry["worker_payload"]
         assert sizes["compiled_arrays_bytes"] < sizes["dict_graph_bytes"], (
@@ -485,6 +522,13 @@ def test_perf_sampler(benchmark):
     assert big["speedup_cbas_nd_samples_per_sec"] >= MIN_CBASND_SPEEDUP, (
         "compiled CBAS-ND fell below the 2x acceptance gate: "
         f"{big['speedup_cbas_nd_samples_per_sec']:.2f}x"
+    )
+    assert (
+        big["speedup_vector_cbas_nd_samples_per_sec"]
+        >= MIN_VECTOR_CBASND_SPEEDUP
+    ), (
+        "vector CBAS-ND fell below the 5x acceptance gate over the dict "
+        f"reference: {big['speedup_vector_cbas_nd_samples_per_sec']:.2f}x"
     )
     # The resident serving session: exactly one graph install per
     # (graph, worker) pair, warm batches and replans ship only specs.
@@ -594,6 +638,8 @@ def _print_summary(result: dict) -> None:
             f"draw {entry['speedup_draw_samples_per_sec']:.2f}x, "
             f"cbas {entry['speedup_cbas_samples_per_sec']:.2f}x, "
             f"cbas-nd {entry['speedup_cbas_nd_samples_per_sec']:.2f}x, "
+            f"vector cbas-nd "
+            f"{entry['speedup_vector_cbas_nd_samples_per_sec']:.2f}x, "
             f"identical={entry['identical_solutions']}, "
             f"payload {sizes['compiled_arrays_bytes']}B vs "
             f"{sizes['dict_graph_bytes']}B dict"

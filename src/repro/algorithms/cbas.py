@@ -220,6 +220,11 @@ class CBAS(ContextSolver):
             best_sample=best_sample,
         )
         per_stage = max(1, self.budget // stage_total)
+        if sampler.is_vector:
+            # The solve-level Philox base key is drawn here — after phase
+            # 1, before any stage — so serial and stage-sharded vector
+            # runs read it from the identical point of the seeded stream.
+            sampler.vector_key = rng.getrandbits(64)
         executor.begin_solve(context)
         try:
             for stage in range(stage_total):
@@ -267,6 +272,15 @@ class CBAS(ContextSolver):
         stats.extra["pruned_start_nodes"] = sum(
             1 for stat in node_stats if stat.pruned
         )
+        # Vectorization accounting (satellite of the vector engine):
+        # written only when non-zero so non-vector runs' stats stay
+        # byte-identical to the historical output.
+        batched = getattr(sampler, "vector_batch_draws", 0)
+        if batched:
+            stats.extra["vector_batch_draws"] = batched
+        fallback = getattr(sampler, "vector_fallback_draws", 0)
+        if fallback:
+            stats.extra["vector_fallback_draws"] = fallback
         solution = GroupSolution(
             members=best_sample.members, willingness=best_sample.willingness
         )
@@ -288,7 +302,7 @@ class CBAS(ContextSolver):
         """
         if not problem.connected:
             return
-        if self.engine == "compiled" and not problem.forbidden:
+        if self.engine in ("compiled", "vector") and not problem.forbidden:
             # No forbidden nodes: allowed-induced components equal the
             # graph's components, which the frozen index already labelled.
             compiled = problem.compiled()
@@ -393,6 +407,14 @@ class CBAS(ContextSolver):
     def _shard_mode(self) -> str:
         """How pool workers bias their frontier draws for this solver."""
         return "uniform"
+
+    def _stage_weight_array(self, start_index: int) -> "list | None":
+        """Per-start frontier weight row for the vector kernel's CE mode.
+
+        ``None`` for uniform CBAS; CBAS-ND returns the start's
+        probability array.
+        """
+        return None
 
     def _shard_keep_rank(self, share: int) -> int:
         """Samples each shard must retain, ranked by willingness.

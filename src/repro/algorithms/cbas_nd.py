@@ -158,6 +158,14 @@ class CBASND(CBAS):
                         if compiled is not None
                         else None
                     ),
+                    # The vector engine refits whole float64 arrays; the
+                    # batch kernel reads them zero-copy and the eager
+                    # numpy rounds stay IEEE-identical to the lazy chain.
+                    backend=(
+                        "numpy"
+                        if getattr(evaluator, "is_vector", False)
+                        else "list"
+                    ),
                 )
                 vectors.append(template)
             else:
@@ -236,6 +244,10 @@ class CBASND(CBAS):
     def _shard_mode(self) -> str:
         """Pool workers weight frontier draws by mirrored CE vectors."""
         return "ce"
+
+    def _stage_weight_array(self, start_index: int):
+        """The start's probability array for the vector kernel's CE mode."""
+        return self._vectors[start_index].array
 
     def _shard_keep_rank(self, share: int) -> int:
         """Elite retention rank ``⌈ρ · share⌉`` for a stage share.

@@ -220,11 +220,14 @@ def pick_from_array(
     cumulative sums with ``itertools.accumulate``.  Zero weights add
     exactly nothing to an IEEE running sum, so the cumulative list — and
     therefore every pick and the RNG stream — is bit-identical to
-    :func:`weighted_pick` over the same values.
+    :func:`weighted_pick` over the same values.  Negative weights are
+    clamped to zero in place — same treatment :func:`weighted_pick`
+    applies — instead of delegating to it, which would rebuild the
+    already-gathered weight list a second time.
     """
     weights = list(map(weight_array.__getitem__, frontier))
     if min(weights) < 0.0:
-        return weighted_pick(rng, frontier, weights)
+        weights = [weight if weight > 0.0 else 0.0 for weight in weights]
     cumulative = list(accumulate(weights))
     total = cumulative[-1]
     if total <= 0.0:
@@ -291,12 +294,23 @@ class ExpansionSampler:
             # member indices, initial frontier) — all deterministic
             # functions of the seed set, shared by every draw from it.
             self._seed_cache: dict[frozenset, tuple] = {}
+            # Vector-engine state: the solve-level Philox base key (set
+            # by the solver once per solve) and the batched/fallback
+            # draw counters surfaced through ``SolveStats.extra``.
+            self.vector_key: Optional[int] = None
+            self.vector_batch_draws = 0
+            self.vector_fallback_draws = 0
 
     # ------------------------------------------------------------------
     @property
     def is_compiled(self) -> bool:
         """True when draws run on the compiled int-indexed kernel."""
         return self._compiled is not None
+
+    @property
+    def is_vector(self) -> bool:
+        """True when the evaluator carries the numpy views for batching."""
+        return getattr(self.evaluator, "is_vector", False)
 
     def draw(
         self,
@@ -317,6 +331,8 @@ class ExpansionSampler:
         """
         self._validate_bias(weight_of, greedy_bias, weight_array)
         if self._compiled is not None:
+            if self.is_vector:
+                self.vector_fallback_draws += 1
             return self._draw_fast(
                 self._seed_state(seed), rng, weight_of, weight_array,
                 greedy_bias,
@@ -397,6 +413,8 @@ class ExpansionSampler:
                         break
                 else:
                     failures = 0
+            if self.is_vector:
+                self.vector_fallback_draws += len(samples)
             return samples
         if weight_array is not None:
             raise ValueError(
@@ -415,6 +433,48 @@ class ExpansionSampler:
             else:
                 failures = 0
         return samples
+
+    # ------------------------------------------------------------------
+    def draw_batch_vector(
+        self,
+        entries: "list[dict]",
+        mode: str = "uniform",
+        weight_rows=None,
+        max_failures: Optional[int] = None,
+    ) -> "list[list[Optional[Sample]]]":
+        """One stage's batches for several starts through the numpy kernel.
+
+        Each entry is a dict with ``start_key`` (the Philox stream key
+        for the start), ``seed``, ``first_draw`` (the start's planned
+        draw ordinal), ``count`` and ``failures`` (carry-in consecutive
+        failures).  ``mode`` selects the frontier pick — ``"uniform"``
+        (CBAS), ``"ce"`` (CBAS-ND, ``weight_rows`` aligned with
+        ``entries``) or ``"greedy"`` (RGreedy).  Returns one
+        draw-ordered batch per entry, truncated at ``max_failures``
+        consecutive failures like :meth:`draw_batch`.
+        """
+        if not self.is_vector:
+            raise RuntimeError(
+                "draw_batch_vector requires the vector engine "
+                "(evaluator_for(graph, 'vector'))"
+            )
+        if self.vector_key is None:
+            raise RuntimeError(
+                "vector_key is unset; the solver derives it from the "
+                "seeded RNG once per solve"
+            )
+        from repro.vector.kernel import draw_stage_batch
+
+        batches = draw_stage_batch(
+            self,
+            entries,
+            base_key=self.vector_key,
+            mode=mode,
+            weight_rows=weight_rows,
+            max_failures=max_failures,
+        )
+        self.vector_batch_draws += sum(len(batch) for batch in batches)
+        return batches
 
     @staticmethod
     def _validate_bias(weight_of, greedy_bias, weight_array) -> None:

@@ -79,6 +79,8 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.algorithms.sampling import Sample
 from repro.graph.social_graph import NodeId
 
@@ -117,10 +119,19 @@ class SelectionProbabilities:
     size:
         Array length for the compiled domain (defaults to
         ``len(index_of)``, i.e. one slot per graph node).
+    backend:
+        ``"list"`` (default) stores ``_p`` as a plain list with the lazy
+        decay-round machinery; ``"numpy"`` (the vector engine) stores a
+        float64 ndarray and applies every refit round eagerly with one
+        vectorized multiply — the decay chain then has one factor per
+        round applied left-to-right, so per-slot values stay
+        IEEE-identical to the lazy chain.  The numpy backend never books
+        pending rounds, which makes every materialization path a no-op.
     """
 
     __slots__ = (
         "_p",
+        "_backend",
         "_age",
         "_keeps",
         "_stale_rounds",
@@ -140,7 +151,12 @@ class SelectionProbabilities:
         *,
         index_of: "Mapping[NodeId, int] | None" = None,
         size: "int | None" = None,
+        backend: str = "list",
     ) -> None:
+        if backend not in ("list", "numpy"):
+            raise ValueError(
+                f"backend must be 'list' or 'numpy', got {backend!r}"
+            )
         nodes = list(candidates)
         if not nodes:
             raise ValueError("need at least one candidate node")
@@ -160,10 +176,16 @@ class SelectionProbabilities:
             length = len(index_of) if size is None else size
         self._candidates = nodes
         self._candidate_ids = [self._index_of[node] for node in nodes]
-        p = [0.0] * length
-        for slot in self._candidate_ids:
-            p[slot] = initial
-        self._p = p
+        self._backend = backend
+        if backend == "numpy":
+            p = np.zeros(length, dtype=np.float64)
+            p[self._candidate_ids] = initial
+            self._p = p
+        else:
+            p = [0.0] * length
+            for slot in self._candidate_ids:
+                p[slot] = initial
+            self._p = p
         # Lazy-decay bookkeeping: _keeps[r] is the keep factor of refit
         # round r, _age[slot] the number of rounds already folded into
         # _p[slot].  _stale_rounds / _last_touched / _slot_materialized
@@ -299,7 +321,10 @@ class SelectionProbabilities:
         clone._index_of = self._index_of
         clone._candidates = self._candidates
         clone._candidate_ids = self._candidate_ids
-        clone._p = list(self._p)
+        clone._backend = self._backend
+        clone._p = (
+            self._p.copy() if self._backend == "numpy" else list(self._p)
+        )
         clone._age = list(self._age)
         clone._keeps = list(self._keeps)
         clone._stale_rounds = self._stale_rounds
@@ -367,16 +392,31 @@ class SelectionProbabilities:
         compiled_domain = self.index_map is not None
         index_of = self._index_of
         counts: dict[int, int] = {}
-        for sample in elites:
-            indices = sample.indices if compiled_domain else None
-            if indices is not None:
-                for slot in indices:
-                    counts[slot] = counts.get(slot, 0) + 1
-            else:
-                for node in sample.members:
-                    slot = index_of.get(node)
-                    if slot is not None:
+        if (
+            compiled_domain
+            and self._backend == "numpy"
+            and all(sample.indices is not None for sample in elites)
+        ):
+            # Vector engine: one bincount over the concatenated elite
+            # member indices replaces the per-member dict increments.
+            flat = np.fromiter(
+                (slot for sample in elites for slot in sample.indices),
+                dtype=np.int64,
+            )
+            binned = np.bincount(flat, minlength=len(self._p))
+            for slot in np.nonzero(binned)[0]:
+                counts[int(slot)] = int(binned[slot])
+        else:
+            for sample in elites:
+                indices = sample.indices if compiled_domain else None
+                if indices is not None:
+                    for slot in indices:
                         counts[slot] = counts.get(slot, 0) + 1
+                else:
+                    for node in sample.members:
+                        slot = index_of.get(node)
+                        if slot is not None:
+                            counts[slot] = counts.get(slot, 0) + 1
 
         _, movement = self._refit(
             counts, len(elites), smoothing, compute_movement
@@ -436,22 +476,30 @@ class SelectionProbabilities:
                 f"smoothing weight must lie in [0, 1], got {smoothing}"
             )
         keep = 1.0 - smoothing
+        numpy_backend = self._backend == "numpy"
         if not compute_movement:
             slot_values = []
             for slot in sorted(counts):
                 old = self._materialize_slot(slot)
-                slot_values.append(
-                    (slot, smoothing * (counts[slot] / size) + keep * old)
-                )
+                new = smoothing * (counts[slot] / size) + keep * old
+                # Plain Python floats keep the patch tuples cheap to
+                # pickle whichever backend produced them.
+                slot_values.append((slot, float(new)))
             patch = ("round", keep, tuple(slot_values))
             self._record_round(keep, slot_values)
             return patch, 0.0
 
         self._materialize_all()
         p = self._p
-        old_touched = {slot: p[slot] for slot in counts}
-        total_sq = sum([value * value for value in p])
-        p[:] = [keep * value for value in p]
+        old_touched = {slot: float(p[slot]) for slot in counts}
+        if numpy_backend:
+            # Movement is a convergence control signal, not a sampled
+            # quantity — the dot product's pairwise summation is fine.
+            total_sq = float(np.dot(p, p))
+            p *= keep
+        else:
+            total_sq = sum([value * value for value in p])
+            p[:] = [keep * value for value in p]
         touched_sq = 0.0
         touched_term = 0.0
         slot_values = []
@@ -469,6 +517,16 @@ class SelectionProbabilities:
 
     def _record_round(self, keep: float, slot_values: Sequence[tuple]) -> None:
         """Book one pending decay round + its touched-slot overwrites."""
+        if self._backend == "numpy":
+            # Eager application: one vectorized multiply per round keeps
+            # the per-slot decay chain (left-to-right factor order)
+            # IEEE-identical to the lazy path, with no pending rounds to
+            # materialize later.
+            p = self._p
+            p *= keep
+            for slot, value in slot_values:
+                p[slot] = value
+            return
         self._keeps.append(keep)
         rounds = len(self._keeps)
         if self._stale_rounds == 0:
@@ -496,6 +554,8 @@ class SelectionProbabilities:
     def snapshot(self) -> list[float]:
         """Materialized copy of the flat array (backtracking, full resync)."""
         self._materialize_all()
+        if self._backend == "numpy":
+            return self._p.tolist()
         return list(self._p)
 
     def restore(self, snapshot: Sequence[float]) -> None:

@@ -41,6 +41,7 @@ from repro.exceptions import BatchExecutionError, ReproError
 from repro.graph import generators
 from repro.graph.io import load_json, save_json
 from repro.graph.stats import summarize
+from repro.core.willingness import ENGINES
 from repro.runtime import ExecutionContext, request_from_spec
 from repro.runtime.router import MODES
 
@@ -72,6 +73,16 @@ def _add_runtime_arguments(
         "(stage-sharded CE).  Seeded `serial` output is identical on "
         "every machine; `auto` may route big solves to the stage pool, "
         f"whose results depend on the worker count (default: {default_mode})",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="compiled",
+        help="sampling engine: compiled (flat-array kernels, bit-identical "
+        "to reference), reference (dict-based oracle), or vector (numpy "
+        "stage-batched kernels — fastest; bit-reproducible within the "
+        "engine for any worker count, matches the oracle to tolerance) "
+        "(default: compiled)",
     )
 
 
@@ -208,7 +219,9 @@ def main(argv=None) -> int:
     if args.command == "solve":
         graph = load_json(args.graph)
         k_max = args.k_max if args.k_max is not None else args.k
-        with ExecutionContext(mode=args.mode, workers=args.workers) as context:
+        with ExecutionContext(
+            engine=args.engine, mode=args.mode, workers=args.workers
+        ) as context:
             results = solve_k_range(
                 graph,
                 args.k,
@@ -249,6 +262,7 @@ def main(argv=None) -> int:
             )
         failures: dict = {}
         with ExecutionContext(
+            engine=args.engine,
             mode=args.mode,
             workers=args.workers,
             max_retries=args.max_retries,

@@ -42,14 +42,15 @@ __all__ = [
 ]
 
 #: Evaluator/sampler execution paths solvers can run on.
-ENGINES = ("compiled", "reference")
+ENGINES = ("compiled", "reference", "vector")
 
 
 def validate_engine(engine: str) -> str:
     """Validate and return an engine name (raises ``ValueError`` otherwise)."""
     if engine not in ENGINES:
         raise ValueError(
-            f"engine must be 'compiled' or 'reference', got {engine!r}"
+            f"engine must be 'compiled', 'reference', or 'vector', "
+            f"got {engine!r}"
         )
     return engine
 
@@ -269,10 +270,15 @@ def evaluator_for(
 
     ``"compiled"`` serves the flat-array fast path (freezing — or reusing
     the cached freeze of — the graph); ``"reference"`` the dict-based
-    reference implementation.
+    reference implementation; ``"vector"`` the compiled fast path plus
+    cached numpy views for the stage-batched kernels.
     """
     if validate_engine(engine) == "compiled":
         return FastWillingnessEvaluator(graph.compiled())
+    if engine == "vector":
+        from repro.vector import VectorWillingnessEvaluator
+
+        return VectorWillingnessEvaluator(graph.compiled())
     return WillingnessEvaluator(graph)
 
 

@@ -123,8 +123,19 @@ class _WorkerSolveState:
     def __init__(self, compiled, spec: dict) -> None:
         self.solve_id = spec["solve_id"]
         problem = problem_from_payload_spec(compiled, spec["problem"])
-        evaluator = FastWillingnessEvaluator(compiled)
+        self.engine = spec.get("engine", "compiled")
+        if self.engine == "vector":
+            from repro.vector import VectorWillingnessEvaluator
+
+            evaluator = VectorWillingnessEvaluator(compiled)
+        else:
+            evaluator = FastWillingnessEvaluator(compiled)
         self.sampler = ExpansionSampler(problem, evaluator)
+        if self.engine == "vector":
+            # Shared solve-level Philox base key: every shard's uniforms
+            # are a pure function of (key, start, planned draw ordinal),
+            # not of which worker draws them.
+            self.sampler.vector_key = spec["vector_key"]
         self.seeds = [seed_for_start(problem, start) for start in spec["starts"]]
         self.mode = spec["mode"]
         self.max_failures = spec["max_failures"]
@@ -138,6 +149,7 @@ class _WorkerSolveState:
                 problem.k,
                 index_of=compiled.index_of,
                 size=compiled.number_of_nodes,
+                backend="numpy" if self.engine == "vector" else "list",
             )
             vectors = []
             for initial in spec["vectors"]:
@@ -156,16 +168,37 @@ class _WorkerSolveState:
             for patch in entry["sync"]:
                 _apply_patch(vector, patch)
             weight_array = vector.array
-        rng = random.Random(entry["seed"])
         carry = entry["failures"]
-        batch = self.sampler.draw_batch(
-            self.seeds[index],
-            rng,
-            entry["count"],
-            weight_array=weight_array,
-            failures=carry,
-            max_failures=self.max_failures,
-        )
+        if self.engine == "vector":
+            # Positional randomness: no per-shard RNG seed at all — the
+            # entry's planned first-draw ordinal addresses the Philox
+            # stream directly.
+            batch = self.sampler.draw_batch_vector(
+                [
+                    {
+                        "start_key": index,
+                        "seed": self.seeds[index],
+                        "first_draw": entry["first_draw"],
+                        "count": entry["count"],
+                        "failures": carry,
+                    }
+                ],
+                mode=self.mode,
+                weight_rows=(
+                    [weight_array] if self.mode == "ce" else None
+                ),
+                max_failures=self.max_failures,
+            )[0]
+        else:
+            rng = random.Random(entry["seed"])
+            batch = self.sampler.draw_batch(
+                self.seeds[index],
+                rng,
+                entry["count"],
+                weight_array=weight_array,
+                failures=carry,
+                max_failures=self.max_failures,
+            )
         return summarize_shard(
             batch,
             entry["keep_rank"],
@@ -569,6 +602,10 @@ class ShardedStageExecutor(StageExecutor):
         self._restarts0 = 0
         self._retries0 = 0
         self._fallback0 = 0
+        #: Vector-engine solves: planned per-start draw ordinals (the
+        #: Philox counter positions) instead of per-shard RNG seeds.
+        self._vector = False
+        self._ordinals: "Optional[list[int]]" = None
 
     # ------------------------------------------------------------------
     def begin_solve(self, ctx: StageContext) -> None:
@@ -583,6 +620,8 @@ class ShardedStageExecutor(StageExecutor):
         shipped = self.pool.ensure_resident(problem)
         self._solve_id = next(_SOLVE_COUNTER)
         mode = solver._shard_mode()
+        self._vector = getattr(ctx.sampler, "is_vector", False)
+        self._ordinals = [0] * len(ctx.starts) if self._vector else None
         spec = {
             "solve_id": self._solve_id,
             "problem": problem.payload_spec(),
@@ -590,7 +629,10 @@ class ShardedStageExecutor(StageExecutor):
             "mode": mode,
             "max_failures": MAX_CONSECUTIVE_FAILURES,
             "vectors": solver._shard_initial_vectors(),
+            "engine": "vector" if self._vector else "compiled",
         }
+        if self._vector:
+            spec["vector_key"] = ctx.sampler.vector_key
         self.pool.start_solve(spec)
         self._compiled = problem.compiled()
         self._spec = spec
@@ -650,12 +692,19 @@ class ShardedStageExecutor(StageExecutor):
         stage_patch_bytes = 0
         for index, share in funded:
             shard_counts = split_budget(share, min(workers, share))
-            seeds = [ctx.rng.randrange(2**63) for _ in shard_counts]
+            if self._vector:
+                # Positional randomness: shards address the start's
+                # Philox stream by planned draw ordinal — no per-shard
+                # RNG seeds, and nothing drawn from the parent stream.
+                seeds = [None] * len(shard_counts)
+            else:
+                seeds = [ctx.rng.randrange(2**63) for _ in shard_counts]
             keep_rank = solver._shard_keep_rank(share)
             carry = ctx.failures[index]
             pending = self._patch_log[index]
             sizes = self._patch_sizes[index]
             positions = []
+            drawn_before = 0
             for shard, (count, seed) in enumerate(zip(shard_counts, seeds)):
                 synced_from = self._synced[shard][index]
                 entry = {
@@ -668,10 +717,18 @@ class ShardedStageExecutor(StageExecutor):
                     "keep_rank": keep_rank,
                     "sync": pending[synced_from:],
                 }
+                if self._vector:
+                    entry["first_draw"] = self._ordinals[index] + drawn_before
+                    drawn_before += count
                 stage_patch_bytes += sum(sizes[synced_from:])
                 worker_entries[shard].append(entry)
                 self._synced[shard][index] = len(pending)
                 positions.append((shard, len(worker_entries[shard]) - 1))
+            if self._vector:
+                # Advance by the full planned share (even if a shard's
+                # failure cap truncates its realized batch) so ordinals
+                # match the serial vector executor's plan exactly.
+                self._ordinals[index] += share
             placements.append(
                 (index, carry, shard_counts, seeds, keep_rank, positions)
             )
@@ -703,6 +760,10 @@ class ShardedStageExecutor(StageExecutor):
             successes = sum(s.successes for s in summaries)
             stats.samples_drawn += attempts
             stats.failed_samples += attempts - successes
+            if self._vector:
+                # Mirror the worker-side kernel counters on the parent
+                # sampler so the solver's stats accounting sees them.
+                ctx.sampler.vector_batch_draws += attempts
 
             # Consecutive-failure carry-out over the concatenated stream;
             # a shard that hit the write-off cap locally prunes, exactly

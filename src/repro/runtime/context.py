@@ -143,6 +143,7 @@ class ExecutionContext:
         self._cpu_count = cpu_count
         self._executor_override = executor
         self._serial_executor = SerialStageExecutor()
+        self._vector_executor: Optional[StageExecutor] = None
         self._stage_pool = stage_pool
         self._owns_stage_pool = stage_pool is None
         self._solve_pool = solve_pool
@@ -216,12 +217,15 @@ class ExecutionContext:
         budget: int,
         batch_size: int = 1,
         mode: Optional[str] = None,
+        engine: Optional[str] = None,
     ) -> str:
         """Resolve the execution mode for one request.
 
         Precedence: explicit ``mode`` argument, then the mode pinned by
         an enclosing :meth:`solve` call, then the context default; an
-        ``"auto"`` outcome runs the cost-model router.
+        ``"auto"`` outcome runs the cost-model router with the request's
+        engine (the vector engine shifts the serial-vs-parallel
+        break-even).
         """
         choice = mode if mode is not None else (self._mode_force or self.mode)
         validate_mode(choice)
@@ -234,6 +238,7 @@ class ExecutionContext:
             workers=self.workers,
             cpu_count=self.cpu_count,
             healthy=not self._degraded,
+            engine=engine or self.engine,
         )
 
     def executor_for(
@@ -254,17 +259,30 @@ class ExecutionContext:
         """
         if self._executor_override is not None:
             return self._executor_override
+        solver_engine = getattr(solver, "engine", None)
         resolved = self.resolve_mode(
-            problem, getattr(solver, "budget", 0) or 0, mode=mode
+            problem,
+            getattr(solver, "budget", 0) or 0,
+            mode=mode,
+            engine=solver_engine,
         )
         if (
             resolved == "stage"
-            and getattr(solver, "engine", None) == "compiled"
+            and solver_engine in ("compiled", "vector")
             and hasattr(solver, "_shard_mode")
         ):
             from repro.parallel.stage_pool import ShardedStageExecutor
 
             return ShardedStageExecutor(pool=self.stage_pool())
+        if solver_engine == "vector" and hasattr(solver, "_shard_mode"):
+            # Vector-engine staged solves go through the batch kernel;
+            # the executor is stateless (per-solve state lives on the
+            # sampler) so one cached instance serves every solve.
+            if self._vector_executor is None:
+                from repro.vector.stage_exec import VectorSerialStageExecutor
+
+                self._vector_executor = VectorSerialStageExecutor()
+            return self._vector_executor
         return self._serial_executor
 
     @contextmanager
@@ -307,7 +325,7 @@ class ExecutionContext:
         params, open_kwargs = _factory_params(name)
         if "engine" not in params and not open_kwargs:
             return False
-        if kwargs.get("engine", self.engine) != "compiled":
+        if kwargs.get("engine", self.engine) not in ("compiled", "vector"):
             return False
         factory = solver_factory(name)
         if isinstance(factory, type):
@@ -513,7 +531,11 @@ class ExecutionContext:
         routed = []
         for request in requests:
             route = self.resolve_mode(
-                request.problem, request.budget, batch_size=batch, mode=mode
+                request.problem,
+                request.budget,
+                batch_size=batch,
+                mode=mode,
+                engine=request.solver_kwargs.get("engine"),
             )
             if route == "stage" and not self._stage_capable(
                 request.solver, request.solver_kwargs
@@ -561,7 +583,7 @@ class ExecutionContext:
             kwargs = dict(request.solver_kwargs)
             engine = self._dispatch_engine(request.solver, kwargs)
             problem = request.problem
-            if engine == "compiled":
+            if engine in ("compiled", "vector"):
                 detached = detached_graphs.get(id(problem.graph))
                 if detached is None:
                     detached = problem.compiled().detach()

@@ -56,6 +56,7 @@ __all__ = [
     "STAGE_WORK_THRESHOLD",
     "MIN_STAGE_BUDGET",
     "MIN_SOLVE_WORK",
+    "VECTOR_SPEEDUP",
     "validate_mode",
     "choose_mode",
 ]
@@ -80,6 +81,15 @@ MIN_STAGE_BUDGET = 256
 #: round trip to amortize).
 MIN_SOLVE_WORK = 2_000
 
+#: How much faster the vector engine's batched kernel clears one unit of
+#: ``n × budget`` work than the scalar compiled kernels (the
+#: ``BENCH_sampler`` vector gate demands ≥ 5× over the reference path,
+#: i.e. ≈ 2× over compiled; 4 is the conservative routing figure).  A
+#: vector request's work volume is divided by this before both
+#: break-even tests: a solve must be that much larger before sharding
+#: (or multiplexing) outruns the in-process kernel.
+VECTOR_SPEEDUP = 4
+
 
 def validate_mode(mode: str) -> str:
     """Validate and return an execution mode name."""
@@ -97,6 +107,7 @@ def choose_mode(
     workers: "int | None" = None,
     cpu_count: "int | None" = None,
     healthy: bool = True,
+    engine: str = "compiled",
 ) -> str:
     """Pick the execution mode for one request.
 
@@ -121,6 +132,10 @@ def choose_mode(
         pool has exhausted its crash-retry budget — routes everything
         serial: in-parent execution is the graceful-degradation floor
         that cannot be taken out by dying workers.
+    engine:
+        The request's sampling engine.  ``"vector"`` clears work
+        :data:`VECTOR_SPEEDUP` times faster in-process, which moves both
+        parallel break-evens up by the same factor.
 
     Returns one of ``"serial"`` / ``"solve"`` / ``"stage"`` — never
     ``"auto"``, and always ``"serial"`` on a single-CPU machine.
@@ -141,12 +156,15 @@ def choose_mode(
     if effective <= 1:
         # One core: every parallel mode only adds process overhead.
         return "serial"
-    if budget >= MIN_STAGE_BUDGET and n * budget >= STAGE_WORK_THRESHOLD:
+    work = n * budget
+    if engine == "vector":
+        work //= VECTOR_SPEEDUP
+    if budget >= MIN_STAGE_BUDGET and work >= STAGE_WORK_THRESHOLD:
         # A single large solve: only stage-sharding can accelerate it
         # (splitting its budget would weaken the CE fit instead), and
         # that holds whether it arrives alone or inside a batch.
         return "stage"
-    if batch_size > 1 and n * budget >= MIN_SOLVE_WORK:
+    if batch_size > 1 and work >= MIN_SOLVE_WORK:
         # Many small solves: multiplex whole requests onto the resident
         # solve-level pool, each running serially at full statistical
         # strength inside one worker.  Requests below the work floor

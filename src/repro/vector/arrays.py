@@ -1,0 +1,74 @@
+"""Numpy views over a :class:`~repro.graph.compiled.CompiledGraph`.
+
+The compiled index stores its CSR topology and per-node/per-edge weights
+as plain Python lists (cheap to pickle, fast to index from the scalar
+kernels).  The vector kernels need the same data as contiguous numpy
+arrays; :class:`VectorGraph` converts each list exactly once and the
+module-level cache keys the result by
+:attr:`~repro.graph.compiled.CompiledGraph.payload_token` — the same
+token the residency protocol uses — so:
+
+* repeated solves on one graph reuse the arrays;
+* a stage-pool worker, which receives the *detached* payload
+  (``detach()`` shares the lists and the token), builds the arrays once
+  per resident graph, not once per solve;
+* a graph mutation mints a new token and therefore new arrays.
+
+The cache holds a handful of graphs (mirroring the workers' bounded
+resident stores) with least-recently-used eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["VectorGraph", "vector_graph_for"]
+
+#: Graphs kept vectorized at once; matches the spirit of the workers'
+#: bounded resident stores (a serving session rotates a few graphs).
+_CACHE_LIMIT = 8
+
+_CACHE: "OrderedDict[str, VectorGraph]" = OrderedDict()
+
+
+class VectorGraph:
+    """Contiguous numpy mirror of one compiled graph's flat arrays."""
+
+    __slots__ = (
+        "token",
+        "offsets",
+        "targets",
+        "pair_w",
+        "weighted_interest",
+        "potential",
+        "degrees",
+        "number_of_nodes",
+    )
+
+    def __init__(self, compiled) -> None:
+        self.token = compiled.payload_token
+        self.offsets = np.asarray(compiled.offsets, dtype=np.int64)
+        self.targets = np.asarray(compiled.targets, dtype=np.int64)
+        self.pair_w = np.asarray(compiled.pair_w, dtype=np.float64)
+        self.weighted_interest = np.asarray(
+            compiled.weighted_interest, dtype=np.float64
+        )
+        self.potential = np.asarray(compiled.potential, dtype=np.float64)
+        self.degrees = np.diff(self.offsets)
+        self.number_of_nodes = compiled.number_of_nodes
+
+
+def vector_graph_for(compiled) -> VectorGraph:
+    """The (cached) :class:`VectorGraph` for one compiled index."""
+    token = compiled.payload_token
+    graph = _CACHE.get(token)
+    if graph is not None:
+        _CACHE.move_to_end(token)
+        return graph
+    graph = VectorGraph(compiled)
+    _CACHE[token] = graph
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+    return graph

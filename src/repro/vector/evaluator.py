@@ -1,0 +1,28 @@
+"""The vector engine's evaluator behind the ``evaluator_for`` seam.
+
+A thin subclass of :class:`~repro.core.willingness.
+FastWillingnessEvaluator`: every scalar entry point (``value`` /
+``add_delta`` / potentials) keeps working on the compiled lists — which
+is what lets vector-engine samplers fall back to the scalar draw kernel
+for paths the batch kernel does not cover — while :attr:`vgraph` hangs
+the cached numpy arrays next to it for the batch kernel, and
+:attr:`is_vector` is the flag the sampler, the solvers, and the stage
+executors key the vectorized paths on.
+"""
+
+from __future__ import annotations
+
+from repro.core.willingness import FastWillingnessEvaluator
+from repro.vector.arrays import vector_graph_for
+
+__all__ = ["VectorWillingnessEvaluator"]
+
+
+class VectorWillingnessEvaluator(FastWillingnessEvaluator):
+    """Compiled-array evaluator + cached numpy views for batch kernels."""
+
+    is_vector = True
+
+    def __init__(self, compiled) -> None:
+        super().__init__(compiled)
+        self.vgraph = vector_graph_for(self.compiled)

@@ -1,0 +1,394 @@
+"""The stage-batched frontier expansion kernel.
+
+One call draws *every* funded start node's samples for a stage as
+batched array operations.  Each draw is one **row** of the batch:
+
+* a ``status`` matrix (int8, one column per graph node) replaces the
+  scalar kernel's generation stamps — 0 untouched, 1 frontier, 2
+  member;
+* the frontier lives in a padded ``(rows, capacity)`` matrix with
+  per-row lengths and the scalar kernel's exact swap-pop;
+* each expansion step picks one frontier node per live row — uniformly
+  (CBAS), by cumulative-sum weighted pick over a per-start weight row
+  (CBAS-ND's CE vectors), or by the greedy willingness bias (RGreedy) —
+  then scatters the member mark, gathers the chosen nodes' CSR rows in
+  one flat pass, reduces the member-edge pair weights per row with
+  ``bincount``, and appends the fresh allowed neighbours to the
+  frontier;
+* willingness starts from the sampler's cached per-seed base value (the
+  scalar evaluator's exact float) and accumulates the same
+  ``weighted_interest + Σ pair_w`` per-step delta.  The per-row
+  accumulation *order* differs from the scalar kernel (edge deltas are
+  reduced per step instead of per edge), which is exactly the
+  float-reassociation the vector engine's tolerance oracle allows; the
+  *set* of accumulated terms is identical, and every integer quantity
+  (members, counts, failures) is exact.
+
+Randomness comes positionally from :mod:`repro.vector.rng`: row ``i`` of
+a start's uniform matrix belongs to planned draw ``first_draw + i``, so
+the same draws produce the same samples however they are batched or
+sharded.
+
+Semantics notes
+---------------
+* Failure-cap truncation is applied *post hoc* over the produced batch
+  (consecutive-failure counter seeded with the carry-in), reproducing
+  the scalar ``draw_batch`` early stop.  In connected mode a non-pruned
+  start's expansions cannot stall — a component of size ≥ k always
+  offers an adjacent non-member — so failures arise only from
+  disconnected seeds (required nodes spanning components) failing the
+  final bridge check, and from WASO-dis runs with fewer than ``k``
+  allowed nodes.
+* The weighted pick resolves threshold position with the scalar path's
+  ``bisect_left`` semantics and degrades to the uniform formula when a
+  weight row's frontier mass is zero.  (The scalar path's
+  measure-zero ``threshold == 0.0`` tie-break — first *positive* slot
+  rather than first slot — is not reproduced; it has probability 2⁻⁵³
+  per pick and the engines do not share RNG streams anyway.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.sampling import Sample
+from repro.vector.rng import draw_uniforms, uniform_width
+
+__all__ = ["draw_stage_batch"]
+
+#: Rough cap on (rows × per-row cells) per chunk, bounding the status /
+#: frontier / uniform matrices to a few MB however large the stage is.
+MAX_CHUNK_CELLS = 4_000_000
+
+#: Never chunk below this many rows — tiny chunks forfeit the batching.
+MIN_CHUNK_ROWS = 16
+
+
+def draw_stage_batch(
+    sampler,
+    entries,
+    base_key,
+    mode="uniform",
+    weight_rows=None,
+    max_failures=None,
+):
+    """Draw one stage's batches for several starts in one vectorized pass.
+
+    ``entries`` is a list of dicts with keys ``start_key`` (the integer
+    keying the start's Philox stream), ``seed`` (the member seed set),
+    ``first_draw`` (the start's planned draw ordinal for this batch),
+    ``count`` and ``failures`` (carry-in consecutive-failure counter).
+    ``weight_rows`` aligns with ``entries`` for ``mode="ce"`` (each a
+    flat per-node weight array).  Returns one list of
+    ``Sample | None`` per entry, in draw order, truncated at
+    ``max_failures`` consecutive failures exactly like the scalar
+    ``draw_batch``.
+    """
+    problem = sampler.problem
+    k = problem.k
+    width = uniform_width(k)
+    out = [[] for _ in entries]
+
+    # Resolve every entry's cached seed state first: chunk sizing needs
+    # the largest initial frontier (WASO-dis frontiers are O(n)).
+    specs = []
+    max_frontier = 1
+    for position, entry in enumerate(entries):
+        state = sampler._seed_state(entry["seed"])
+        if len(state[2]) > k:
+            # Oversized seed: every draw fails, no kernel work needed.
+            out[position].extend([None] * entry["count"])
+            continue
+        max_frontier = max(max_frontier, len(state[3]))
+        wrow = weight_rows[position] if mode == "ce" else None
+        specs.append(
+            (position, entry["start_key"], state, entry["first_draw"],
+             entry["count"], wrow)
+        )
+
+    if specs:
+        n = sampler._compiled.number_of_nodes
+        cells_per_row = n + max_frontier + 8 * width
+        chunk_rows = max(MIN_CHUNK_ROWS, MAX_CHUNK_CELLS // cells_per_row)
+        # Greedy chunk packing over the concatenated row space; a spec
+        # larger than a chunk is split by draw range, which is free —
+        # draw d's uniforms depend only on (base_key, start_key, d).
+        chunk: list = []
+        filled = 0
+        for position, start_key, state, first, count, wrow in specs:
+            remaining = count
+            while remaining > 0:
+                if filled >= chunk_rows:
+                    _run_chunk(sampler, chunk, base_key, width, mode, out)
+                    chunk, filled = [], 0
+                take = min(chunk_rows - filled, remaining)
+                chunk.append((position, start_key, state, first, take, wrow))
+                first += take
+                remaining -= take
+                filled += take
+        if chunk:
+            _run_chunk(sampler, chunk, base_key, width, mode, out)
+
+    results = []
+    for position, entry in enumerate(entries):
+        results.append(
+            _truncate(out[position], entry.get("failures", 0), max_failures)
+        )
+    return results
+
+
+def _truncate(batch, carry, max_failures):
+    """Cut a batch at the consecutive-failure cap (scalar early stop)."""
+    if max_failures is None:
+        return batch
+    failures = carry
+    for position, sample in enumerate(batch):
+        if sample is None:
+            failures += 1
+            if failures >= max_failures:
+                return batch[: position + 1]
+        else:
+            failures = 0
+    return batch
+
+
+def _allowed_mask(sampler) -> np.ndarray:
+    """Boolean per-node allowed mask, built once per sampler."""
+    mask = getattr(sampler, "_vector_allowed", None)
+    if mask is None:
+        mask = np.frombuffer(
+            bytes(sampler._allowed_mask), dtype=np.uint8
+        ).astype(bool)
+        sampler._vector_allowed = mask
+    return mask
+
+
+def _run_chunk(sampler, specs, base_key, width, mode, out):
+    """Expand one chunk of rows to completion and emit its samples."""
+    problem = sampler.problem
+    comp = sampler._compiled
+    vg = sampler.evaluator.vgraph
+    n = comp.number_of_nodes
+    k = problem.k
+    connected = problem.connected
+    check_allowed = sampler._check_allowed
+    allowed = _allowed_mask(sampler) if (connected and check_allowed) else None
+
+    counts = [count for *_head, count, _wrow in specs]
+    rows = sum(counts)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+
+    status = np.zeros((rows, n), dtype=np.int8)
+    willing = np.empty(rows, dtype=np.float64)
+    member_lens = np.empty(rows, dtype=np.int64)
+    members = np.zeros((rows, k), dtype=np.int64)
+    picks = np.zeros(rows, dtype=np.int64)
+    spec_of = np.empty(rows, dtype=np.int64)
+    alive = np.ones(rows, dtype=bool)
+    uniforms = np.empty((rows, width), dtype=np.float64)
+
+    capacity = 8
+    for _position, _key, state, _first, _count, _wrow in specs:
+        capacity = max(capacity, len(state[3]))
+    frontier = np.zeros((rows, capacity), dtype=np.int64)
+    frontier_lens = np.zeros(rows, dtype=np.int64)
+
+    for s, (_position, start_key, state, first, count, _wrow) in enumerate(
+        specs
+    ):
+        value, _seed_connected, member_indices, seed_frontier = state
+        lo, hi = int(bounds[s]), int(bounds[s + 1])
+        spec_of[lo:hi] = s
+        willing[lo:hi] = value
+        member_lens[lo:hi] = len(member_indices)
+        if member_indices:
+            member_arr = np.asarray(member_indices, dtype=np.int64)
+            members[lo:hi, : len(member_indices)] = member_arr
+            status[lo:hi, member_arr] = 2
+        if seed_frontier:
+            frontier_arr = np.asarray(seed_frontier, dtype=np.int64)
+            frontier[lo:hi, : len(seed_frontier)] = frontier_arr
+            status[lo:hi, frontier_arr] = 1
+            frontier_lens[lo:hi] = len(seed_frontier)
+        uniforms[lo:hi] = draw_uniforms(
+            base_key, start_key, first, count, width
+        )
+
+    weight_matrix = None
+    if mode == "ce":
+        weight_matrix = np.stack(
+            [np.asarray(wrow, dtype=np.float64) for *_head, wrow in specs]
+        )
+
+    offsets = vg.offsets
+    targets = vg.targets
+    pair_w = vg.pair_w
+    interest = vg.weighted_interest
+    degrees = vg.degrees
+
+    max_steps = k - int(member_lens.min())
+    for _step in range(max_steps):
+        act = np.nonzero(alive & (member_lens < k))[0]
+        if act.size == 0:
+            break
+        lens = frontier_lens[act]
+        empty = lens == 0
+        if empty.any():
+            alive[act[empty]] = False
+            act = act[~empty]
+            if act.size == 0:
+                break
+            lens = frontier_lens[act]
+        u = uniforms[act, picks[act]]
+
+        if mode == "uniform":
+            pick = np.minimum((u * lens).astype(np.int64), lens - 1)
+            chosen = frontier[act, pick]
+        else:
+            span = int(lens.max())
+            window = frontier[act, :span]
+            in_frontier = np.arange(span)[None, :] < lens[:, None]
+            if mode == "ce":
+                values = weight_matrix[spec_of[act][:, None], window]
+                values = np.where(in_frontier, values, 0.0)
+                np.maximum(values, 0.0, out=values)
+            else:  # greedy
+                values = _greedy_weights(
+                    vg, status, willing, act, window, in_frontier
+                )
+            cumulative = np.cumsum(values, axis=1)
+            total = cumulative[:, -1]
+            threshold = u * total
+            weighted = np.minimum(
+                (cumulative < threshold[:, None]).sum(axis=1), lens - 1
+            )
+            fallback = np.minimum((u * lens).astype(np.int64), lens - 1)
+            pick = np.where(total > 0.0, weighted, fallback)
+            chosen = window[np.arange(act.size), pick]
+
+        # Swap-pop the chosen frontier slot, mark membership.
+        frontier[act, pick] = frontier[act, lens - 1]
+        frontier_lens[act] = lens - 1
+        status[act, chosen] = 2
+        members[act, member_lens[act]] = chosen
+        member_lens[act] += 1
+        picks[act] += 1
+
+        # Merged delta + frontier extension over the chosen nodes' CSR
+        # rows, all rows flattened into one gather.
+        deltas = interest[chosen].copy()
+        chosen_deg = degrees[chosen]
+        edge_total = int(chosen_deg.sum())
+        if edge_total:
+            row_rep = np.repeat(np.arange(act.size), chosen_deg)
+            head = np.concatenate(([0], np.cumsum(chosen_deg)[:-1]))
+            slots = (
+                np.arange(edge_total, dtype=np.int64)
+                - head[row_rep]
+                + offsets[chosen][row_rep]
+            )
+            neighbours = targets[slots]
+            state = status[act[row_rep], neighbours]
+            member_edge = state == 2
+            if member_edge.any():
+                deltas += np.bincount(
+                    row_rep[member_edge],
+                    weights=pair_w[slots][member_edge],
+                    minlength=act.size,
+                )
+            if connected:
+                fresh = state == 0
+                if allowed is not None:
+                    fresh &= allowed[neighbours]
+                fresh_total = int(fresh.sum())
+                if fresh_total:
+                    fresh_rows = row_rep[fresh]
+                    fresh_nodes = neighbours[fresh]
+                    per_row = np.bincount(fresh_rows, minlength=act.size)
+                    row_head = np.concatenate(
+                        ([0], np.cumsum(per_row)[:-1])
+                    )
+                    rank = np.arange(fresh_total) - row_head[fresh_rows]
+                    column = frontier_lens[act][fresh_rows] + rank
+                    needed = int(column.max()) + 1
+                    if needed > frontier.shape[1]:
+                        grown = np.zeros(
+                            (rows, max(needed, 2 * frontier.shape[1])),
+                            dtype=np.int64,
+                        )
+                        grown[:, : frontier.shape[1]] = frontier
+                        frontier = grown
+                    frontier[act[fresh_rows], column] = fresh_nodes
+                    status[act[fresh_rows], fresh_nodes] = 1
+                    frontier_lens[act] += per_row
+        willing[act] += deltas
+
+    # Emit samples in draw order; complete rows succeed unless a
+    # disconnected seed failed to bridge (scalar kernel's final check).
+    nodes = comp.nodes
+    graph = sampler.graph
+    complete = alive & (member_lens == k)
+    member_rows = members.tolist()
+    willing_values = willing.tolist()
+    bridge_memo: dict = {}
+    for s, (position, _key, state, _first, _count, _wrow) in enumerate(specs):
+        seed_connected = state[1]
+        dest = out[position]
+        for b in range(int(bounds[s]), int(bounds[s + 1])):
+            if not complete[b]:
+                dest.append(None)
+                continue
+            indices = tuple(member_rows[b])
+            group = frozenset(map(nodes.__getitem__, indices))
+            if connected and not seed_connected:
+                bridged = bridge_memo.get(indices)
+                if bridged is None:
+                    bridged = graph.is_connected_subset(group)
+                    bridge_memo[indices] = bridged
+                if not bridged:
+                    dest.append(None)
+                    continue
+            dest.append(
+                Sample(
+                    members=group,
+                    willingness=willing_values[b],
+                    indices=indices,
+                )
+            )
+
+
+def _greedy_weights(vg, status, willing, act, window, in_frontier):
+    """RGreedy's frontier weights ``max(0, W(S ∪ {v}))`` for every slot.
+
+    One flat CSR gather over every (row, frontier-slot) pair: the delta
+    of adding slot node ``v`` to row ``r``'s members is
+    ``interest[v] + Σ pair_w`` over ``v``'s edges into ``r``'s member
+    set, reduced per slot with ``bincount``.
+    """
+    flat_nodes = window[in_frontier]
+    entry_rows = np.nonzero(in_frontier)[0]
+    deltas = vg.weighted_interest[flat_nodes].copy()
+    node_deg = vg.degrees[flat_nodes]
+    edge_total = int(node_deg.sum())
+    if edge_total:
+        entry_rep = np.repeat(np.arange(flat_nodes.size), node_deg)
+        head = np.concatenate(([0], np.cumsum(node_deg)[:-1]))
+        slots = (
+            np.arange(edge_total, dtype=np.int64)
+            - head[entry_rep]
+            + vg.offsets[flat_nodes][entry_rep]
+        )
+        member_edge = (
+            status[act[entry_rows[entry_rep]], vg.targets[slots]] == 2
+        )
+        if member_edge.any():
+            deltas += np.bincount(
+                entry_rep[member_edge],
+                weights=vg.pair_w[slots][member_edge],
+                minlength=flat_nodes.size,
+            )
+    values = np.zeros(window.shape, dtype=np.float64)
+    values[in_frontier] = np.maximum(
+        0.0, willing[act][entry_rows] + deltas
+    )
+    return values

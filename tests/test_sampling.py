@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.algorithms.sampling import (
     ExpansionSampler,
+    pick_from_array,
     seed_for_start,
     weighted_pick,
 )
@@ -40,6 +41,47 @@ class TestWeightedPick:
 
     def test_single_item(self, rng):
         assert weighted_pick(rng, ["only"], [0.7]) == 0
+
+
+class TestPickFromArray:
+    """The flat-array fast path must mirror ``weighted_pick`` exactly —
+    including the degenerate branches, which clamp/fall back without
+    rebuilding the gathered weight list."""
+
+    def test_matches_weighted_pick_stream(self):
+        array = [0.0, 0.4, 0.0, 1.3, 0.2, 0.0, 0.7]
+        frontier = [1, 3, 4, 6, 0]
+        weights = [array[i] for i in frontier]
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        for _ in range(500):
+            assert pick_from_array(rng_a, frontier, array) == weighted_pick(
+                rng_b, frontier, weights
+            )
+        assert rng_a.random() == rng_b.random()
+
+    def test_negative_weights_clamped_like_weighted_pick(self):
+        array = [-5.0, 1.0, -2.0, 0.5]
+        frontier = [0, 1, 2, 3]
+        weights = [array[i] for i in frontier]
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        for _ in range(500):
+            picked = pick_from_array(rng_a, frontier, array)
+            assert picked == weighted_pick(rng_b, frontier, weights)
+            assert picked in (1, 3)  # never a clamped slot
+        assert rng_a.random() == rng_b.random()
+
+    def test_all_nonpositive_degrades_to_uniform(self):
+        array = [0.0, -1.0, 0.0]
+        frontier = [0, 1, 2]
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        counts = [0, 0, 0]
+        for _ in range(900):
+            picked = pick_from_array(rng_a, frontier, array)
+            # One randrange call and nothing else, same as weighted_pick.
+            assert picked == weighted_pick(rng_b, frontier, [0.0, -1.0, 0.0])
+            counts[picked] += 1
+        assert all(count > 200 for count in counts)
+        assert rng_a.random() == rng_b.random()
 
 
 class TestSeed:
