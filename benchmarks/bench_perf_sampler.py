@@ -377,7 +377,15 @@ def run_experiment(write: bool = True) -> dict:
         if n == STAGE_PARALLEL_N:
             payload["stage_parallel"] = _bench_stage_parallel(problem)
     if write:
-        dump_json(str(JSON_PATH), payload)
+        # Merge: other benches own their own top-level series in the
+        # same file (``serving_daemon`` from bench_serving_daemon.py)
+        # — regenerating this one must not drop theirs.
+        merged: dict = {}
+        if JSON_PATH.exists():
+            with open(JSON_PATH, encoding="utf-8") as handle:
+                merged = json.load(handle)
+        merged.update(payload)
+        dump_json(str(JSON_PATH), merged)
     return payload
 
 

@@ -8,21 +8,27 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 
-#: The tier-2 CI job (documented in ROADMAP.md): the marked gates plus
-#: the regression check against the committed baseline.
+#: The tier-2 CI job (documented in ROADMAP.md): the marked gates, the
+#: chaos suites (pool recovery and the serving daemon), and the
+#: regression checks against the committed baseline.
 #:
 #:     PYTHONPATH=src python -m pytest benchmarks/ -m tier2
 #:     PYTHONPATH=src python benchmarks/bench_perf_sampler.py --check
+#:     PYTHONPATH=src python benchmarks/bench_serving_daemon.py --check
 #:
 #: Wall-clock gates auto-skip below the required CPU count; the
-#: payload-byte gate (``test_payload_bytes_regression_gate``) is
-#: machine-independent — pickle sizes are deterministic — so it runs
-#: everywhere and covers the resident shipping protocol exactly
-#: (one graph install per (graph, worker) pair, warm batches spec-only).
+#: payload-byte gate (``test_payload_bytes_regression_gate``) and the
+#: serving accounting gate (``test_serving_daemon_accounting_gate``)
+#: are machine-independent — pickle sizes and stalled-burst shed sets
+#: are deterministic — so they run everywhere and cover the resident
+#: shipping protocol (one graph install per (graph, worker) pair) and
+#: the daemon's zero-dropped-replies invariant exactly.
 TIER2_INVOCATION = (
     "PYTHONPATH=src python -m pytest benchmarks/ -m tier2 && "
-    "PYTHONPATH=src python -m pytest tests/test_faults.py -m chaos && "
-    "PYTHONPATH=src python benchmarks/bench_perf_sampler.py --check"
+    "PYTHONPATH=src python -m pytest tests/test_faults.py "
+    "tests/test_serving.py -m chaos && "
+    "PYTHONPATH=src python benchmarks/bench_perf_sampler.py --check && "
+    "PYTHONPATH=src python benchmarks/bench_serving_daemon.py --check"
 )
 
 

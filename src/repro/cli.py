@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     waso generate --family facebook --size 500 --seed 7 --out graph.json
     waso stats graph.json
     waso solve graph.json --k 10 --solver cbas-nd --budget 300 --seed 7
     waso solve-many graph.json requests.jsonl --workers 4
+    waso serve graph.json --port 7077 --max-queue 64
 
 ``solve`` prints the selected members and their willingness; ``--k-max``
 turns it into a range query (one line per k).  ``--workers`` and
@@ -27,6 +28,16 @@ deadline and ``--max-retries`` bounds crash recovery; on partial
 failure the completed requests print normally, each failed one prints a
 JSONL error record (``index`` / ``error`` / ``retries`` / ``message``),
 and the exit code is 2.
+
+``serve`` runs the overload-safe serving daemon (:mod:`repro.serving`):
+newline-delimited JSON requests over TCP (the ``solve-many`` spec plus
+``id`` / ``tenant`` / ``slo_s``), bounded-queue admission control with
+typed load shedding, SLO-inverted budget routing, and HTTP
+``/healthz`` / ``/readyz`` / ``/metrics`` probes on the same port.
+``--tenant name=graph.json`` (repeatable) registers extra graphs beside
+the positional one (tenant ``default``).  The daemon drains on
+SIGINT/SIGTERM: admitted requests are answered, then the pools shut
+down.
 """
 
 from __future__ import annotations
@@ -158,6 +169,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many times a dispatch whose worker crashed is "
         "retried before degrading to in-parent execution "
         "(default: the pools' built-in budget)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the JSONL serving daemon over one or more graphs",
+    )
+    serve.add_argument("graph", help="JSON graph path (tenant 'default')")
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=GRAPH.json",
+        help="register an extra tenant graph (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; the bound address is announced "
+        "on stdout)",
+    )
+    _add_runtime_arguments(serve, default_mode="auto")
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission queue bound; arrivals past it are shed with a "
+        'typed kind="shed" rejection (default: 64)',
+    )
+    serve.add_argument(
+        "--max-inflight-per-tenant",
+        type=int,
+        default=None,
+        help="per-tenant cap on admitted-but-unanswered requests "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--queue-timeout-s",
+        type=float,
+        default=None,
+        help="queue patience: an admitted request waiting longer is "
+        'rejected with kind="queue_timeout" at the next dispatch '
+        "boundary (default: wait forever)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        help="most requests one dispatch batch may carry (default: 8)",
+    )
+    serve.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (a request's own "
+        "deadline_s field wins)",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="crash-retry budget for the pools (default: built-in)",
     )
 
     return parser
@@ -301,6 +375,34 @@ def main(argv=None) -> int:
                 f"W={result.willingness:.4f} members=[{members}]"
             )
         return 2 if failures else 0
+
+    if args.command == "serve":
+        from repro.serving import ServingDaemon, run_daemon
+
+        graphs = {"default": load_json(args.graph)}
+        for entry in args.tenant:
+            name, separator, path = entry.partition("=")
+            if not separator or not name or not path:
+                raise SystemExit(
+                    f"--tenant needs NAME=GRAPH.json, got {entry!r}"
+                )
+            graphs[name] = load_json(path)
+        try:
+            daemon = ServingDaemon(
+                graphs,
+                engine=args.engine,
+                mode=args.mode,
+                workers=args.workers,
+                max_retries=args.max_retries,
+                max_queue=args.max_queue,
+                max_inflight_per_tenant=args.max_inflight_per_tenant,
+                queue_timeout_s=args.queue_timeout_s,
+                batch_max=args.batch_max,
+                default_deadline_s=args.timeout_s,
+            )
+        except (TypeError, ValueError, ReproError) as error:
+            raise SystemExit(f"invalid serve configuration: {error}") from None
+        return run_daemon(daemon, host=args.host, port=args.port)
 
     return 1  # pragma: no cover - argparse enforces the choices
 

@@ -106,15 +106,27 @@ class RequestFailure(str):
     * ``kind`` — ``"worker_crash"`` (pool worker died and the retry
       budget ran out; retryable — the request itself may be fine),
       ``"deadline"`` (the request's ``deadline_s`` expired; retryable
-      with a larger budget), or ``"solver_error"`` (the solve itself
-      raised — e.g. infeasible; fatal, a retry would fail identically);
+      with a larger budget), ``"solver_error"`` (the solve itself
+      raised — e.g. infeasible; fatal, a retry would fail identically),
+      or one of the serving daemon's admission rejections
+      (:mod:`repro.serving`): ``"shed"`` (the request was refused at
+      arrival — bounded queue full, tenant over its in-flight limit, or
+      the daemon draining; retryable after backing off) and
+      ``"queue_timeout"`` (the request was admitted but waited in the
+      queue past the admission controller's patience; retryable);
     * ``retries`` — how many re-dispatches were attempted before giving
       up;
     * ``index`` — the request's position in the batch (``None`` when
       unknown).
     """
 
-    KINDS = ("worker_crash", "deadline", "solver_error")
+    KINDS = (
+        "worker_crash",
+        "deadline",
+        "solver_error",
+        "shed",
+        "queue_timeout",
+    )
 
     def __new__(
         cls,

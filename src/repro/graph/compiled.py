@@ -80,7 +80,13 @@ _PAYLOAD_COUNTER = itertools.count()
 
 
 def _new_payload_token() -> str:
-    return f"cg-{os.getpid()}-{next(_PAYLOAD_COUNTER)}"
+    # Fixed-width fields: the token rides in every resident-pool wire
+    # spec, and the tier-2 payload-byte gates compare those pickles
+    # byte-exactly against a committed baseline — a token whose length
+    # varied with the PID's digit count made "deterministic" payload
+    # sizes depend on which PID the bench process happened to get.
+    # (7 digits covers Linux's largest default pid_max, 4194304.)
+    return f"cg-{os.getpid():07d}-{next(_PAYLOAD_COUNTER):05d}"
 
 
 class CompiledGraph:

@@ -81,10 +81,13 @@ not take down the process:
   (test-only, via the pools' ``fault_plan`` attribute) deterministically
   kills a worker before its Nth RPC, drops a reply, or delays one past
   a deadline, so recovery behaviour is asserted exactly rather than
-  observed anecdotally.
+  observed anecdotally.  The same plans target the serving daemon
+  (:mod:`repro.serving`): ``stalls`` hold its dispatch loop to force
+  deterministic overload, and :class:`~repro.parallel.faults.
+  ArrivalScript` replays seeded open-loop arrival schedules against it.
 """
 
-from repro.parallel.faults import NEXT_RPC, FaultPlan
+from repro.parallel.faults import NEXT_RPC, ArrivalScript, FaultPlan
 from repro.parallel.pool import (
     ParallelSolver,
     ResidentSolvePool,
@@ -103,6 +106,7 @@ from repro.parallel.residency import (
 from repro.parallel.stage_pool import ShardedStageExecutor, StagePool
 
 __all__ = [
+    "ArrivalScript",
     "DEFAULT_MAX_RETRIES",
     "DEFAULT_RESIDENT_GRAPHS",
     "FaultPlan",

@@ -32,6 +32,28 @@ after an injected kill is bit-identical to the original — the chaos
 suite (``tests/test_faults.py``) asserts equality against fault-free
 runs at every dispatch position.
 
+The serving daemon (:mod:`repro.serving`) added a fourth fault surface
+above the pools — its dispatch loop.  A plan can therefore also carry
+
+* **stalls** — hold the daemon's queue for the given number of seconds
+  immediately before it drains its ``seq``-th batch (1-based).  A stall
+  longer than the admission controller's queue patience forces
+  deterministic ``kind="queue_timeout"`` rejections; a stall combined
+  with a burst of arrivals fills the bounded queue and forces
+  deterministic ``kind="shed"`` rejections — *which* requests are shed
+  depends only on the arrival order, never on timing races.
+
+Worker kills/drops/delays compose with the daemon transparently: the
+daemon installs the same plan on its context's pools, so a kill fires
+mid-request underneath a served batch exactly as it would under a
+direct ``solve_many``.
+
+:class:`ArrivalScript` is the other half of daemon chaos: a
+deterministic open-loop arrival schedule (bursts, uniform rates, seeded
+Poisson processes) that the chaos suite and the serving bench replay
+against the daemon, so an overload scenario that exposed a shedding bug
+can be reproduced exactly.
+
 The hook is test-only by design: pools expose a ``fault_plan``
 attribute, ``None`` by default, with zero cost on the hot path beyond
 one attribute check.  Production code must never set it.
@@ -41,7 +63,7 @@ from __future__ import annotations
 
 import random
 
-__all__ = ["FaultPlan", "NEXT_RPC"]
+__all__ = ["ArrivalScript", "FaultPlan", "NEXT_RPC"]
 
 #: Sentinel RPC position: the fault fires on the *next* send to the
 #: worker, whatever its absolute sequence number — convenient for
@@ -68,10 +90,18 @@ class FaultPlan:
         Mapping ``(worker, rpc) -> seconds``: hold the reply for that
         long before delivering it (a hold past the request's deadline
         cancels the dispatch instead).
+    stalls:
+        Mapping ``batch -> seconds`` for the serving daemon's dispatch
+        loop: hold the queue for that long immediately before the
+        daemon drains its ``batch``-th batch (1-based; ``batch`` may be
+        :data:`NEXT_RPC` to stall the next drain regardless of
+        position).  Ignored by the pools — only
+        :class:`~repro.serving.daemon.ServingDaemon` consults it.
 
     Each fault fires at most once; :attr:`log` records every firing as
-    ``(kind, worker, rpc)`` so tests can assert a fault actually
-    triggered (a kill planned past the last RPC never fires).
+    ``(kind, worker, rpc)`` (``("stall", "queue", batch)`` for queue
+    stalls) so tests can assert a fault actually triggered (a kill
+    planned past the last RPC never fires).
     """
 
     def __init__(
@@ -79,10 +109,12 @@ class FaultPlan:
         kills: "tuple | list" = (),
         drops: "tuple | list" = (),
         delays: "dict | None" = None,
+        stalls: "dict | None" = None,
     ) -> None:
         self._kills = list(kills)
         self._drops = list(drops)
         self._delays = dict(delays or {})
+        self._stalls = dict(stalls or {})
         #: Faults that actually fired, in firing order.
         self.log: "list[tuple]" = []
 
@@ -121,6 +153,21 @@ class FaultPlan:
                 return float(hold)
         return None
 
+    def queue_stall(self, batch: int) -> "float | None":
+        """Seconds to hold the daemon's queue before draining ``batch``.
+
+        Consulted by the serving daemon's dispatch loop with its
+        1-based batch ordinal; returns ``None`` when no stall is
+        planned there.  Fires at most once per planned position, like
+        every other fault.
+        """
+        for spec, hold in list(self._stalls.items()):
+            if spec == NEXT_RPC or spec == batch:
+                del self._stalls[spec]
+                self.log.append(("stall", "queue", batch))
+                return float(hold)
+        return None
+
     # ------------------------------------------------------------------
     @classmethod
     def seeded(
@@ -155,5 +202,65 @@ class FaultPlan:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FaultPlan(kills={self._kills!r}, drops={self._drops!r}, "
-            f"delays={self._delays!r}, fired={self.log!r})"
+            f"delays={self._delays!r}, stalls={self._stalls!r}, "
+            f"fired={self.log!r})"
         )
+
+
+class ArrivalScript:
+    """A deterministic open-loop arrival schedule for daemon chaos/bench.
+
+    An *open-loop* load generator sends each request at its scheduled
+    instant regardless of how the server is coping — that is what makes
+    overload visible (a closed loop self-throttles and can never
+    oversubscribe the queue).  The script is just the schedule: a tuple
+    of non-negative :attr:`offsets` in seconds from the run's start,
+    one per request, in send order.  Constructors cover the three
+    shapes the chaos suite and ``bench_serving_daemon`` replay:
+
+    * :meth:`burst` — ``count`` simultaneous arrivals (offset 0),
+      the canonical queue-filling overload;
+    * :meth:`uniform` — ``count`` arrivals at a fixed ``rate`` per
+      second, the steady-state load curve;
+    * :meth:`poisson` — a seeded Poisson process (exponential
+      inter-arrivals), reproducible per seed like
+      :meth:`FaultPlan.seeded`.
+    """
+
+    def __init__(self, offsets) -> None:
+        self.offsets = tuple(float(offset) for offset in offsets)
+        if any(offset < 0 for offset in self.offsets):
+            raise ValueError("arrival offsets must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def __iter__(self):
+        return iter(self.offsets)
+
+    @classmethod
+    def burst(cls, count: int, at: float = 0.0) -> "ArrivalScript":
+        """``count`` simultaneous arrivals at offset ``at``."""
+        return cls([at] * count)
+
+    @classmethod
+    def uniform(cls, count: int, rate: float) -> "ArrivalScript":
+        """``count`` arrivals at a constant ``rate`` per second."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        return cls(index / rate for index in range(count))
+
+    @classmethod
+    def poisson(cls, seed: int, count: int, rate: float) -> "ArrivalScript":
+        """A seeded Poisson arrival process with mean ``rate`` per second."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        rng = random.Random(seed)
+        offsets, clock = [], 0.0
+        for _ in range(count):
+            clock += rng.expovariate(rate)
+            offsets.append(clock)
+        return cls(offsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrivalScript({len(self.offsets)} arrivals)"

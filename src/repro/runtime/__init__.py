@@ -17,9 +17,15 @@ This package is the single place execution state lives:
 """
 
 from repro.runtime.context import ExecutionContext
-from repro.runtime.requests import SolveRequest, request_from_spec
+from repro.runtime.requests import (
+    SolveRequest,
+    request_from_spec,
+    valid_spec_keys,
+)
 from repro.runtime.router import (
     MODES,
+    budget_for_slo,
+    budget_ladder,
     choose_mode,
     validate_mode,
 )
@@ -28,7 +34,10 @@ __all__ = [
     "ExecutionContext",
     "SolveRequest",
     "request_from_spec",
+    "valid_spec_keys",
     "MODES",
+    "budget_for_slo",
+    "budget_ladder",
     "choose_mode",
     "validate_mode",
 ]

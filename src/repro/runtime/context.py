@@ -165,6 +165,17 @@ class ExecutionContext:
         """Worker count the pools are sized with."""
         return self.workers if self.workers is not None else self.cpu_count
 
+    @property
+    def degraded(self) -> bool:
+        """Has a pool exhausted its crash-retry budget?
+
+        While degraded the router sends everything serial (in-parent
+        execution is the floor dying workers cannot take out); the
+        serving daemon reports the flag on its health endpoint.
+        :meth:`close` discards the pools and clears it.
+        """
+        return self._degraded
+
     # ------------------------------------------------------------------
     # Engine
     # ------------------------------------------------------------------

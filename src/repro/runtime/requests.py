@@ -14,13 +14,14 @@ network front end).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 from repro.algorithms.base import RngLike
 from repro.core.problem import WASOProblem
 from repro.graph.social_graph import SocialGraph
 
-__all__ = ["SolveRequest", "request_from_spec"]
+__all__ = ["SolveRequest", "request_from_spec", "valid_spec_keys"]
 
 #: Spec keys that configure the problem rather than the solver.
 _PROBLEM_KEYS = (
@@ -32,6 +33,30 @@ _PROBLEM_KEYS = (
     "seed",
     "deadline_s",
 )
+
+#: Solver-constructor parameters a spec must *not* set: they carry live
+#: execution state (pools, strategies) that a JSON request cannot name.
+_EXECUTION_ONLY_PARAMS = frozenset({"context", "executor"})
+
+
+def valid_spec_keys(solver: str) -> "frozenset[str] | None":
+    """Spec keys :func:`request_from_spec` accepts for ``solver``.
+
+    The problem keys plus the solver factory's keyword parameters
+    (minus the execution-state ones a serialized request cannot carry).
+    Returns ``None`` for open ``**kwargs`` factories (e.g. the
+    ``cbas-nd-g`` wrapper), whose keys cannot be enumerated from the
+    signature — they validate at construction time instead.  Raises
+    ``ValueError`` for an unknown solver name.
+    """
+    from repro.algorithms.registry import solver_factory
+
+    params = inspect.signature(solver_factory(solver)).parameters
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return None
+    return frozenset(params) - _EXECUTION_ONLY_PARAMS
 
 
 @dataclass
@@ -96,6 +121,11 @@ def request_from_spec(graph: SocialGraph, spec: dict) -> SolveRequest:
     name, default ``"cbas-nd"``), ``seed`` (int), ``deadline_s``
     (per-request wall-clock budget in seconds), and any remaining keys
     are passed through as solver kwargs (``budget``, ``m``, ...).
+
+    A remaining key the solver's factory does not accept raises
+    ``ValueError`` naming the valid keys — a typo like ``deadline`` for
+    ``deadline_s`` must fail at the front door, not be silently
+    dropped into a request that then ignores its deadline.
     """
     if "k" not in spec:
         raise ValueError(f"request spec needs a 'k' field: {spec!r}")
@@ -109,10 +139,20 @@ def request_from_spec(graph: SocialGraph, spec: dict) -> SolveRequest:
     solver_kwargs = {
         key: value for key, value in spec.items() if key not in _PROBLEM_KEYS
     }
+    solver = spec.get("solver", "cbas-nd")
+    accepted = valid_spec_keys(solver)  # unknown solver raises here
+    if accepted is not None:
+        unknown = sorted(set(solver_kwargs) - accepted)
+        if unknown:
+            valid = sorted(set(_PROBLEM_KEYS) | accepted)
+            raise ValueError(
+                f"unknown request key(s) {', '.join(map(repr, unknown))} "
+                f"for solver {solver!r}; valid keys: {valid}"
+            )
     deadline_s = spec.get("deadline_s")
     return SolveRequest(
         problem=problem,
-        solver=spec.get("solver", "cbas-nd"),
+        solver=solver,
         rng=spec.get("seed"),
         solver_kwargs=solver_kwargs,
         deadline_s=float(deadline_s) if deadline_s is not None else None,

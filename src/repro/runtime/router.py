@@ -57,6 +57,11 @@ __all__ = [
     "MIN_STAGE_BUDGET",
     "MIN_SOLVE_WORK",
     "VECTOR_SPEEDUP",
+    "MIN_SLO_BUDGET",
+    "MAX_SLO_BUDGET",
+    "SLO_HEADROOM",
+    "budget_ladder",
+    "budget_for_slo",
     "validate_mode",
     "choose_mode",
 ]
@@ -172,3 +177,125 @@ def choose_mode(
         # see) finish inline faster than their dispatch round trip.
         return "solve"
     return "serial"
+
+
+# ----------------------------------------------------------------------
+# SLO inversion — the serving daemon's budget selection
+# ----------------------------------------------------------------------
+# :func:`choose_mode` answers "given a budget T, how should it run?".
+# The serving daemon asks the inverse question: "given a latency SLO,
+# what is the *largest* budget T this hardware can honour?" — more
+# budget is strictly better for solution quality (the paper's Fig. 5(b)
+# willingness-vs-T curves), so a latency target should buy as many
+# samples as it can.  :func:`budget_for_slo` scans a geometric budget
+# ladder from the top and returns the first candidate whose predicted
+# latency (work volume over an observed work rate) fits inside the SLO,
+# together with the mode that candidate would route to and the latency
+# it promises.  The work rate is the caller's: the serving layer
+# calibrates it online per (engine, mode) from observed solve latencies
+# (:class:`repro.serving.slo.LatencyCalibrator`), so the same SLO buys
+# more samples on faster hardware — and fewer as the machine saturates.
+
+#: Smallest budget the SLO planner will promise.  Below this a CE solve
+#: is statistically meaningless; a request whose SLO cannot even buy
+#: this floor is still served at the floor (with the overrun recorded)
+#: — admission control and deadlines, not the planner, are the layers
+#: that refuse work.
+MIN_SLO_BUDGET = 32
+
+#: Largest budget the SLO planner will spend on one request, however
+#: generous its SLO — past this the willingness curve is flat and the
+#: samples are better spent on other tenants.
+MAX_SLO_BUDGET = 25_600
+
+#: Fraction of the SLO the planner is allowed to promise.  The model is
+#: an EWMA over noisy observations; the slack absorbs queueing and
+#: dispatch overhead so the *achieved* latency lands inside the SLO.
+SLO_HEADROOM = 0.8
+
+
+def budget_ladder(
+    lo: int = MIN_SLO_BUDGET, hi: int = MAX_SLO_BUDGET
+) -> "tuple[int, ...]":
+    """Geometric budget candidates from ``lo`` to ``hi``, ascending.
+
+    Steps of ×1.5 keep the ladder short (~16 rungs over the default
+    range) while guaranteeing the chosen budget is within ~33% of the
+    true maximum the SLO could buy.
+    """
+    if lo < 1 or hi < lo:
+        raise ValueError(f"need 1 <= lo <= hi, got lo={lo}, hi={hi}")
+    rungs = []
+    step = lo
+    while step < hi:
+        rungs.append(step)
+        step = max(step + 1, int(step * 1.5))
+    rungs.append(hi)
+    return tuple(rungs)
+
+
+def budget_for_slo(
+    n: int,
+    slo_s: float,
+    work_rate,
+    batch_size: int = 1,
+    workers: "int | None" = None,
+    cpu_count: "int | None" = None,
+    healthy: bool = True,
+    engine: str = "compiled",
+    min_budget: int = MIN_SLO_BUDGET,
+    max_budget: int = MAX_SLO_BUDGET,
+    headroom: float = SLO_HEADROOM,
+) -> "tuple[int, str, float]":
+    """Largest ``(budget, mode, promised_s)`` that fits a latency SLO.
+
+    Parameters
+    ----------
+    n, batch_size, workers, cpu_count, healthy, engine:
+        As in :func:`choose_mode` — every candidate budget is routed
+        through it, so the promise accounts for the mode the request
+        would actually run in (a degraded runtime plans against its
+        serial work rate, not the pools').
+    slo_s:
+        The request's end-to-end latency objective in seconds.
+    work_rate:
+        ``callable(mode) -> float``: observed work units (``n × T``)
+        cleared per second of solve wall clock when running in
+        ``mode``.  The serving layer passes its online calibrator.
+    min_budget / max_budget / headroom:
+        Planner bounds (see the module constants).
+
+    Returns ``(budget, mode, promised_s)``.  ``promised_s`` is the
+    predicted latency of the chosen budget; it exceeds
+    ``headroom × slo_s`` only when even ``min_budget`` does not fit —
+    the caller should surface that overrun rather than refuse the
+    request.
+    """
+    if slo_s <= 0:
+        raise ValueError(f"slo_s must be positive, got {slo_s}")
+    if not 0 < headroom <= 1:
+        raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+
+    def _candidate(budget: int) -> "tuple[int, str, float]":
+        mode = choose_mode(
+            n=n,
+            budget=budget,
+            batch_size=batch_size,
+            workers=workers,
+            cpu_count=cpu_count,
+            healthy=healthy,
+            engine=engine,
+        )
+        rate = float(work_rate(mode))
+        if rate <= 0:
+            raise ValueError(f"work_rate({mode!r}) must be positive")
+        return budget, mode, (n * budget) / rate
+
+    allowance = headroom * slo_s
+    for budget in reversed(budget_ladder(min_budget, max_budget)):
+        candidate = _candidate(budget)
+        if candidate[2] <= allowance:
+            return candidate
+    # Nothing fits: serve the floor anyway and let the caller record
+    # the promised overrun (shedding is admission control's job).
+    return _candidate(min_budget)

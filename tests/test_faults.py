@@ -39,6 +39,7 @@ from repro.graph.io import save_json
 from repro.graph.social_graph import SocialGraph
 from repro.parallel import (
     NEXT_RPC,
+    ArrivalScript,
     FaultPlan,
     ResidentSolvePool,
     ShardedStageExecutor,
@@ -150,6 +151,49 @@ class TestFaultPlan:
         with pytest.raises(ValueError, match="cannot place"):
             FaultPlan.seeded(1, workers=2, rpcs=2, kills=5)
 
+    def test_queue_stalls_fire_exactly_once(self):
+        plan = FaultPlan(stalls={1: 0.25, NEXT_RPC: 0.5})
+        # NEXT_RPC matches any batch; specific keys win their own batch.
+        assert plan.queue_stall(1) in (0.25, 0.5)
+        remaining = plan.queue_stall(1)
+        assert remaining in (0.25, 0.5)
+        assert plan.queue_stall(1) is None  # both entries consumed
+        assert [event[0] for event in plan.log] == ["stall", "stall"]
+
+    def test_queue_stall_ignores_other_batches(self):
+        plan = FaultPlan(stalls={3: 1.0})
+        assert plan.queue_stall(1) is None
+        assert plan.queue_stall(2) is None
+        assert plan.queue_stall(3) == 1.0
+        assert plan.queue_stall(3) is None
+        assert plan.log == [("stall", "queue", 3)]
+
+
+# ----------------------------------------------------------------------
+# ArrivalScript: deterministic open-loop arrival schedules
+# ----------------------------------------------------------------------
+class TestArrivalScript:
+    def test_burst_arrives_at_once(self):
+        script = ArrivalScript.burst(4)
+        assert script.offsets == (0.0, 0.0, 0.0, 0.0)
+        assert len(script) == 4
+
+    def test_uniform_spacing(self):
+        script = ArrivalScript.uniform(3, rate=10.0)
+        assert script.offsets == pytest.approx((0.0, 0.1, 0.2))
+
+    def test_poisson_is_seeded_and_sorted(self):
+        first = ArrivalScript.poisson(7, count=20, rate=50.0)
+        second = ArrivalScript.poisson(7, count=20, rate=50.0)
+        assert first.offsets == second.offsets
+        assert list(first.offsets) == sorted(first.offsets)
+        other = ArrivalScript.poisson(8, count=20, rate=50.0)
+        assert first.offsets != other.offsets
+
+    def test_offsets_validated(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ArrivalScript([0.0, -0.1])
+
 
 # ----------------------------------------------------------------------
 # Structured failure records
@@ -218,6 +262,25 @@ class TestSolvePoolRecovery:
             _assert_same_result(fault_result, clean_result)
             assert fault_result.stats.extra["worker_restarts"] == 1
             assert fault_result.stats.extra["chunk_retries"] == 1
+
+    def test_vector_engine_recovers_too(self, small_facebook, no_orphans):
+        """The numpy stage-batched engine rides the same recovery path:
+        a killed worker's chunk retries bit-identically (the vector
+        engine is bit-reproducible within the engine for any worker
+        count, so the redraw matches)."""
+        clean = _solve_many(small_facebook, engine="vector")
+        plan = FaultPlan(kills=[(0, NEXT_RPC)])
+        faulted = _solve_many(small_facebook, plan=plan, engine="vector")
+        assert plan.log, "the injected kill never fired"
+        for fault_result, clean_result in zip(faulted, clean):
+            _assert_same_result(fault_result, clean_result)
+            assert fault_result.stats.extra["worker_restarts"] == 1
+            assert fault_result.stats.extra["chunk_retries"] == 1
+            # Still a vector-engine solve end to end, not a silent
+            # fallback to another engine during recovery.
+            assert fault_result.stats.extra.get("vector_batch_draws", 0) == (
+                clean_result.stats.extra.get("vector_batch_draws", 0)
+            )
 
     def test_exhausted_retries_degrade_to_serial(
         self, small_facebook, no_orphans
@@ -319,10 +382,12 @@ class TestDeadlines:
 # ----------------------------------------------------------------------
 # Stage-level pool: mid-stage crashes and in-parent fallback
 # ----------------------------------------------------------------------
-def _stage_solve(graph, pool) -> "tuple":
+def _stage_solve(graph, pool, engine: str = "compiled") -> "tuple":
     problem = WASOProblem(graph=graph, k=5)
     executor = ShardedStageExecutor(pool=pool)
-    solver = CBASND(budget=120, m=6, stages=3, executor=executor)
+    solver = CBASND(
+        budget=120, m=6, stages=3, engine=engine, executor=executor
+    )
     return solver.solve(problem, rng=4)
 
 
@@ -348,6 +413,28 @@ class TestStagePoolRecovery:
             assert faulted.stats.extra["worker_restarts"] == 1
             assert faulted.stats.extra["chunk_retries"] == 1
         assert "worker_restarts" not in clean.stats.extra
+
+    def test_vector_engine_shard_recovery_is_bit_identical(
+        self, small_facebook, no_orphans
+    ):
+        """A worker killed mid-stage under ``engine="vector"`` respawns,
+        re-installs the vector graph, and redraws its shard to the same
+        bits — the numpy residency path heals like the compiled one."""
+        with StagePool(2) as pool:
+            clean = _stage_solve(small_facebook, pool, engine="vector")
+        plan = FaultPlan(kills=[(0, 3)])  # first stage dispatch
+        with StagePool(2) as pool:
+            pool.fault_plan = plan
+            faulted = _stage_solve(small_facebook, pool, engine="vector")
+            assert plan.log == [("kill", 0, 3)]
+            assert pool.worker_restarts == 1
+            assert pool.healthy
+        _assert_same_result(faulted, clean)
+        assert faulted.stats.extra["worker_restarts"] == 1
+        assert faulted.stats.extra["chunk_retries"] == 1
+        assert faulted.stats.extra.get("vector_batch_draws", 0) == (
+            clean.stats.extra.get("vector_batch_draws", 0)
+        )
 
     def test_exhausted_shard_falls_back_in_parent(
         self, small_facebook, no_orphans

@@ -478,6 +478,36 @@ class TestSolveMany:
         with pytest.raises(TypeError, match="registry name"):
             SolveRequest(WASOProblem(graph=runtime_graph, k=3), CBASND())
 
+    def test_request_from_spec_rejects_unknown_keys(self, runtime_graph):
+        """A typo'd spec key fails at the front door, naming the valid
+        keys, instead of being silently dropped into the request."""
+        with pytest.raises(ValueError, match="'budgett'") as excinfo:
+            request_from_spec(runtime_graph, {"k": 5, "budgett": 77})
+        message = str(excinfo.value)
+        assert "valid keys" in message
+        assert "budget" in message and "deadline_s" in message
+        # Execution-state parameters are never spec keys.
+        with pytest.raises(ValueError, match="'executor'"):
+            request_from_spec(runtime_graph, {"k": 5, "executor": None})
+        with pytest.raises(ValueError, match="unknown solver"):
+            request_from_spec(runtime_graph, {"k": 5, "solver": "nope"})
+
+    def test_request_from_spec_open_factories_validate_late(
+        self, runtime_graph
+    ):
+        """``cbas-nd-g`` is an open ``**kwargs`` wrapper: its keys cannot
+        be enumerated from the signature (``valid_spec_keys`` returns
+        ``None``), so a typo surfaces at construction instead."""
+        from repro.runtime import valid_spec_keys
+
+        assert valid_spec_keys("cbas-nd-g") is None
+        assert "budget" in valid_spec_keys("cbas-nd")
+        assert "context" not in valid_spec_keys("cbas-nd")
+        request = request_from_spec(
+            runtime_graph, {"k": 5, "solver": "cbas-nd-g", "budget": 50}
+        )
+        assert request.budget == 50
+
 
 class TestServingSessionResidency:
     """The tentpole differential suite: a long serving session — several
