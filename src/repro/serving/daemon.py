@@ -263,6 +263,11 @@ class ServingDaemon:
         if not self._started:
             return
         self._draining = True
+        # Untrack the listening fds before close() — pools still
+        # respawn workers during the drain, and the at-fork hook must
+        # not close whatever the kernel recycles these numbers into.
+        for sock in self._server.sockets:
+            self._tracked_fds.discard(sock.fileno())
         self._server.close()
         await self._server.wait_closed()
         self._work.set()  # wake the dispatcher so it can observe draining
@@ -316,13 +321,17 @@ class ServingDaemon:
             for pending in reply_tasks:
                 if not pending.done():
                     pending.cancel()
+            # Untrack the fd *before* close(): the kernel may recycle
+            # the fd number the instant the transport closes it, and a
+            # concurrent pool fork must not close an unrelated file
+            # that happens to reuse it.
+            if conn_fd is not None:
+                self._tracked_fds.discard(conn_fd)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
-            if conn_fd is not None:
-                self._tracked_fds.discard(conn_fd)
             self._conn_tasks.discard(task)
 
     async def _handle_line(
@@ -366,7 +375,11 @@ class ServingDaemon:
         self._work.set()
 
         async def _deliver() -> None:
-            payload = await entry.future
+            # Shield the future: it is shared with the dispatch loop,
+            # and cancelling this delivery task (connection cleanup
+            # after a client disconnect) must not cancel the admitted
+            # work's result slot out from under the dispatcher.
+            payload = await asyncio.shield(entry.future)
             await self._write(writer, write_lock, payload)
 
         reply_tasks.append(asyncio.create_task(_deliver()))
@@ -393,7 +406,10 @@ class ServingDaemon:
                     "slo_s and budget are mutually exclusive: the SLO "
                     "buys the budget"
                 )
-            accepted = valid_spec_keys(spec.get("solver", "cbas-nd"))
+            try:
+                accepted = valid_spec_keys(spec.get("solver", "cbas-nd"))
+            except ValueError as error:  # unknown solver name
+                raise _InvalidRequest(str(error)) from None
             if accepted is not None and "budget" not in accepted:
                 raise _InvalidRequest(
                     f"solver {spec.get('solver')!r} takes no budget; "
@@ -445,13 +461,14 @@ class ServingDaemon:
                         await asyncio.sleep(hold)
                 batch, rejected = self.admission.take_batch(self.batch_max)
                 for entry, failure in rejected:
-                    entry.future.set_result(
+                    self._settle_future(
+                        entry,
                         self._error_payload(
                             entry.id,
                             failure.kind,
                             str(failure),
                             retries=failure.retries,
-                        )
+                        ),
                     )
                 if not batch:
                     continue
@@ -460,7 +477,20 @@ class ServingDaemon:
                 for entry, payload in zip(batch, outcomes):
                     ok = payload.get("ok", False)
                     self.admission.settle(entry, ok=ok)
-                    entry.future.set_result(payload)
+                    self._settle_future(entry, payload)
+
+    @staticmethod
+    def _settle_future(entry, payload: dict) -> None:
+        """Set ``entry``'s result without ever raising into the loop.
+
+        The future is shared with the owning connection's delivery
+        task; delivery shields it, but the dispatch loop must survive
+        even if the future was somehow cancelled (a dead dispatcher
+        stops the daemon answering *all* clients, which is the one
+        failure mode worse than a dropped reply).
+        """
+        if not entry.future.done():
+            entry.future.set_result(payload)
 
     def _solve_batch(self, batch) -> "list[dict]":
         """Solve one admitted batch on the context (worker thread).
@@ -604,6 +634,7 @@ class ServingDaemon:
         }
 
     async def _handle_http(self, first_line: bytes, reader, writer) -> None:
+        head_only = first_line.startswith(b"HEAD ")
         try:
             path = first_line.split()[1].decode("latin-1")
         except (IndexError, UnicodeDecodeError):
@@ -632,7 +663,10 @@ class ServingDaemon:
             f"HTTP/1.1 {code} {reason.get(code, 'OK')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(encoded)}\r\n"
-            "Connection: close\r\n\r\n".encode() + encoded
+            "Connection: close\r\n\r\n".encode()
+            # A HEAD reply carries GET's headers (including the
+            # Content-Length the body *would* have) but no body.
+            + (b"" if head_only else encoded)
         )
         await writer.drain()
 

@@ -31,6 +31,7 @@ import multiprocessing
 import os
 import signal
 import socket
+import struct
 import subprocess
 import sys
 import time
@@ -109,15 +110,22 @@ async def _send_all(host: int, port: int, specs) -> "dict[object, dict]":
     return replies
 
 
-async def _http_get(host: str, port: int, path: str) -> "tuple[int, dict]":
+async def _http_request(
+    host: str, port: int, path: str, method: str = "GET"
+) -> "tuple[int, bytes, bytes]":
     reader, writer = await asyncio.open_connection(host, port)
-    writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    writer.write(f"{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
     await writer.drain()
     data = await reader.read()
     writer.close()
     await writer.wait_closed()
     head, _, body = data.partition(b"\r\n\r\n")
-    return int(head.split()[1]), json.loads(body)
+    return int(head.split()[1]), head, body
+
+
+async def _http_get(host: str, port: int, path: str) -> "tuple[int, dict]":
+    code, _, body = await _http_request(host, port, path)
+    return code, json.loads(body)
 
 
 def _daemon_kwargs(**overrides) -> dict:
@@ -233,6 +241,71 @@ class TestDifferential:
             reply = replies[spec["id"]]
             _assert_reply_matches(reply, result)
             assert reply["extra"]["worker_restarts"] == 1
+
+    def test_client_disconnect_mid_solve_keeps_daemon_serving(
+        self, small_facebook, no_orphans
+    ):
+        """A client that vanishes (RST) while its admitted request is
+        still solving must not poison the dispatch loop: the orphaned
+        solve completes into nowhere and *later* clients still get
+        their answers."""
+
+        async def scenario():
+            daemon = ServingDaemon(
+                small_facebook,
+                fault_plan=FaultPlan(stalls={1: 0.4}),
+                **_daemon_kwargs(),
+            )
+            host, port = await daemon.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                # SO_LINGER(1, 0) turns the abort below into a hard RST
+                # (a plain close is a polite FIN the daemon just reads
+                # as EOF) — the server's readline raises mid-solve and
+                # connection cleanup cancels the pending delivery task
+                # while the dispatcher still holds the shared future.
+                sock = writer.get_extra_info("socket")
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                writer.write(
+                    json.dumps(
+                        {"id": "gone", "k": 4, "budget": 40, "seed": 1}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                await asyncio.sleep(0.1)  # admitted; batch still stalled
+                writer.transport.abort()
+                # Bounded wait: a daemon whose dispatcher died never
+                # answers, and this must fail, not hang the suite.
+                replies = await asyncio.wait_for(
+                    _send_all(
+                        host,
+                        port,
+                        [{"id": "after", "k": 4, "budget": 40, "seed": 2}],
+                    ),
+                    timeout=30,
+                )
+            finally:
+                # Also bounded: shutdown drains connection tasks that
+                # never settle if the dispatcher died.
+                await asyncio.wait_for(daemon.shutdown(), timeout=30)
+            return replies, daemon.admission.snapshot()
+
+        replies, counters = asyncio.run(scenario())
+        assert replies["after"]["ok"], (
+            "a disconnecting client must not stop the daemon serving"
+        )
+        # The orphaned request was admitted, so it was still solved and
+        # settled — nothing dropped, counters balance.
+        assert counters["admitted"] == 2
+        assert counters["completed"] == 2
+        assert counters["received"] == (
+            counters["admitted"] + counters["shed"]
+        )
 
     def test_multi_tenant_graphs_multiplex_one_batch(self, no_orphans):
         graph_a = facebook_like(120, seed=5)
@@ -467,6 +540,8 @@ class TestSLORouting:
                         {"id": "y", "k": 3, "slo_s": 1.0,
                          "solver": "dgreedy"},
                         {"id": "z", "k": 5, "slo_s": -2.0},
+                        {"id": "u", "k": 5, "slo_s": 1.0,
+                         "solver": "no-such-solver"},
                     ],
                 )
             finally:
@@ -478,6 +553,10 @@ class TestSLORouting:
         assert replies["y"]["error"]["kind"] == "invalid"
         assert "no budget" in replies["y"]["error"]["message"]
         assert replies["z"]["error"]["kind"] == "invalid"
+        # An unknown solver on the SLO path is a typed rejection, not a
+        # dropped connection (the handler must survive to answer it).
+        assert replies["u"]["error"]["kind"] == "invalid"
+        assert "unknown solver" in replies["u"]["error"]["message"]
 
     def test_calibrator_ewma_tracks_observations(self):
         calibrator = LatencyCalibrator(alpha=0.5)
@@ -609,11 +688,14 @@ class TestLifecycle:
                 ready = await _http_get(host, port, "/readyz")
                 metrics = await _http_get(host, port, "/metrics")
                 missing = await _http_get(host, port, "/nope")
+                probe = await _http_request(
+                    host, port, "/healthz", method="HEAD"
+                )
             finally:
                 await daemon.shutdown()
-            return health, ready, metrics, missing
+            return health, ready, metrics, missing, probe
 
-        health, ready, metrics, missing = asyncio.run(scenario())
+        health, ready, metrics, missing, probe = asyncio.run(scenario())
         assert health == (
             200,
             health[1],
@@ -623,6 +705,11 @@ class TestLifecycle:
         assert ready[0] == 200 and ready[1]["ready"] is True
         assert metrics[0] == 200 and "calibration" in metrics[1]
         assert missing[0] == 404
+        # HEAD: GET's status line and headers, but no body.
+        code, head, body = probe
+        assert code == 200
+        assert b"Content-Length" in head
+        assert body == b""
 
     def test_degraded_pool_keeps_serving_and_reports_it(
         self, small_facebook, no_orphans
