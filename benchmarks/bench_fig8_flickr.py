@@ -57,6 +57,13 @@ def test_fig8_flickr(benchmark):
 
 
 if __name__ == "__main__":
-    q, t = run_experiment()
-    q.show()
-    t.show(fmt="{:.4f}")
+    import sys
+
+    from common import run_mmap_residency_cli
+
+    def _tables() -> None:
+        q, t = run_experiment()
+        q.show()
+        t.show(fmt="{:.4f}")
+
+    sys.exit(run_mmap_residency_cli("flickr", _tables))

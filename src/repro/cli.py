@@ -1,12 +1,23 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     waso generate --family facebook --size 500 --seed 7 --out graph.json
     waso stats graph.json
+    waso compile crawl.txt --cache-dir ~/.cache/waso
     waso solve graph.json --k 10 --solver cbas-nd --budget 300 --seed 7
     waso solve-many graph.json requests.jsonl --workers 4
     waso serve graph.json --port 7077 --max-queue 64
+
+``compile`` freezes a graph (edge-list crawl or JSON) into an on-disk
+compiled index — raw little-endian arrays plus a ``manifest.json`` (see
+:mod:`repro.graph.storage`).  With ``--cache-dir`` the index is
+content-addressed by the input bytes, so recompiling the same crawl is
+a no-op; with ``--out`` it lands in an exact directory.  Everywhere the
+other subcommands take a graph path (``solve``, ``solve-many``,
+``serve`` and its ``--tenant`` values), a compiled-index directory is
+accepted in place of a JSON file and is loaded mmap-backed — the
+out-of-core serving path.
 
 ``solve`` prints the selected members and their willingness; ``--k-max``
 turns it into a range query (one line per k).  ``--workers`` and
@@ -50,7 +61,13 @@ from repro.algorithms.registry import available_solvers
 from repro.core.api import solve_k_range
 from repro.exceptions import BatchExecutionError, ReproError
 from repro.graph import generators
-from repro.graph.io import load_json, save_json
+from repro.graph.io import (
+    ingest_edge_list,
+    load_edge_list,
+    load_json,
+    resolve_graph_source,
+    save_json,
+)
 from repro.graph.stats import summarize
 from repro.core.willingness import ENGINES
 from repro.runtime import ExecutionContext, request_from_spec
@@ -116,8 +133,38 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="summarize a graph file")
     stats.add_argument("graph", help="JSON graph path")
 
+    comp = sub.add_parser(
+        "compile",
+        help="freeze a graph into an on-disk compiled index (mmap-ready)",
+    )
+    comp.add_argument(
+        "graph",
+        help="input graph: an edge-list crawl or a JSON graph file "
+        "(JSON is detected by the .json extension; --json forces it)",
+    )
+    where = comp.add_mutually_exclusive_group(required=True)
+    where.add_argument("--out", help="exact index directory to write")
+    where.add_argument(
+        "--cache-dir",
+        help="content-addressed cache root: the index lands under a "
+        "directory named by the input bytes' hash, so the same crawl "
+        "compiles once ever",
+    )
+    comp.add_argument(
+        "--json",
+        action="store_true",
+        help="treat the input as a JSON graph regardless of extension",
+    )
+    comp.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompile even when the cache already holds this input",
+    )
+
     solve = sub.add_parser("solve", help="recommend an activity group")
-    solve.add_argument("graph", help="JSON graph path")
+    solve.add_argument(
+        "graph", help="JSON graph path or compiled-index directory"
+    )
     solve.add_argument("--k", type=int, required=True)
     solve.add_argument("--k-max", type=int, default=None)
     solve.add_argument(
@@ -147,7 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
         "solve-many",
         help="solve a JSONL batch of requests over one graph",
     )
-    many.add_argument("graph", help="JSON graph path")
+    many.add_argument(
+        "graph", help="JSON graph path or compiled-index directory"
+    )
     many.add_argument(
         "requests",
         help="JSONL file: one request object per line "
@@ -175,13 +224,18 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the JSONL serving daemon over one or more graphs",
     )
-    serve.add_argument("graph", help="JSON graph path (tenant 'default')")
+    serve.add_argument(
+        "graph",
+        help="JSON graph path or compiled-index directory (tenant "
+        "'default')",
+    )
     serve.add_argument(
         "--tenant",
         action="append",
         default=[],
-        metavar="NAME=GRAPH.json",
-        help="register an extra tenant graph (repeatable)",
+        metavar="NAME=GRAPH",
+        help="register an extra tenant graph: NAME=path to a JSON graph "
+        "or a compiled-index directory (repeatable)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -246,6 +300,49 @@ def _solver_kwargs(args) -> dict:
     return kwargs
 
 
+def _load_graph(source: str):
+    """A graph from a CLI path: JSON file or compiled-index directory."""
+    try:
+        return resolve_graph_source(source)
+    except ReproError as error:
+        raise SystemExit(f"cannot load graph {source!r}: {error}") from None
+
+
+def _compile_command(args) -> int:
+    import hashlib
+    from pathlib import Path
+
+    from repro.graph.storage import MANIFEST_NAME, save_compiled
+
+    is_json = args.json or args.graph.endswith(".json")
+    try:
+        if args.out is not None:
+            graph = (
+                load_json(args.graph) if is_json else load_edge_list(args.graph)
+            )
+            index = Path(args.out)
+            save_compiled(graph.compiled(), index)
+        elif is_json:
+            digest = hashlib.sha256(Path(args.graph).read_bytes()).hexdigest()
+            index = Path(args.cache_dir) / digest[:20]
+            if args.refresh or not (index / MANIFEST_NAME).is_file():
+                save_compiled(load_json(args.graph).compiled(), index)
+        else:
+            index = ingest_edge_list(
+                args.graph, args.cache_dir, refresh=args.refresh
+            )
+    except (OSError, ValueError, ReproError) as error:
+        raise SystemExit(f"cannot compile {args.graph!r}: {error}") from None
+    manifest = json.loads((index / MANIFEST_NAME).read_text(encoding="utf-8"))
+    print(f"index: {index}")
+    print(
+        f"token: {manifest['payload_token']}  "
+        f"nodes: {manifest['nodes']['count']}  "
+        f"edges: {manifest['arrays']['targets']['count'] // 2}"
+    )
+    return 0
+
+
 def _load_requests(graph, path: str) -> list:
     requests = []
     known_solvers = set(available_solvers())
@@ -290,8 +387,11 @@ def main(argv=None) -> int:
         print(summarize(graph))
         return 0
 
+    if args.command == "compile":
+        return _compile_command(args)
+
     if args.command == "solve":
-        graph = load_json(args.graph)
+        graph = _load_graph(args.graph)
         k_max = args.k_max if args.k_max is not None else args.k
         with ExecutionContext(
             engine=args.engine, mode=args.mode, workers=args.workers
@@ -317,7 +417,7 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "solve-many":
-        graph = load_json(args.graph)
+        graph = _load_graph(args.graph)
         requests = _load_requests(graph, args.requests)
         if not requests:
             print("no requests")
@@ -379,14 +479,14 @@ def main(argv=None) -> int:
     if args.command == "serve":
         from repro.serving import ServingDaemon, run_daemon
 
-        graphs = {"default": load_json(args.graph)}
+        graphs = {"default": _load_graph(args.graph)}
         for entry in args.tenant:
             name, separator, path = entry.partition("=")
             if not separator or not name or not path:
                 raise SystemExit(
-                    f"--tenant needs NAME=GRAPH.json, got {entry!r}"
+                    f"--tenant needs NAME=GRAPH, got {entry!r}"
                 )
-            graphs[name] = load_json(path)
+            graphs[name] = _load_graph(path)
         try:
             daemon = ServingDaemon(
                 graphs,

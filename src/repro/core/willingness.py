@@ -179,6 +179,11 @@ class FastWillingnessEvaluator:
             compiled = compiled.compiled()
         self.compiled = compiled
         self.graph = compiled.graph
+        # Local handle on the id-space row view, filled on first use:
+        # ``add_delta`` runs per candidate inside the sampler's inner
+        # loop, where a plain attribute beats re-entering the (lazy on
+        # mmap-backed graphs) property every call.
+        self._row_id_edges: "list | None" = None
 
     # ------------------------------------------------------------------
     # Full evaluation
@@ -221,7 +226,10 @@ class FastWillingnessEvaluator:
         except KeyError:
             raise NodeNotFoundError(node) from None
         delta = comp.weighted_interest[index]
-        for neighbour, pair in comp.row_id_edges[index]:
+        row_id_edges = self._row_id_edges
+        if row_id_edges is None:
+            row_id_edges = self._row_id_edges = comp.row_id_edges
+        for neighbour, pair in row_id_edges[index]:
             if neighbour in group:
                 delta += pair
         return delta

@@ -42,6 +42,42 @@ class DuplicateNodeError(GraphError, ValueError):
         self.node = node
 
 
+class GraphStorageError(GraphError):
+    """An on-disk compiled-graph index is missing, malformed, or unusable.
+
+    Raised by :mod:`repro.graph.storage` for structural problems with a
+    saved index directory: no manifest, unparseable manifest, missing
+    array files, or node ids that the format cannot represent.
+    """
+
+
+class StorageVersionError(GraphStorageError):
+    """A saved index's manifest version is not supported by this build.
+
+    Carries ``found`` and ``supported`` so front doors (the serving
+    daemon's ``graph_path`` tenants, the CLI) can answer with a typed
+    rejection instead of a crash.
+    """
+
+    def __init__(self, found: object, supported: int) -> None:
+        super().__init__(
+            f"compiled-graph index version {found!r} is not supported "
+            f"(this build reads version {supported}); re-run `waso "
+            "compile` to regenerate the index"
+        )
+        self.found = found
+        self.supported = supported
+
+
+class StorageChecksumError(GraphStorageError):
+    """A saved index's array bytes do not match its manifest.
+
+    Either the file size diverges from the declared shape or a sha256
+    digest mismatches — the index is truncated or corrupted and must be
+    regenerated, never silently loaded.
+    """
+
+
 class ProblemSpecificationError(ReproError, ValueError):
     """A :class:`~repro.core.WASOProblem` is ill-formed.
 

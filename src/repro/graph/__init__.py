@@ -12,7 +12,12 @@ This subpackage provides:
   paper cites (power-law interest, common-neighbour tightness);
 * :mod:`~repro.graph.generators` — synthetic stand-ins for the paper's
   Facebook / DBLP / Flickr crawls plus the paper's illustrative toy graphs;
-* :mod:`~repro.graph.io` — persistence (edge list, JSON);
+* :mod:`~repro.graph.io` — persistence (edge list, JSON) and the
+  content-addressed frozen-index cache (``ingest_edge_list`` /
+  ``load_cached_graph`` / ``resolve_graph_source``);
+* :mod:`~repro.graph.storage` — the versioned on-disk format behind
+  ``CompiledGraph.save`` / ``CompiledGraph.load`` (raw little-endian
+  arrays + JSON manifest, mmap-ready);
 * :mod:`~repro.graph.stats` — summary statistics used to validate that the
   generated graphs sit in the same regime as the paper's datasets.
 """
@@ -36,8 +41,11 @@ from repro.graph.generators import (
     ring_graph,
 )
 from repro.graph.io import (
+    ingest_edge_list,
+    load_cached_graph,
     load_edge_list,
     load_json,
+    resolve_graph_source,
     save_edge_list,
     save_json,
 )
@@ -62,6 +70,9 @@ __all__ = [
     "save_edge_list",
     "load_json",
     "save_json",
+    "ingest_edge_list",
+    "load_cached_graph",
+    "resolve_graph_source",
     "GraphSummary",
     "summarize",
 ]

@@ -110,9 +110,11 @@ class CompiledGraph:
         "tightness_weight",
         "potential",
         "payload_token",
-        "row_targets",
-        "row_edges",
-        "row_id_edges",
+        "disk_home",
+        "_mmaps",
+        "_row_targets",
+        "_row_edges",
+        "_row_id_edges",
         "_component_sizes",
         "_component_labels",
     )
@@ -146,37 +148,81 @@ class CompiledGraph:
         #: "the arrays already resident here" from "a new graph I must be
         #: sent" without comparing the arrays themselves.
         self.payload_token = _new_payload_token()
+        #: Directory of this graph's saved on-disk index (set by
+        #: ``save``/``load``, see :mod:`repro.graph.storage`), or
+        #: ``None`` for a purely in-memory freeze.  A graph with a disk
+        #: home is *path-installable*: the resident pools ship workers
+        #: the path instead of the array pickle.
+        self.disk_home: "str | None" = None
+        #: Open ``mmap`` objects backing the arrays (empty for in-memory
+        #: graphs).  Non-empty means the instance must not be pickled.
+        self._mmaps: tuple = ()
+        self._row_targets: "list | None" = None
+        self._row_edges: "list | None" = None
+        self._row_id_edges: "list | None" = None
         self._component_sizes: "list[int] | None" = None
         self._component_labels: "list[int] | None" = None
-        self._build_row_views()
+        # An in-memory freeze warms the row views now, at compile time —
+        # the sampler's first draw must not pay the O(V+E) build.  Only
+        # mmap-backed loads (constructed via ``__new__`` in
+        # repro.graph.storage) leave them lazy.
+        self.row_id_edges
 
-    def _build_row_views(self) -> None:
-        """Per-row views of the CSR slots.
+    # ------------------------------------------------------------------
+    # Row views — per-row slices of the CSR arrays.
+    #
+    # Direct iteration over a prebuilt list/tuple is the cheapest scan
+    # CPython offers, so the sampler's hot kernels use these instead of
+    # offsets/targets index arithmetic.  They are cached properties:
+    # in-memory freezes warm them at compile/unpickle time (keeping the
+    # build out of the timed solve path), while mmap-backed loads leave
+    # them lazy — an index of a million nodes must not materialize
+    # O(V+E) Python objects just to answer a batch of solves that touch
+    # a few thousand rows, and each view is independent, so the vector
+    # path (which needs only ``row_targets`` for seed frontiers) never
+    # pays for the scalar kernels' ``row_edges`` tuples.
+    # ------------------------------------------------------------------
+    @property
+    def row_targets(self) -> list:
+        """Per-row slices of ``targets`` (list/memoryview per node)."""
+        rows = self._row_targets
+        if rows is None:
+            offsets, targets = self.offsets, self.targets
+            rows = [
+                targets[offsets[i] : offsets[i + 1]]
+                for i in range(len(self.nodes))
+            ]
+            self._row_targets = rows
+        return rows
 
-        Direct iteration over a prebuilt list/tuple is the cheapest scan
-        CPython offers, so the sampler's hot kernels use these instead of
-        offsets/targets index arithmetic.  ``row_edges`` interleaves
-        ``(target, pair_w)`` so the merged delta-and-extend pass touches
-        each slot exactly once.
-        """
-        offsets, targets, pair_w = self.offsets, self.targets, self.pair_w
-        self.row_targets = [
-            targets[offsets[i] : offsets[i + 1]]
-            for i in range(len(self.nodes))
-        ]
-        self.row_edges = [
-            tuple(
-                zip(row_t, pair_w[offsets[i] : offsets[i + 1]])
-            )
-            for i, row_t in enumerate(self.row_targets)
-        ]
-        # Id-space twin of row_edges for callers whose groups are node-id
-        # sets (the evaluator API): no per-slot index→id conversion.
-        nodes = self.nodes
-        self.row_id_edges = [
-            tuple((nodes[target], pair) for target, pair in row)
-            for row in self.row_edges
-        ]
+    @property
+    def row_edges(self) -> list:
+        """Per-row ``(target, pair_w)`` tuples — the merged
+        delta-and-extend pass touches each slot exactly once."""
+        rows = self._row_edges
+        if rows is None:
+            offsets, pair_w = self.offsets, self.pair_w
+            rows = [
+                tuple(zip(row_t, pair_w[offsets[i] : offsets[i + 1]]))
+                for i, row_t in enumerate(self.row_targets)
+            ]
+            self._row_edges = rows
+        return rows
+
+    @property
+    def row_id_edges(self) -> list:
+        """Id-space twin of ``row_edges`` for callers whose groups are
+        node-id sets (the evaluator API): no per-slot index→id
+        conversion."""
+        rows = self._row_id_edges
+        if rows is None:
+            nodes = self.nodes
+            rows = [
+                tuple((nodes[target], pair) for target, pair in row)
+                for row in self.row_edges
+            ]
+            self._row_id_edges = rows
+        return rows
 
     # ------------------------------------------------------------------
     @classmethod
@@ -303,9 +349,25 @@ class CompiledGraph:
         # a row sum over ``pair_w``, and ``index_of`` the enumeration of
         # ``nodes`` — all reproduced bit-for-bit on unpickle, so the
         # payload sent to pool workers carries no redundant floats.
-        return {name: getattr(self, name) for name in _PICKLED_SLOTS}
+        if self._mmaps:
+            raise TypeError(
+                "an mmap-backed CompiledGraph cannot be pickled: its "
+                "arrays are views over shared file mappings.  Ship its "
+                f"disk_home path ({self.disk_home!r}) and load it in the "
+                "receiving process instead — the resident pools do this "
+                "automatically."
+            )
+        state = {name: getattr(self, name) for name in _PICKLED_SLOTS}
+        # Only graphs with a disk home carry the extra key, so payload
+        # bytes of purely in-memory graphs stay byte-identical to the
+        # committed tier-2 baselines.
+        if self.disk_home is not None:
+            state["disk_home"] = self.disk_home
+        return state
 
     def __setstate__(self, state: dict) -> None:
+        self.disk_home = None
+        self._mmaps = ()
         for name, value in state.items():
             setattr(self, name, value)
         self._rebuild_derived()
@@ -340,7 +402,87 @@ class CompiledGraph:
             potential[index] = total
         self.pair_w = pair_w
         self.potential = potential
-        self._build_row_views()
+        self._row_targets = None
+        self._row_edges = None
+        self._row_id_edges = None
+        # Unpickling happens at install time in a pool worker: warm the
+        # row views here so the worker's first dispatched solve doesn't
+        # pay the build (mirrors the freeze-time warm in ``__init__``).
+        self.row_id_edges
+
+    # ------------------------------------------------------------------
+    # Out-of-core persistence (see :mod:`repro.graph.storage`)
+    # ------------------------------------------------------------------
+    def save(self, path) -> "str":
+        """Write this freeze to directory ``path`` as an on-disk index.
+
+        Adopts the manifest's content-derived ``payload_token`` and sets
+        ``disk_home`` on this instance, so subsequent pool installs ship
+        the path instead of the arrays.  Returns the directory path.
+        """
+        from repro.graph.storage import save_compiled
+
+        return str(save_compiled(self, path))
+
+    @classmethod
+    def load(
+        cls, path, mmap: bool = True, verify: bool = True
+    ) -> "CompiledGraph":
+        """Load a saved index (mmap-backed by default; bit-identical).
+
+        The returned instance's ``graph`` is an :class:`ArrayBackedGraph`
+        facade, exactly like :meth:`detach` — build problems over
+        ``loaded.graph``.  See :func:`repro.graph.storage.load_compiled`.
+        """
+        from repro.graph.storage import load_compiled
+
+        return load_compiled(path, mmap=mmap, verify=verify)
+
+    @property
+    def is_mmap_backed(self) -> bool:
+        """Whether the arrays are views over open file mappings."""
+        return bool(self._mmaps)
+
+    def close(self) -> None:
+        """Release the file mappings of an mmap-backed instance.
+
+        After closing, the arrays are gone (any access raises); the
+        worker-side residency store calls this when evicting a mapped
+        graph so the address space is actually unmapped instead of
+        waiting on GC.  No-op for in-memory graphs; idempotent.
+        """
+        maps, self._mmaps = self._mmaps, ()
+        if not maps:
+            return
+        # Drop the numpy views the vector engine may hold over the maps
+        # (the module-level cache would otherwise pin the buffers).
+        try:
+            from repro.vector.arrays import discard_vector_graph
+
+            discard_vector_graph(self.payload_token)
+        except ImportError:  # pragma: no cover - numpy-less install
+            pass
+        # Release every exported buffer before closing the mappings.
+        empty: tuple = ()
+        self.offsets = empty
+        self.targets = empty
+        self.out_w = empty
+        self.pair_w = empty
+        self.weighted_interest = empty
+        self.tightness_weight = empty
+        self.potential = empty
+        self._component_sizes = None
+        self._component_labels = None
+        self._row_targets = None
+        self._row_edges = None
+        self._row_id_edges = None
+        for mapped in maps:
+            try:
+                mapped.close()
+            except BufferError:  # pragma: no cover - external view alive
+                # Someone still holds a view (e.g. a numpy array that
+                # escaped the cache); the mapping closes when it dies.
+                pass
 
     # ------------------------------------------------------------------
     def detach(self) -> "CompiledGraph":

@@ -1,6 +1,6 @@
-"""Persistence for :class:`~repro.graph.SocialGraph`.
+"""Persistence and ingestion for :class:`~repro.graph.SocialGraph`.
 
-Two formats are supported:
+Three layers:
 
 * **Edge list** — the format the paper's public crawls ship in
   (``socialnetworks.mpi-sws.org``): one ``u v [tau_uv [tau_vu]]`` line per
@@ -9,18 +9,38 @@ Two formats are supported:
   out of the box (scores default to 0 / 1 and can be assigned afterwards
   with the models in :mod:`repro.graph.scores`).
 * **JSON** — a lossless round-trip format for fixtures and examples.
+* **Frozen index cache** — the ingestion front door for out-of-core
+  serving: :func:`ingest_edge_list` normalizes a crawl, compiles it, and
+  saves the frozen :class:`~repro.graph.compiled.CompiledGraph` arrays
+  into a content-addressed cache directory (:mod:`repro.graph.storage`),
+  so a graph compiles **once ever**; :func:`load_cached_graph` maps a
+  saved index back (mmap, O(1) resident bytes) behind the
+  ``ArrayBackedGraph`` facade; :func:`resolve_graph_source` is the
+  serving layer's "a tenant may be a path" hook.  Everything is
+  offline-first: sources are local files, and network fetching is an
+  optional ``fetcher`` callback.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+from collections import OrderedDict
 from pathlib import Path
 from typing import Union
 
 from repro.exceptions import GraphError
 from repro.graph.social_graph import SocialGraph
 
-__all__ = ["load_edge_list", "save_edge_list", "load_json", "save_json"]
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_json",
+    "save_json",
+    "ingest_edge_list",
+    "load_cached_graph",
+    "resolve_graph_source",
+]
 
 PathLike = Union[str, Path]
 
@@ -43,6 +63,44 @@ def save_edge_list(graph: SocialGraph, path: PathLike) -> None:
             handle.write(f"{u} {v} {tau_uv!r} {tau_vu!r}\n")
 
 
+def _parse_edge_lines(lines, origin: str, node_type=int) -> SocialGraph:
+    """Build a graph from edge-list ``lines`` (``origin`` names errors)."""
+    graph = SocialGraph()
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if parts and parts[0] == "node":
+                if len(parts) < 3:
+                    raise GraphError(
+                        f"{origin}:{line_number}: malformed node line"
+                    )
+                node = node_type(parts[1])
+                interest = float(parts[2])
+                lam = float(parts[3]) if len(parts) > 3 else None
+                if not graph.has_node(node):
+                    graph.add_node(node, interest=interest, lam=lam)
+                else:
+                    graph.set_interest(node, interest)
+                    graph.set_lam(node, lam)
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphError(f"{origin}:{line_number}: malformed edge line")
+        u, v = node_type(parts[0]), node_type(parts[1])
+        tau_uv = float(parts[2]) if len(parts) > 2 else 1.0
+        tau_vu = float(parts[3]) if len(parts) > 3 else tau_uv
+        for node in (u, v):
+            if not graph.has_node(node):
+                graph.add_node(node)
+        if u == v:
+            continue  # crawls occasionally contain self-loops; skip
+        graph.add_edge(u, v, tau_uv, reverse_tightness=tau_vu)
+    return graph
+
+
 def load_edge_list(path: PathLike, node_type=int) -> SocialGraph:
     """Read an edge list written by :func:`save_edge_list` or a raw crawl.
 
@@ -51,41 +109,8 @@ def load_edge_list(path: PathLike, node_type=int) -> SocialGraph:
     created with interest 0.
     """
     path = Path(path)
-    graph = SocialGraph()
     with path.open("r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if parts and parts[0] == "node":
-                    if len(parts) < 3:
-                        raise GraphError(
-                            f"{path}:{line_number}: malformed node line"
-                        )
-                    node = node_type(parts[1])
-                    interest = float(parts[2])
-                    lam = float(parts[3]) if len(parts) > 3 else None
-                    if not graph.has_node(node):
-                        graph.add_node(node, interest=interest, lam=lam)
-                    else:
-                        graph.set_interest(node, interest)
-                        graph.set_lam(node, lam)
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphError(f"{path}:{line_number}: malformed edge line")
-            u, v = node_type(parts[0]), node_type(parts[1])
-            tau_uv = float(parts[2]) if len(parts) > 2 else 1.0
-            tau_vu = float(parts[3]) if len(parts) > 3 else tau_uv
-            for node in (u, v):
-                if not graph.has_node(node):
-                    graph.add_node(node)
-            if u == v:
-                continue  # crawls occasionally contain self-loops; skip
-            graph.add_edge(u, v, tau_uv, reverse_tightness=tau_vu)
-    return graph
+        return _parse_edge_lines(handle, str(path), node_type)
 
 
 def save_json(graph: SocialGraph, path: PathLike) -> None:
@@ -131,3 +156,113 @@ def load_json(path: PathLike) -> SocialGraph:
             reverse_tightness=edge.get("reverse_tightness"),
         )
     return graph
+
+
+# ----------------------------------------------------------------------
+# Frozen-index cache: normalize -> compile -> save, content-addressed
+# ----------------------------------------------------------------------
+def ingest_edge_list(
+    source,
+    cache_dir: PathLike,
+    *,
+    node_type=int,
+    fetcher=None,
+    refresh: bool = False,
+) -> Path:
+    """Compile an edge-list crawl into the frozen-index cache, once.
+
+    ``source`` is a local file path (offline-first: this is what tests
+    and benches use) or, when ``fetcher`` is given, any key the fetcher
+    resolves — ``fetcher(source) -> bytes`` is the optional network
+    hook, so the library itself never opens a socket.
+
+    The cache is **content-addressed**: the raw input bytes are hashed
+    and the index lives at ``cache_dir / <sha256 prefix>``.  If that
+    index already exists (and ``refresh`` is false) nothing is parsed or
+    compiled — a graph compiles once ever, no matter how many processes
+    ingest the same crawl.  Returns the index directory, ready for
+    :func:`load_cached_graph` / ``CompiledGraph.load``.
+    """
+    from repro.graph.storage import MANIFEST_NAME, save_compiled
+
+    if fetcher is not None:
+        data = fetcher(source)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+    else:
+        data = Path(source).read_bytes()
+    digest = hashlib.sha256(data).hexdigest()
+    index_dir = Path(cache_dir) / digest[:20]
+    if not refresh and (index_dir / MANIFEST_NAME).is_file():
+        return index_dir
+    graph = _parse_edge_lines(
+        data.decode("utf-8").splitlines(), str(source), node_type
+    )
+    save_compiled(graph.compiled(), index_dir)
+    return index_dir
+
+
+#: Frozen indexes kept open per process (mmap handles are cheap — the
+#: bound exists so a long sweep over many cache entries cannot leak
+#: file descriptors without bound).
+_OPEN_LIMIT = 8
+
+_OPEN: "OrderedDict[tuple, object]" = OrderedDict()
+
+
+def load_cached_graph(path: PathLike, mmap: bool = True):
+    """The ``ArrayBackedGraph`` for a saved index (process-cached).
+
+    Repeated loads of one index path — a daemon admitting many requests
+    naming the same ``graph_path``, a bench sweep — reuse one mapped
+    :class:`~repro.graph.compiled.CompiledGraph` instead of re-opening
+    the files; entries are dropped least-recently-used past a small
+    bound.  Raises the typed :mod:`repro.graph.storage` errors for a
+    missing / version-mismatched / corrupted index.
+    """
+    from repro.graph.compiled import CompiledGraph
+    from repro.graph.storage import MANIFEST_NAME
+
+    path = Path(path)
+    if path.name == MANIFEST_NAME:
+        path = path.parent
+    key = (str(path.resolve()), bool(mmap))
+    graph = _OPEN.get(key)
+    if graph is not None:
+        _OPEN.move_to_end(key)
+        return graph
+    compiled = CompiledGraph.load(path, mmap=mmap)
+    graph = compiled.graph
+    _OPEN[key] = graph
+    while len(_OPEN) > _OPEN_LIMIT:
+        _OPEN.popitem(last=False)
+    return graph
+
+
+def resolve_graph_source(source):
+    """A graph from "whatever the caller configured": object or path.
+
+    The serving layer's tenant hook: a :class:`SocialGraph` (or any
+    graph-like object) passes through untouched; a string / ``Path``
+    naming a saved frozen index (the directory, or its ``manifest.json``)
+    loads mmap-backed through :func:`load_cached_graph`; any other path
+    is read as a JSON graph.  Storage errors (unsupported version,
+    checksum mismatch) propagate typed, so front doors can reject the
+    tenant / request without crashing the connection.
+    """
+    if not isinstance(source, (str, Path)):
+        return source
+    from repro.graph.storage import MANIFEST_NAME
+
+    path = Path(source)
+    if path.name == MANIFEST_NAME or (path / MANIFEST_NAME).is_file():
+        return load_cached_graph(path)
+    if path.is_dir():
+        # A directory that is not an index: typed error, not ENOENT.
+        from repro.exceptions import GraphStorageError
+
+        raise GraphStorageError(
+            f"{path} is a directory but holds no {MANIFEST_NAME}; "
+            "expected a saved compiled-graph index or a JSON graph file"
+        )
+    return load_json(path)

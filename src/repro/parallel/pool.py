@@ -49,6 +49,7 @@ from typing import Optional
 from repro.algorithms.base import RngLike, SolveResult, Solver, SolveStats, coerce_rng
 from repro.algorithms.cbas_nd import CBASND
 from repro.core.problem import WASOProblem, problem_from_payload_spec
+from repro.graph.compiled import CompiledGraph
 from repro.exceptions import (
     DeadlineExpiredError,
     RequestFailure,
@@ -180,6 +181,22 @@ def _solve_worker_main(conn) -> None:
         try:
             if kind == "graph":
                 _, token, compiled, evict = message
+                store.install(token, compiled, evict)
+                reply = ("ok", token)
+            elif kind == "graph_path":
+                # Zero-copy install: the parent sent a frozen index's
+                # manifest path (O(1) bytes); map the shared arrays
+                # here.  verify=False — the parent checked the manifest
+                # when it loaded the graph, and the path round-trips a
+                # content-derived token, so a mismatch is impossible
+                # short of on-disk corruption mid-session.
+                _, token, path, evict = message
+                compiled = CompiledGraph.load(path, mmap=True, verify=False)
+                if compiled.payload_token != token:
+                    raise RuntimeError(
+                        f"frozen index at {path!r} resolves to token "
+                        f"{compiled.payload_token!r}, expected {token!r}"
+                    )
                 store.install(token, compiled, evict)
                 reply = ("ok", token)
             elif kind == "chunk":
@@ -347,11 +364,16 @@ class ResidentSolvePool(WorkerPoolBase):
             planned.add(token)
             ship, evictions = ledger.plan(token, pinned=chunk_tokens)
             if ship:
-                self._send(
-                    worker,
-                    ("graph", token, graphs[token], evictions),
-                    {"kind": "install"},
-                )
+                graph = graphs[token]
+                home = getattr(graph, "disk_home", None)
+                if home is not None:
+                    # The graph has a frozen on-disk index: ship the
+                    # manifest path (O(1) bytes at any graph size) and
+                    # let the worker map the shared arrays itself.
+                    message = ("graph_path", token, home, evictions)
+                else:
+                    message = ("graph", token, graph, evictions)
+                self._send(worker, message, {"kind": "install"})
                 self._batch_installs += 1
 
     @staticmethod

@@ -84,9 +84,18 @@ class ResidentGraphStore:
         self._graphs: dict = {}
 
     def install(self, token: str, compiled, evict: Iterable[str] = ()) -> None:
-        """Make ``compiled`` resident under ``token``, dropping ``evict``."""
+        """Make ``compiled`` resident under ``token``, dropping ``evict``.
+
+        An evicted graph that is mmap-backed (path-installed from a
+        frozen on-disk index) is explicitly closed so the worker's
+        mapping is released immediately rather than at whatever point
+        the garbage collector notices — resident-set bytes stay bounded
+        by the ledger capacity even for out-of-core graphs.
+        """
         for stale in evict:
-            self._graphs.pop(stale, None)
+            old = self._graphs.pop(stale, None)
+            if old is not None and getattr(old, "is_mmap_backed", False):
+                old.close()
         self._graphs[token] = compiled
 
     def get(self, token: str):

@@ -77,6 +77,7 @@ from repro.algorithms.stage_exec import (
 from repro.ce.probability import SelectionProbabilities
 from repro.core.problem import problem_from_payload_spec
 from repro.core.willingness import FastWillingnessEvaluator
+from repro.graph.compiled import CompiledGraph
 from repro.exceptions import WorkerCrashError
 from repro.parallel.pool import split_budget
 from repro.parallel.residency import (
@@ -224,6 +225,20 @@ def _stage_worker_main(conn) -> None:
                 _, token, compiled, evict = message
                 store.install(token, compiled, evict)
                 reply = ("ok", token)
+            elif kind == "graph_path":
+                # Zero-copy install: map the frozen on-disk index named
+                # by the manifest path instead of receiving a pickle.
+                # verify=False — the parent validated the manifest and
+                # the token is content-derived (see pool.py's twin).
+                _, token, path, evict = message
+                compiled = CompiledGraph.load(path, mmap=True, verify=False)
+                if compiled.payload_token != token:
+                    raise RuntimeError(
+                        f"frozen index at {path!r} resolves to token "
+                        f"{compiled.payload_token!r}, expected {token!r}"
+                    )
+                store.install(token, compiled, evict)
+                reply = ("ok", token)
             elif kind == "solve":
                 _, spec = message
                 token = spec["problem"]["token"]
@@ -366,12 +381,13 @@ class StagePool(WorkerPoolBase):
         token = problem.payload_token()
         ship, evictions = self._ledgers[worker].plan(token)
         if ship:
-            self._send_bytes(
-                worker,
-                pickle.dumps(
-                    ("graph", token, problem.compiled().detach(), evictions)
-                ),
-            )
+            compiled = problem.compiled()
+            home = getattr(compiled, "disk_home", None)
+            if home is not None:
+                message = ("graph_path", token, home, evictions)
+            else:
+                message = ("graph", token, compiled.detach(), evictions)
+            self._send_bytes(worker, pickle.dumps(message))
             self._expect_ok(worker)
         if self._current_spec is not None:
             self._send_bytes(
@@ -450,6 +466,7 @@ class StagePool(WorkerPoolBase):
         token = problem.payload_token()
         self._current_problem = problem
         self._mru_token = token
+        home = getattr(problem.compiled(), "disk_home", None)
         detached = None
         payloads: "dict[tuple, bytes]" = {}
         pending = []
@@ -458,11 +475,17 @@ class StagePool(WorkerPoolBase):
             ship, evictions = self._ledgers[worker].plan(token)
             if not ship:
                 continue
-            if detached is None:
-                detached = problem.compiled().detach()
             data = payloads.get(evictions)
             if data is None:
-                data = pickle.dumps(("graph", token, detached, evictions))
+                if home is not None:
+                    # Frozen on-disk index: the install is the manifest
+                    # path — O(1) bytes at any graph size, cold or warm.
+                    message = ("graph_path", token, home, evictions)
+                else:
+                    if detached is None:
+                        detached = problem.compiled().detach()
+                    message = ("graph", token, detached, evictions)
+                data = pickle.dumps(message)
                 payloads[evictions] = data
             self._send_bytes(worker, data)
             total_bytes += len(data)

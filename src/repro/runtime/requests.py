@@ -32,6 +32,7 @@ _PROBLEM_KEYS = (
     "solver",
     "seed",
     "deadline_s",
+    "graph_path",
 )
 
 #: Solver-constructor parameters a spec must *not* set: they carry live
@@ -119,8 +120,10 @@ def request_from_spec(graph: SocialGraph, spec: dict) -> SolveRequest:
     Recognized keys: ``k`` (required), ``connected`` (default ``True``),
     ``required`` / ``forbidden`` (node-id lists), ``solver`` (registry
     name, default ``"cbas-nd"``), ``seed`` (int), ``deadline_s``
-    (per-request wall-clock budget in seconds), and any remaining keys
-    are passed through as solver kwargs (``budget``, ``m``, ...).
+    (per-request wall-clock budget in seconds), ``graph_path`` (a saved
+    frozen-index directory to solve over instead of ``graph``), and any
+    remaining keys are passed through as solver kwargs (``budget``,
+    ``m``, ...).
 
     A remaining key the solver's factory does not accept raises
     ``ValueError`` naming the valid keys — a typo like ``deadline`` for
@@ -129,6 +132,16 @@ def request_from_spec(graph: SocialGraph, spec: dict) -> SolveRequest:
     """
     if "k" not in spec:
         raise ValueError(f"request spec needs a 'k' field: {spec!r}")
+    graph_path = spec.get("graph_path")
+    if graph_path is not None:
+        # Path-installed tenant: the request names a saved frozen index
+        # instead of relying on the connection's default graph.  Loading
+        # goes through the process cache (one mapping per path), and the
+        # typed storage errors propagate so the daemon can answer with
+        # an "invalid" reply rather than dropping the connection.
+        from repro.graph.io import load_cached_graph
+
+        graph = load_cached_graph(graph_path)
     problem = WASOProblem(
         graph=graph,
         k=int(spec["k"]),

@@ -66,6 +66,7 @@ import weakref
 from typing import Optional
 
 from repro.exceptions import BatchExecutionError, ReproError, RequestFailure
+from repro.graph.io import resolve_graph_source
 from repro.graph.social_graph import SocialGraph
 from repro.runtime import ExecutionContext, request_from_spec, valid_spec_keys
 from repro.serving.admission import AdmissionController, PendingRequest
@@ -125,6 +126,10 @@ class ServingDaemon:
     graphs:
         One :class:`~repro.graph.social_graph.SocialGraph` (registered
         as tenant ``"default"``) or a mapping of tenant name → graph.
+        Either form also accepts a *path* in place of a graph object: a
+        saved frozen-index directory (mmap-backed out-of-core serving)
+        or a JSON graph file — see
+        :func:`~repro.graph.io.resolve_graph_source`.
     engine / mode / workers / max_retries / cpu_count:
         Forwarded to the owned :class:`~repro.runtime.context.
         ExecutionContext` (ignored when ``context`` is given).
@@ -166,11 +171,22 @@ class ServingDaemon:
         calibrator: Optional[LatencyCalibrator] = None,
         fault_plan=None,
     ) -> None:
-        if isinstance(graphs, SocialGraph):
+        if isinstance(graphs, SocialGraph) or not hasattr(graphs, "items"):
+            # One graph object — or one path to a saved frozen index /
+            # JSON graph file — becomes the sole "default" tenant.
             graphs = {"default": graphs}
         if not graphs:
             raise ValueError("the daemon needs at least one tenant graph")
-        self.graphs = dict(graphs)
+        # A tenant value may be a path: a saved compiled-graph index
+        # directory (loaded mmap-backed, O(1) resident bytes here and
+        # O(1) install bytes per worker) or a JSON graph file.  Typed
+        # storage errors (unsupported version, corruption) surface at
+        # construction — a misconfigured tenant must fail loudly, not
+        # per request.
+        self.graphs = {
+            tenant: resolve_graph_source(graph)
+            for tenant, graph in dict(graphs).items()
+        }
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
         if default_deadline_s is not None and default_deadline_s <= 0:

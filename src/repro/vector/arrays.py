@@ -24,7 +24,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["VectorGraph", "vector_graph_for"]
+__all__ = ["VectorGraph", "vector_graph_for", "discard_vector_graph"]
 
 #: Graphs kept vectorized at once; matches the spirit of the workers'
 #: bounded resident stores (a serving session rotates a few graphs).
@@ -72,3 +72,13 @@ def vector_graph_for(compiled) -> VectorGraph:
     while len(_CACHE) > _CACHE_LIMIT:
         _CACHE.popitem(last=False)
     return graph
+
+
+def discard_vector_graph(token: str) -> None:
+    """Drop one graph's cached arrays (no-op when absent).
+
+    ``CompiledGraph.close`` calls this before unmapping an mmap-backed
+    index: the cached numpy views alias the mapped buffers zero-copy, so
+    they must be released for the mapping to actually close.
+    """
+    _CACHE.pop(token, None)

@@ -111,3 +111,17 @@ def _connect(graph: SocialGraph) -> None:
 def connectify():
     """Expose the component-chaining helper to tests."""
     return _connect
+
+
+@pytest.fixture
+def index_cache(tmp_path):
+    """Scratch cache directory for saved frozen-index tests.
+
+    Everything the out-of-core storage tests write (saved indexes,
+    ingested edge lists) lands here and is torn down with ``tmp_path``
+    — nothing may save into a shared session graph, whose adopted
+    ``disk_home`` would outlive the directory.
+    """
+    path = tmp_path / "graph-cache"
+    path.mkdir()
+    return path
