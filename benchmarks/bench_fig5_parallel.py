@@ -23,13 +23,26 @@ runtime layer (:class:`~repro.runtime.ExecutionContext` owns all pools):
   the context's resident stage pool.  Each context is warmed with an
   untimed solve (residency + OS-level warmup) before the timed run,
   mirroring the pool reuse of the best-of series.
+
+Streaming-mutation series (``graph_patch`` in ``BENCH_sampler.json``):
+on the n=10k graph, an :class:`~repro.online.OnlinePlanner` with
+``prune_declined=True`` plans once on a cold 2-worker stage pool (the
+full detached-arrays install) and replans once after a decline — the
+decline patches the frozen index in place, so the warm replan ships
+only the sparse ``graph_patch`` record.  The recorded wire bytes are
+pure pickle sizes, deterministic on any machine, so ``--check``
+re-measures and gates *properties* rather than wall clock: the patch
+must stay under 5% of the full install, and the warm patched replan
+must perform zero graph installs.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.bench.datasets import bench_graph
-from repro.bench.harness import ExperimentTable, geometric_speedup
+from repro.bench.harness import ExperimentTable, dump_json, geometric_speedup
 from repro.core.problem import WASOProblem
 from repro.runtime import ExecutionContext
 
@@ -39,6 +52,16 @@ BUDGET = 1600
 STAGES = 6
 M = 20
 WORKER_COUNTS = (1, 2, 4, 8)
+
+#: The streaming-mutation series runs on the perf bench's big graph:
+#: at n=10k the full install is megabytes while a decline's patch is
+#: hundreds of bytes, so the gate has real headroom.
+PATCH_N = 10_000
+PATCH_WORKERS = 2
+#: Patch wire bytes must stay under this fraction of the full install.
+PATCH_FRACTION_GATE = 0.05
+
+JSON_PATH = Path(__file__).parent.parent / "BENCH_sampler.json"
 
 
 def run_experiment() -> ExperimentTable:
@@ -128,6 +151,86 @@ def run_experiment() -> ExperimentTable:
     return table
 
 
+def measure_graph_patch() -> dict:
+    """The ``graph_patch`` series: sparse deltas vs a full re-install.
+
+    Cold plan → full detached-arrays install to every stage worker;
+    decline → ``prune_declined`` patches the frozen index in place;
+    warm replan → only the ``graph_patch`` record ships.  All byte
+    counts are deterministic pickle sizes.
+    """
+    from repro.online import OnlinePlanner
+
+    graph = bench_graph("facebook", PATCH_N)
+    problem = WASOProblem(graph=graph, k=K)
+    with ExecutionContext(workers=PATCH_WORKERS, mode="stage") as context:
+        with OnlinePlanner(
+            problem,
+            solver=context.make_solver("cbas-nd", budget=160, m=10, stages=2),
+            rng=5,
+            prune_declined=True,
+            context=context,
+        ) as planner:
+            group = planner.plan()
+            cold = planner.last_result.stats.extra
+            full_install_bytes = cold["batch_payload_bytes"]
+            installs_before = context.stage_pool().installs
+            victim = next(iter(sorted(group.members, key=repr)))
+            pruned_edges = graph.degree(victim)
+            planner.record_decline(victim)
+            warm = planner.last_result.stats.extra
+            patch_bytes = warm.get("graph_patch_bytes", 0)
+            replan_installs = context.stage_pool().installs - installs_before
+            assert not warm.get("graph_shipped"), warm
+    return {
+        "n": PATCH_N,
+        "workers": PATCH_WORKERS,
+        "full_install_bytes": full_install_bytes,
+        "patch_bytes": patch_bytes,
+        "patch_fraction": patch_bytes / full_install_bytes,
+        "pruned_edges": pruned_edges,
+        "warm_replan_graph_installs": replan_installs,
+    }
+
+
+def check_graph_patch(fresh: dict, committed: "dict | None") -> "list[str]":
+    """Machine-independent gates for the streaming-mutation series."""
+    problems = []
+    if fresh["warm_replan_graph_installs"] != 0:
+        problems.append(
+            "warm patched replan performed "
+            f"{fresh['warm_replan_graph_installs']} graph installs "
+            "(expected 0: a decline must ship a sparse patch)"
+        )
+    limit = PATCH_FRACTION_GATE * fresh["full_install_bytes"]
+    if fresh["patch_bytes"] >= limit:
+        problems.append(
+            f"graph_patch bytes {fresh['patch_bytes']} not under "
+            f"{PATCH_FRACTION_GATE:.0%} of the full install "
+            f"({fresh['full_install_bytes']}B)"
+        )
+    if committed:
+        # Pickle sizes are deterministic: any growth is a regression.
+        for key in ("patch_bytes", "full_install_bytes"):
+            if fresh[key] > committed.get(key, fresh[key]):
+                problems.append(
+                    f"graph_patch.{key} grew: {committed[key]} -> "
+                    f"{fresh[key]}"
+                )
+    return problems
+
+
+def write_graph_patch(series: dict) -> None:
+    """Merge the series into ``BENCH_sampler.json`` (other benches own
+    their own top-level keys in the same file — never drop them)."""
+    merged: dict = {}
+    if JSON_PATH.exists():
+        with open(JSON_PATH, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    merged["graph_patch"] = series
+    dump_json(str(JSON_PATH), merged)
+
+
 def test_fig5d_parallel_speedup(benchmark):
     table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     table.show(fmt="{:.3f}")
@@ -169,5 +272,47 @@ def test_fig5d_parallel_speedup(benchmark):
         assert min(qualities.ys()) >= max(qualities.ys()) * 0.5
 
 
+def _print_graph_patch(series: dict) -> None:
+    print(
+        f"graph_patch n={series['n']} workers={series['workers']}: "
+        f"full install {series['full_install_bytes']}B -> decline patch "
+        f"{series['patch_bytes']}B ({series['patch_fraction']:.2%}), "
+        f"warm replan installs {series['warm_replan_graph_installs']}"
+    )
+
+
 if __name__ == "__main__":
-    run_experiment().show(fmt="{:.3f}")
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure the graph_patch series and gate it (patch "
+        "bytes < 5%% of the full install, zero installs on the warm "
+        "patched replan) against the committed BENCH_sampler.json "
+        "without overwriting it; exit 1 on failure",
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        committed = None
+        if JSON_PATH.exists():
+            with open(JSON_PATH, encoding="utf-8") as handle:
+                committed = json.load(handle).get("graph_patch")
+        fresh = measure_graph_patch()
+        _print_graph_patch(fresh)
+        problems = check_graph_patch(fresh, committed)
+        if problems:
+            print("\nREGRESSIONS in the graph_patch series:")
+            for line in problems:
+                print(f"  - {line}")
+            sys.exit(1)
+        print("\ngraph_patch gates hold")
+    else:
+        run_experiment().show(fmt="{:.3f}")
+        series = measure_graph_patch()
+        _print_graph_patch(series)
+        write_graph_patch(series)
+        print(f"wrote {JSON_PATH}")

@@ -30,7 +30,8 @@ TIER2_INVOCATION = (
     "PYTHONPATH=src python benchmarks/bench_perf_sampler.py --check && "
     "PYTHONPATH=src python benchmarks/bench_serving_daemon.py --check && "
     "PYTHONPATH=src python benchmarks/bench_fig7_dblp.py --check && "
-    "PYTHONPATH=src python benchmarks/bench_fig8_flickr.py --check"
+    "PYTHONPATH=src python benchmarks/bench_fig8_flickr.py --check && "
+    "PYTHONPATH=src python benchmarks/bench_fig5_parallel.py --check"
 )
 
 

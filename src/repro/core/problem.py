@@ -41,6 +41,13 @@ def problem_from_payload_spec(compiled, spec: dict) -> "WASOProblem":
             f"resident graph {compiled.payload_token!r} does not match "
             f"problem spec {spec['token']!r}"
         )
+    generation = spec.get("gen", 0)
+    resident = getattr(compiled, "generation", 0)
+    if resident != generation:
+        raise ValueError(
+            f"resident graph {compiled.payload_token!r} is at generation "
+            f"{resident}, problem spec expects generation {generation}"
+        )
     return WASOProblem(
         graph=compiled.graph,
         k=spec["k"],
@@ -224,14 +231,24 @@ class WASOProblem:
         :func:`problem_from_payload_spec` — re-plans (a growing
         ``forbidden`` set on an unchanged graph) ship only this spec,
         never the O(V+E) arrays.
+
+        When the graph has been patched in place (``apply_deltas``), the
+        spec also carries the index *generation* so a worker whose
+        resident copy missed a patch fails loudly instead of solving a
+        stale topology.  Generation-0 specs omit the key, keeping their
+        pickled bytes identical to pre-delta builds.
         """
-        return {
+        spec = {
             "token": self.payload_token(),
             "k": self.k,
             "connected": self.connected,
             "required": tuple(self.required),
             "forbidden": tuple(self.forbidden),
         }
+        generation = getattr(self.compiled(), "generation", 0)
+        if generation:
+            spec["gen"] = generation
+        return spec
 
     def detached(self) -> "WASOProblem":
         """Slim, dict-free copy of this problem for worker processes.

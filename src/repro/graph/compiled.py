@@ -45,6 +45,20 @@ reproduce its results bit-for-bit (same neighbour order, same
 floating-point expression per term) so seeded solver runs are identical on
 both engines — differential tests in ``tests/test_compiled.py`` hold that
 line.
+
+Streaming mutation
+------------------
+A freeze is no longer one-shot: :meth:`CompiledGraph.apply_deltas`
+patches the CSR arrays, pair weights, potentials, and cached component
+labels in place for edge inserts/deletes, weight updates, and node adds,
+bumping an integer :attr:`CompiledGraph.generation` instead of minting a
+new ``payload_token``.  Each applied batch is kept in a bounded replay
+log so resident pool workers holding an older generation can be brought
+current with an O(|delta|) ``("graph_patch", ...)`` wire message instead
+of a full re-install (see :mod:`repro.parallel`).  Every patch recipe
+reproduces, bit-for-bit, the arrays a fresh :meth:`from_graph` of the
+mutated source would build — ``tests/test_graph_deltas.py`` holds that
+line on both engines.
 """
 
 from __future__ import annotations
@@ -52,7 +66,12 @@ from __future__ import annotations
 import itertools
 import os
 
-from repro.exceptions import NodeNotFoundError
+from repro.exceptions import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+)
 from repro.graph.social_graph import NodeId, SocialGraph
 
 __all__ = ["CompiledGraph", "ArrayBackedGraph"]
@@ -78,6 +97,13 @@ _PICKLED_SLOTS = (
 #: never collide.
 _PAYLOAD_COUNTER = itertools.count()
 
+#: Replayable delta batches kept per graph.  The log exists so resident
+#: workers a few generations behind can be patched instead of re-shipped;
+#: older batches are compacted away (a worker further behind than the log
+#: reaches is demoted to a full re-install by the residency ledger), which
+#: bounds both parent memory and the worst-case patch message.
+_DELTA_LOG_LIMIT = 64
+
 
 def _new_payload_token() -> str:
     # Fixed-width fields: the token rides in every resident-pool wire
@@ -90,12 +116,16 @@ def _new_payload_token() -> str:
 
 
 class CompiledGraph:
-    """One-shot frozen CSR view of a :class:`SocialGraph`.
+    """Frozen CSR view of a :class:`SocialGraph`, patchable in place.
 
     Build with :meth:`from_graph` (or the cached ``graph.compiled()`` /
-    ``problem.compiled()`` accessors).  The instance is immutable by
-    convention: mutating the source graph invalidates the graph-side cache
-    and a fresh freeze is produced on the next access.
+    ``problem.compiled()`` accessors).  Out-of-band mutation of the
+    source graph still invalidates the graph-side cache and produces a
+    fresh freeze on next access; routing the same mutations through
+    :meth:`apply_deltas` instead patches this instance's arrays
+    incrementally and bumps :attr:`generation`, keeping the
+    ``payload_token`` (and therefore every resident-pool cache entry
+    keyed by it) alive.
     """
 
     __slots__ = (
@@ -111,6 +141,9 @@ class CompiledGraph:
         "potential",
         "payload_token",
         "disk_home",
+        "generation",
+        "_delta_log",
+        "_log_from",
         "_mmaps",
         "_row_targets",
         "_row_edges",
@@ -154,6 +187,17 @@ class CompiledGraph:
         #: home is *path-installable*: the resident pools ship workers
         #: the path instead of the array pickle.
         self.disk_home: "str | None" = None
+        #: Mutation epoch of this freeze under :meth:`apply_deltas`.  A
+        #: fresh freeze is generation 0; every applied delta batch bumps
+        #: it by one while the ``payload_token`` stays put — residency
+        #: ledgers track ``(token, generation)`` pairs so a stale-but-
+        #: resident worker can be patched rather than re-shipped.
+        self.generation: int = 0
+        #: Replay log of normalized delta batches (``_log_from`` is the
+        #: generation the first retained batch upgrades *from*); bounded
+        #: by ``_DELTA_LOG_LIMIT``, see :meth:`delta_batches_since`.
+        self._delta_log: list = []
+        self._log_from: int = 0
         #: Open ``mmap`` objects backing the arrays (empty for in-memory
         #: graphs).  Non-empty means the instance must not be pickled.
         self._mmaps: tuple = ()
@@ -341,6 +385,379 @@ class CompiledGraph:
         self._component_labels = label
 
     # ------------------------------------------------------------------
+    # Streaming deltas — patch the freeze in place instead of refreezing.
+    # ------------------------------------------------------------------
+    def apply_deltas(self, deltas) -> int:
+        """Apply a batch of graph mutations to the frozen arrays in place.
+
+        ``deltas`` is an iterable of op tuples:
+
+        * ``("add_node", node, interest)`` or
+          ``("add_node", node, interest, lam)``
+        * ``("add_edge", u, v, tightness)`` or
+          ``("add_edge", u, v, tightness, reverse_tightness)``
+        * ``("set_tightness", u, v, tightness)`` (one direction)
+        * ``("remove_edge", u, v)``
+
+        When ``self.graph`` is the source :class:`SocialGraph`, each op
+        is applied to the adjacency dicts through the validating mutators
+        *first* and the arrays are patched to match, after which this
+        instance is re-adopted as the graph's compiled cache — dicts and
+        arrays never diverge.  On an :class:`ArrayBackedGraph` clone (a
+        pool worker's resident copy) only the arrays are patched.
+
+        The patched arrays are bit-identical to a fresh
+        :meth:`from_graph` of the mutated source: inserts append to the
+        row tail (matching adjacency-dict insertion order), weight edits
+        land in the existing slot, and potentials are re-accumulated in
+        slot order.  CPython's over-allocated lists give row edits
+        amortized slack (a single ``insert`` is one memmove, no
+        reallocation in the common case), and the bounded replay log
+        (:func:`delta_batches_since`) is compacted automatically as it
+        overflows — or explicitly via :meth:`compact`.
+
+        Bumps :attr:`generation` by one per call (the batch is the unit
+        of replay) and returns the new generation.  A failing op raises
+        after committing the already-applied prefix, so a parent and its
+        workers can still be reconverged by replay or re-ship.
+
+        An mmap-backed instance is materialized into plain in-memory
+        lists first (its read-only mappings cannot be patched); it stops
+        being path-installable once a delta lands (``disk_home`` is
+        cleared because the arrays diverge from the saved index).
+        """
+        if self._mmaps:
+            self._materialize()
+        source = self.graph if isinstance(self.graph, SocialGraph) else None
+        batch = [self._normalize_delta(op, source) for op in deltas]
+        applied: list = []
+        try:
+            for op in batch:
+                self._apply_one(op, source)
+                applied.append(op)
+        finally:
+            if applied:
+                self._commit_batch(applied, source)
+        return self.generation
+
+    def delta_batches_since(self, generation) -> "list | None":
+        """Replayable batches upgrading ``generation`` → current, or None.
+
+        Returns ``[]`` when ``generation`` is already current, and
+        ``None`` when the request cannot be served from the bounded log
+        (unknown/future generation, or batches already compacted away) —
+        the caller must then fall back to a full re-install.
+        """
+        if generation == self.generation:
+            return []
+        if not isinstance(generation, int):
+            return None
+        start = generation - self._log_from
+        if start < 0 or start > len(self._delta_log):
+            return None
+        batches = list(self._delta_log[start:])
+        # Defensive length check: detached clones share the log list but
+        # snapshot ``_log_from``, so a compaction through another handle
+        # could desync the offset — never serve a short replay.
+        if len(batches) != self.generation - generation:
+            return None
+        return batches
+
+    def compact(self) -> None:
+        """Materialize mmap-backed arrays and drop the replay log.
+
+        After compacting, the instance is plain-picklable again (the
+        typed pickle error on mmap-backed graphs names this method) and
+        workers behind the current generation are demoted to a full
+        re-install by the residency ledger.
+        """
+        self._materialize()
+        self._delta_log.clear()
+        self._log_from = self.generation
+
+    def _materialize(self) -> None:
+        """Copy mmap-backed arrays into plain lists and unmap the files.
+
+        Patching mutates the flat arrays, which read-only shared
+        mappings cannot support; the vector cache's views over the maps
+        are discarded first so the buffers actually release.
+        """
+        maps, self._mmaps = self._mmaps, ()
+        if not maps:
+            return
+        try:
+            from repro.vector.arrays import discard_vector_graph
+
+            discard_vector_graph(self.payload_token)
+        except ImportError:  # pragma: no cover - numpy-less install
+            pass
+        self.offsets = list(self.offsets)
+        self.targets = list(self.targets)
+        self.out_w = list(self.out_w)
+        self.pair_w = list(self.pair_w)
+        self.weighted_interest = list(self.weighted_interest)
+        self.tightness_weight = list(self.tightness_weight)
+        self.potential = list(self.potential)
+        if self._component_sizes is not None:
+            self._component_sizes = list(self._component_sizes)
+        if self._component_labels is not None:
+            self._component_labels = list(self._component_labels)
+        # Row views may hold memoryview slices over the maps: rebuild
+        # lazily from the materialized lists.
+        self._row_targets = None
+        self._row_edges = None
+        self._row_id_edges = None
+        for mapped in maps:
+            try:
+                mapped.close()
+            except BufferError:  # pragma: no cover - external view alive
+                pass
+
+    @staticmethod
+    def _normalize_delta(op, source) -> tuple:
+        """Canonical wire form of one delta op (idempotent)."""
+        kind = op[0]
+        if kind == "add_node":
+            if len(op) == 3:
+                lam = source.default_lambda if source is not None else None
+            elif len(op) == 4:
+                lam = op[3]
+            else:
+                raise GraphError(f"malformed add_node delta: {op!r}")
+            return ("add_node", op[1], float(op[2]), lam)
+        if kind == "add_edge":
+            if len(op) == 4:
+                tau = rev = float(op[3])
+            elif len(op) == 5:
+                tau, rev = float(op[3]), float(op[4])
+            else:
+                raise GraphError(f"malformed add_edge delta: {op!r}")
+            return ("add_edge", op[1], op[2], tau, rev)
+        if kind == "set_tightness":
+            if len(op) != 4:
+                raise GraphError(f"malformed set_tightness delta: {op!r}")
+            return ("set_tightness", op[1], op[2], float(op[3]))
+        if kind == "remove_edge":
+            if len(op) != 3:
+                raise GraphError(f"malformed remove_edge delta: {op!r}")
+            return ("remove_edge", op[1], op[2])
+        raise GraphError(f"unknown delta op kind {kind!r}")
+
+    def _apply_one(self, op, source) -> None:
+        kind = op[0]
+        if kind == "add_node":
+            _, node, interest, lam = op
+            if source is not None:
+                source.add_node(node, interest, lam)
+            elif node in self.index_of:
+                raise DuplicateNodeError(node)
+            self._patch_add_node(node, interest, lam)
+            return
+        if kind == "add_edge":
+            _, u, v, tau, rev = op
+            iu, iv = self._require_index(u), self._require_index(v)
+            # Overwrite-vs-insert must be decided from the arrays before
+            # the dict mutation erases the distinction.
+            slot_uv = self._find_slot(iu, iv)
+            if source is not None:
+                source.add_edge(u, v, tau, rev)
+            elif iu == iv:
+                raise GraphError(f"self-loops are not allowed (node {u!r})")
+            if slot_uv >= 0:
+                self._patch_weight(iu, iv, slot_uv, tau)
+                self._patch_weight(iv, iu, self._find_slot(iv, iu), rev)
+            else:
+                self._patch_insert_edge(iu, iv, tau, rev)
+            return
+        if kind == "set_tightness":
+            _, u, v, tau = op
+            iu, iv = self._require_index(u), self._require_index(v)
+            slot_uv = self._find_slot(iu, iv)
+            if slot_uv < 0:
+                raise EdgeNotFoundError(u, v)
+            if source is not None:
+                source.set_tightness(u, v, tau)
+            self._patch_weight(iu, iv, slot_uv, tau)
+            return
+        # remove_edge
+        _, u, v = op
+        iu, iv = self._require_index(u), self._require_index(v)
+        slot_uv = self._find_slot(iu, iv)
+        slot_vu = self._find_slot(iv, iu)
+        if slot_uv < 0 or slot_vu < 0:
+            raise EdgeNotFoundError(u, v)
+        if source is not None:
+            source.remove_edge(u, v)
+        self._patch_remove_edge(iu, iv, slot_uv, slot_vu)
+
+    def _commit_batch(self, applied: list, source) -> None:
+        self.generation += 1
+        self._delta_log.append(tuple(applied))
+        overflow = len(self._delta_log) - _DELTA_LOG_LIMIT
+        if overflow > 0:
+            del self._delta_log[:overflow]
+            self._log_from += overflow
+        # The arrays now diverge from any saved on-disk index: drop the
+        # disk home so resident pools ship arrays (or patches) instead of
+        # pointing workers at stale files.
+        self.disk_home = None
+        if source is not None:
+            # Dicts and arrays were mutated in lockstep: re-adopt this
+            # instance as the graph's compiled cache so the next
+            # ``graph.compiled()`` returns the patched freeze instead of
+            # refreezing O(V+E).
+            source._compiled_cache = (source._mutation_count, self)
+
+    def _require_index(self, node) -> int:
+        try:
+            return self.index_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def _find_slot(self, iu: int, iv: int) -> int:
+        """Directed slot of edge ``iu → iv``, or ``-1``."""
+        targets = self.targets
+        for slot in range(self.offsets[iu], self.offsets[iu + 1]):
+            if targets[slot] == iv:
+                return slot
+        return -1
+
+    def _resum_potential(self, index: int) -> None:
+        # Full row re-accumulation in slot order: FP addition is not
+        # associative, so a mid-row pair-weight edit cannot be patched
+        # into the cached sum — only the freeze's own left-to-right
+        # accumulation is bit-exact.
+        total = self.weighted_interest[index]
+        pair_w = self.pair_w
+        for slot in range(self.offsets[index], self.offsets[index + 1]):
+            total += pair_w[slot]
+        self.potential[index] = total
+
+    def _patch_add_node(self, node, interest, lam) -> None:
+        index = len(self.nodes)
+        self.nodes.append(node)
+        self.index_of[node] = index
+        a, b = (1.0, 1.0) if lam is None else (lam, 1.0 - lam)
+        weighted = a * interest
+        self.weighted_interest.append(weighted)
+        self.tightness_weight.append(b)
+        self.offsets.append(self.offsets[-1])
+        self.potential.append(weighted)
+        if self._component_labels is not None:
+            # A fresh node is its own singleton component, and its index
+            # (the largest so far) is trivially the component's minimum —
+            # exactly the label a recomputed BFS would assign.
+            self._component_labels.append(index)
+            self._component_sizes.append(1)
+        if self._row_targets is not None:
+            self._row_targets.append([])
+        if self._row_edges is not None:
+            self._row_edges.append(())
+        if self._row_id_edges is not None:
+            self._row_id_edges.append(())
+
+    def _patch_insert_edge(self, iu: int, iv: int, tau, rev) -> None:
+        out_uv = self.tightness_weight[iu] * tau
+        out_vu = self.tightness_weight[iv] * rev
+        # Both directed slots freeze to the same combined weight (IEEE
+        # addition is commutative, so ``out_uv + out_vu`` matches the
+        # reverse slot's ``out_vu + out_uv`` bit-for-bit).
+        combined = out_uv + out_vu
+        offsets = self.offsets
+        for index, target, out in ((iu, iv, out_uv), (iv, iu, out_vu)):
+            pos = offsets[index + 1]
+            self.targets.insert(pos, target)
+            self.out_w.insert(pos, out)
+            self.pair_w.insert(pos, combined)
+            for j in range(index + 1, len(offsets)):
+                offsets[j] += 1
+            # Appending at the row tail extends the cached left-to-right
+            # potential sum without re-associating earlier terms.
+            self.potential[index] = self.potential[index] + combined
+        self._merge_components(iu, iv)
+        self._refresh_row(iu)
+        self._refresh_row(iv)
+
+    def _patch_weight(self, iu: int, iv: int, slot_uv: int, tau) -> None:
+        slot_vu = self._find_slot(iv, iu)
+        self.out_w[slot_uv] = self.tightness_weight[iu] * tau
+        combined = self.out_w[slot_uv] + self.out_w[slot_vu]
+        self.pair_w[slot_uv] = combined
+        self.pair_w[slot_vu] = combined
+        self._resum_potential(iu)
+        self._resum_potential(iv)
+        self._refresh_row(iu)
+        self._refresh_row(iv)
+
+    def _patch_remove_edge(
+        self, iu: int, iv: int, slot_uv: int, slot_vu: int
+    ) -> None:
+        for slot in sorted((slot_uv, slot_vu), reverse=True):
+            del self.targets[slot]
+            del self.out_w[slot]
+            del self.pair_w[slot]
+        offsets = self.offsets
+        for j in range(iu + 1, len(offsets)):
+            offsets[j] -= 1
+        for j in range(iv + 1, len(offsets)):
+            offsets[j] -= 1
+        self._resum_potential(iu)
+        self._resum_potential(iv)
+        # A deletion can split a component; recompute lazily on demand,
+        # exactly as a refreeze of the mutated source would.
+        self._component_sizes = None
+        self._component_labels = None
+        self._refresh_row(iu)
+        self._refresh_row(iv)
+
+    def _merge_components(self, iu: int, iv: int) -> None:
+        labels = self._component_labels
+        sizes = self._component_sizes
+        if labels is None or sizes is None:
+            self._component_sizes = None
+            self._component_labels = None
+            return
+        lu, lv = labels[iu], labels[iv]
+        if lu == lv:
+            return
+        # BFS labels components by their minimum node index (roots are
+        # visited in ascending order), so the merged label is the smaller
+        # of the two old roots.
+        merged_label = lu if lu < lv else lv
+        merged_size = sizes[iu] + sizes[iv]
+        for i in range(len(labels)):
+            if labels[i] == lu or labels[i] == lv:
+                labels[i] = merged_label
+                sizes[i] = merged_size
+
+    def _refresh_row(self, index: int) -> None:
+        """Rebuild the warmed row views of one patched row.
+
+        Untouched rows keep their existing slices (list slicing copies
+        values, so earlier rows are unaffected by tail edits); ``None``
+        views stay lazy.
+        """
+        if (
+            self._row_targets is None
+            and self._row_edges is None
+            and self._row_id_edges is None
+        ):
+            return
+        start, stop = self.offsets[index], self.offsets[index + 1]
+        row_t = self.targets[start:stop]
+        if self._row_targets is not None:
+            self._row_targets[index] = row_t
+        if self._row_edges is not None or self._row_id_edges is not None:
+            row_e = tuple(zip(row_t, self.pair_w[start:stop]))
+            if self._row_edges is not None:
+                self._row_edges[index] = row_e
+            if self._row_id_edges is not None:
+                nodes = self.nodes
+                self._row_id_edges[index] = tuple(
+                    (nodes[target], pair) for target, pair in row_e
+                )
+
+    # ------------------------------------------------------------------
     # Pickle support: __slots__ classes need explicit state handling.
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
@@ -355,21 +772,31 @@ class CompiledGraph:
                 "arrays are views over shared file mappings.  Ship its "
                 f"disk_home path ({self.disk_home!r}) and load it in the "
                 "receiving process instead — the resident pools do this "
-                "automatically."
+                "automatically — or call compact() first to materialize "
+                "the arrays in memory (required before pickling a loaded "
+                "index that has pending apply_deltas patches)."
             )
         state = {name: getattr(self, name) for name in _PICKLED_SLOTS}
-        # Only graphs with a disk home carry the extra key, so payload
-        # bytes of purely in-memory graphs stay byte-identical to the
-        # committed tier-2 baselines.
+        # Only graphs with a disk home / non-zero generation carry the
+        # extra keys, so payload bytes of purely in-memory generation-0
+        # graphs stay byte-identical to the committed tier-2 baselines.
         if self.disk_home is not None:
             state["disk_home"] = self.disk_home
+        if self.generation:
+            state["generation"] = self.generation
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.disk_home = None
         self._mmaps = ()
+        self.generation = 0
         for name, value in state.items():
             setattr(self, name, value)
+        # The replay log does not travel: an unpickled copy starts its
+        # own log at the current generation, so a worker-resident graph
+        # can still be patched forward from the generation it arrived at.
+        self._delta_log = []
+        self._log_from = self.generation
         self._rebuild_derived()
 
     def _rebuild_derived(self) -> None:

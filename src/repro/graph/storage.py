@@ -178,6 +178,13 @@ def save_compiled(compiled, path: PathLike) -> Path:
         hasher.update(file_digest.encode("ascii"))
 
     token = f"cg-disk-{hasher.hexdigest()[:16]}"
+    generation = getattr(compiled, "generation", 0)
+    if generation:
+        # A patched (generation > 0) freeze persists its *current*
+        # arrays; qualifying the token makes the generation part of the
+        # saved identity (the content digest already differs, but the
+        # suffix keeps provenance visible in ledgers and manifests).
+        token = f"{token}-g{generation}"
     manifest = {
         "format": FORMAT,
         "version": VERSION,
@@ -185,6 +192,8 @@ def save_compiled(compiled, path: PathLike) -> Path:
         "nodes": nodes_entry,
         "arrays": arrays,
     }
+    if generation:
+        manifest["generation"] = generation
     (path / MANIFEST_NAME).write_text(
         json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
     )
@@ -337,6 +346,11 @@ def load_compiled(path: PathLike, mmap: bool = True, verify: bool = True):
         setattr(compiled, attr, values[attr])
     compiled.payload_token = manifest["payload_token"]
     compiled.disk_home = str(path)
+    # A generation-qualified save restores its epoch; the replay log
+    # never travels through disk, so patching resumes from here.
+    compiled.generation = manifest.get("generation", 0)
+    compiled._delta_log = []
+    compiled._log_from = compiled.generation
     compiled._mmaps = tuple(maps)
     compiled._row_targets = None
     compiled._row_edges = None

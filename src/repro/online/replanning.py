@@ -32,12 +32,21 @@ and the warm-state storage.  Both pools are resident
 :class:`~repro.parallel.stage_pool.ShardedStageExecutor`) keeps a stage
 pool warm, or when re-plans route to the solve-level
 :class:`~repro.parallel.pool.ResidentSolvePool`, the planner's re-plans
-reuse that pool *and* the graph arrays already resident in it —
-declines only grow the ``forbidden`` set, which leaves the frozen index
-(and therefore its payload token) unchanged, so each re-plan ships an
-O(1) problem spec instead of the O(V+E) graph.  The shared accounting
-exposes this uniformly: ``SolveStats.extra["graph_shipped"]`` is
-``True`` for the initial plan and ``False`` for every warm re-plan.
+reuse that pool *and* the graph arrays already resident in it.  By
+default declines only grow the ``forbidden`` set, which leaves the
+frozen index (and therefore its payload token) unchanged, so each
+re-plan ships an O(1) problem spec instead of the O(V+E) graph.  With
+``prune_declined=True`` a decline additionally *removes the decliner's
+incident edges* — the graph really shrinks, as in paper §4.4.1 — via
+:meth:`~repro.graph.compiled.CompiledGraph.apply_deltas`: the frozen
+index is patched in place (same payload token, bumped generation), the
+resident pools ship only the O(|delta|) ``graph_patch`` record instead
+of re-installing the arrays, and the planner's stored warm state is
+re-stamped so start nodes and CE vectors survive the mutation.  The
+shared accounting exposes this uniformly:
+``SolveStats.extra["graph_shipped"]`` is ``True`` for the initial plan
+and ``False`` for every warm re-plan (``graph_installs`` stays 0 and
+``graph_patch_bytes`` records the patch traffic when pruning).
 Use the planner as a context manager (or call :meth:`OnlinePlanner.
 close`) to release the pools when the planning session ends.
 """
@@ -98,6 +107,15 @@ class OnlinePlanner:
         Re-plan from the previous round's start nodes and CE vectors
         instead of solving cold (ignored for solvers without warm-state
         support).
+    prune_declined:
+        When ``True``, :meth:`record_decline` removes the decliner's
+        incident edges from the shared graph through
+        :meth:`~repro.graph.compiled.CompiledGraph.apply_deltas`, so
+        the frozen index is patched in place (payload token preserved,
+        generation bumped) and warm resident workers receive a sparse
+        ``graph_patch`` instead of a full re-install.  Off by default:
+        pruning changes the potentials the samplers see, so pruned and
+        forbidden-only re-plans are both valid but not bit-identical.
     context:
         The :class:`~repro.runtime.context.ExecutionContext` planning
         runs through.  When omitted the planner adopts the solver's
@@ -112,6 +130,7 @@ class OnlinePlanner:
         solver: Optional[Solver] = None,
         rng: RngLike = None,
         warm_start: bool = True,
+        prune_declined: bool = False,
         context: "Optional[ExecutionContext]" = None,
     ) -> None:
         self.base_problem = problem
@@ -135,6 +154,7 @@ class OnlinePlanner:
         self._warm_key = ("online-planner", next(_PLANNER_TOKENS))
         self.rng = coerce_rng(rng)
         self.warm_start = warm_start
+        self.prune_declined = prune_declined
         self.invitations: dict[NodeId, Invitation] = {}
         self.declined: set[NodeId] = set()
         self.current: Optional[GroupSolution] = None
@@ -217,12 +237,18 @@ class OnlinePlanner:
         """Mark ``node`` as declined and immediately re-plan.
 
         Returns the refreshed group (confirmed attendees preserved).
+        With ``prune_declined`` the decliner's incident edges are first
+        removed from the shared graph as an in-place delta patch, so
+        the warm re-plan ships O(degree) bytes to resident workers
+        instead of re-installing the frozen arrays.
         """
         invitation = self._require_invited(node)
         if invitation.state is ResponseState.ACCEPTED:
             raise ValueError(f"{node!r} already accepted")
         invitation.state = ResponseState.DECLINED
         self.declined.add(node)
+        if self.prune_declined:
+            self._prune_node(node)
         return self.plan()
 
     def finalize(self) -> GroupSolution:
@@ -264,6 +290,30 @@ class OnlinePlanner:
         self.close()
 
     # ------------------------------------------------------------------
+    def _prune_node(self, node: NodeId) -> None:
+        """Drop ``node``'s incident edges via an in-place delta patch.
+
+        The compiled index keeps its payload token and bumps its
+        generation, so resident pools patch warm workers instead of
+        re-shipping the arrays.  The planner's stored warm state is
+        re-stamped afterwards — the mutation count moved, but the start
+        nodes and CE vectors were earned on this very graph and stay
+        valid (the decliner itself is filtered out by the ``forbidden``
+        check on reuse).
+        """
+        graph = self.base_problem.graph
+        neighbors = list(graph.neighbors(node))
+        if not neighbors:
+            return
+        graph.compiled().apply_deltas(
+            [("remove_edge", node, neighbor) for neighbor in neighbors]
+        )
+        state = self.context.warm_state(self._warm_key)
+        if state is not None and getattr(state, "graph_state", None) is not None:
+            from repro.algorithms.cbas import CBAS
+
+            state.graph_state = CBAS._graph_state(self.base_problem)
+
     def _current_problem(self) -> WASOProblem:
         confirmed = self.accepted
         required = self.base_problem.required | frozenset(confirmed)

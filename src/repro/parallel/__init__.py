@@ -12,6 +12,20 @@ eviction for long sessions over many graphs, uniform
 ``SolveStats.extra`` shipping accounting) lives in one place:
 :mod:`repro.parallel.residency`.
 
+Resident graphs are *mutable in place*: :meth:`~repro.graph.compiled.
+CompiledGraph.apply_deltas` patches the frozen CSR arrays and bumps the
+graph's generation, and the wire protocol ships warm workers a sparse
+``("graph_patch", token, gen, batches)`` record — the O(|delta|) tail
+of the graph's bounded delta log — instead of a full re-install
+(:func:`~repro.parallel.residency.plan_graph_message` decides which;
+:func:`~repro.parallel.residency.apply_graph_patch` replays it
+worker-side).  Workers behind a compacted log, path-installed (mmap)
+graphs, and freshly respawned workers all demote to a full install at
+the current generation, and every problem spec carries the generation
+it was built against — patching is an optimisation, never a
+correctness hazard (``tests/test_graph_deltas.py`` holds patched
+residents bit-identical to a full refreeze of the mutated source).
+
 * **Solve-level** (:mod:`repro.parallel.pool`,
   :class:`ResidentSolvePool` / :class:`ParallelSolver`): whole solves
   run inside workers.  ``solve_many`` multiplexes many independent
@@ -100,6 +114,8 @@ from repro.parallel.residency import (
     DEFAULT_RESIDENT_GRAPHS,
     ResidencyLedger,
     ResidentGraphStore,
+    apply_graph_patch,
+    plan_graph_message,
     record_recovery,
     record_shipping,
 )
@@ -117,7 +133,9 @@ __all__ = [
     "ResidentSolvePool",
     "ShardedStageExecutor",
     "StagePool",
+    "apply_graph_patch",
     "parallel_solve",
+    "plan_graph_message",
     "record_recovery",
     "record_shipping",
     "split_budget",

@@ -61,6 +61,8 @@ from repro.parallel.residency import (
     ResidencyLedger,
     ResidentGraphStore,
     WorkerPoolBase,
+    apply_graph_patch,
+    plan_graph_message,
     record_recovery,
     record_shipping,
 )
@@ -199,6 +201,13 @@ def _solve_worker_main(conn) -> None:
                     )
                 store.install(token, compiled, evict)
                 reply = ("ok", token)
+            elif kind == "graph_patch":
+                # Sparse upgrade of a resident graph: replay the
+                # parent's delta batches against the arrays already
+                # here — O(|delta|) bytes instead of a full re-install.
+                _, token, generation, batches = message
+                apply_graph_patch(store, token, generation, batches)
+                reply = ("ok", token)
             elif kind == "chunk":
                 _, entries = message
                 reply = (
@@ -284,6 +293,7 @@ class ResidentSolvePool(WorkerPoolBase):
         self._next_chunk_id = 0
         self._batch_bytes = 0
         self._batch_installs = 0
+        self._batch_patch_bytes = 0
         #: Recovery events since the last :meth:`begin_batch`.
         self.batch_restarts = 0
         self.batch_retries = 0
@@ -313,6 +323,16 @@ class ResidentSolvePool(WorkerPoolBase):
         """(graph, worker) installs since the last :meth:`begin_batch`."""
         return self._batch_installs
 
+    @property
+    def batch_patch_bytes(self) -> int:
+        """Bytes of sparse ``graph_patch`` messages this batch.
+
+        Patches upgrade stale-but-resident arrays in place; they are
+        counted in :attr:`batch_payload_bytes` (they ride the same wire)
+        but *not* in :attr:`batch_installs`.
+        """
+        return self._batch_patch_bytes
+
     # ------------------------------------------------------------------
     def begin_batch(self) -> None:
         """Reset the per-batch shipping and recovery accounting."""
@@ -323,6 +343,7 @@ class ResidentSolvePool(WorkerPoolBase):
             )
         self._batch_bytes = 0
         self._batch_installs = 0
+        self._batch_patch_bytes = 0
         self.batch_restarts = 0
         self.batch_retries = 0
         self.batch_deadline_missed = 0
@@ -332,11 +353,12 @@ class ResidentSolvePool(WorkerPoolBase):
         # mirrored token so the next plan() re-ships what retries need.
         self._ledgers[worker].reset()
 
-    def _send(self, worker: int, message, record: dict) -> None:
+    def _send(self, worker: int, message, record: dict) -> int:
         data = pickle.dumps(message)
         self._send_bytes(worker, data)
         self._batch_bytes += len(data)
         self._inflight[worker].append(record)
+        return len(data)
 
     def _plan_installs(
         self, worker: int, entries: "list[dict]", graphs: dict
@@ -363,18 +385,21 @@ class ResidentSolvePool(WorkerPoolBase):
                 continue
             planned.add(token)
             ship, evictions = ledger.plan(token, pinned=chunk_tokens)
-            if ship:
-                graph = graphs[token]
-                home = getattr(graph, "disk_home", None)
-                if home is not None:
-                    # The graph has a frozen on-disk index: ship the
-                    # manifest path (O(1) bytes at any graph size) and
-                    # let the worker map the shared arrays itself.
-                    message = ("graph_path", token, home, evictions)
-                else:
-                    message = ("graph", token, graph, evictions)
-                self._send(worker, message, {"kind": "install"})
+            graph = graphs[token]
+            # Resolve full install vs sparse generation patch vs nothing
+            # (resident and current) through the shared protocol helper;
+            # path-installable graphs ship the manifest path (O(1) bytes
+            # at any graph size) and the worker maps the arrays itself.
+            message, kind = plan_graph_message(
+                ledger, token, graph, ship, evictions, lambda: graph
+            )
+            if message is None:
+                continue
+            sent = self._send(worker, message, {"kind": "install"})
+            if kind == "install":
                 self._batch_installs += 1
+            else:
+                self._batch_patch_bytes += sent
 
     @staticmethod
     def _entries_deadline(entries: "list[dict]") -> "Optional[float]":
@@ -623,6 +648,7 @@ def parallel_solve(
         replies = pool.collect()
         shipped_bytes = pool.batch_payload_bytes
         installs = pool.batch_installs
+        patch_bytes = pool.batch_patch_bytes
         restarts = pool.batch_restarts
         retries = pool.batch_retries
     finally:
@@ -648,6 +674,7 @@ def parallel_solve(
         shipped=installs > 0,
         payload_bytes=shipped_bytes,
         installs=installs,
+        patch_bytes=patch_bytes,
     )
     record_recovery(result.stats.extra, restarts=restarts, retries=retries)
     return result

@@ -18,8 +18,16 @@ The protocol has three parts:
   survives pickling and :meth:`~repro.graph.compiled.CompiledGraph.
   detach`, so "the arrays already resident in a worker" and "a new
   freeze that must be shipped" are distinguishable without comparing
-  arrays.  A graph mutation produces a new freeze and therefore a new
-  tag, transparently invalidating stale residency.
+  arrays.  An out-of-band graph mutation produces a new freeze and
+  therefore a new tag, transparently invalidating stale residency;
+  a mutation routed through :meth:`~repro.graph.compiled.CompiledGraph.
+  apply_deltas` instead keeps the token and bumps its integer
+  *generation*.  The ledger mirrors the generation each worker holds,
+  and :func:`plan_graph_message` upgrades a stale-but-resident worker
+  with a sparse ``("graph_patch", token, gen, batches)`` message —
+  O(|delta|) bytes replayed against the resident arrays — falling back
+  to a full re-install when the worker is too far behind the bounded
+  replay log or holds a read-only path-installed (mmap) copy.
 * **parent-driven eviction** — long serving sessions touch many graphs,
   so each worker's resident cache is bounded
   (:data:`DEFAULT_RESIDENT_GRAPHS` per worker) with least-recently-used
@@ -50,6 +58,8 @@ __all__ = [
     "ResidentGraphStore",
     "ResidencyLedger",
     "WorkerPoolBase",
+    "plan_graph_message",
+    "apply_graph_patch",
     "record_shipping",
     "record_recovery",
 ]
@@ -96,6 +106,16 @@ class ResidentGraphStore:
             old = self._graphs.pop(stale, None)
             if old is not None and getattr(old, "is_mmap_backed", False):
                 old.close()
+        # A re-install over the same token (e.g. a path-installed graph
+        # demoted to arrays because it was patched in the parent) must
+        # release the old copy's mappings immediately too.
+        old = self._graphs.get(token)
+        if (
+            old is not None
+            and old is not compiled
+            and getattr(old, "is_mmap_backed", False)
+        ):
+            old.close()
         self._graphs[token] = compiled
 
     def get(self, token: str):
@@ -134,6 +154,11 @@ class ResidencyLedger:
         self._lru: "OrderedDict[str, None]" = OrderedDict()
         #: Number of installs planned so far (monotone; tests / stats).
         self.installs = 0
+        #: Per-token ``(generation, by_path)`` of what the worker holds:
+        #: the generation its resident arrays were last installed at or
+        #: patched to, and whether the install mapped a read-only on-disk
+        #: index (path installs cannot be patched in place).
+        self._meta: dict = {}
 
     def plan(
         self, token: str, pinned: "Iterable[str]" = ()
@@ -163,9 +188,33 @@ class ResidencyLedger:
             evictions.append(candidate)
         for stale in evictions:
             del self._lru[stale]
+            self._meta.pop(stale, None)
         self._lru[token] = None
         self.installs += 1
         return True, tuple(evictions)
+
+    # ------------------------------------------------------------------
+    # Generation mirror — what epoch of the arrays the worker holds.
+    # ------------------------------------------------------------------
+    def record_install(
+        self, token: str, generation: int = 0, by_path: bool = False
+    ) -> None:
+        """Record a full install of ``token`` at ``generation``."""
+        self._meta[token] = (int(generation), bool(by_path))
+
+    def record_patch(self, token: str, generation: int) -> None:
+        """Record that the worker's resident copy was patched forward."""
+        self._meta[token] = (int(generation), False)
+
+    def resident_generation(self, token: str) -> "Optional[int]":
+        """Generation the worker's resident copy sits at (None if unknown)."""
+        entry = self._meta.get(token)
+        return None if entry is None else entry[0]
+
+    def installed_by_path(self, token: str) -> bool:
+        """Whether the resident copy maps a read-only on-disk index."""
+        entry = self._meta.get(token)
+        return False if entry is None else entry[1]
 
     def reset(self) -> None:
         """Forget the mirror: the worker's cache is gone (respawn).
@@ -179,6 +228,7 @@ class ResidencyLedger:
         work performed, not work still resident.
         """
         self._lru.clear()
+        self._meta.clear()
 
     def is_resident(self, token: str) -> bool:
         return token in self._lru
@@ -190,6 +240,75 @@ class ResidencyLedger:
     def most_recent(self) -> Optional[str]:
         """The most recently used resident token (``None`` when empty)."""
         return next(reversed(self._lru)) if self._lru else None
+
+
+def plan_graph_message(ledger, token, compiled, ship, evictions, payload):
+    """Resolve one worker's graph message after ``ledger.plan``.
+
+    The single decision point both pools share for the mutable-graph
+    protocol.  ``ship``/``evictions`` are :meth:`ResidencyLedger.plan`'s
+    answer; ``payload()`` lazily produces the full-install pickle object
+    (a detached :class:`~repro.graph.compiled.CompiledGraph`), called
+    only when an array install is actually needed.
+
+    Returns ``(message, kind)``:
+
+    * ``(None, None)`` — the worker is resident at the current
+      generation; nothing to send.
+    * ``(("graph_patch", token, gen, batches), "patch")`` — resident but
+      stale; the O(|delta|) replay batches bring it current.  Recorded
+      via :meth:`ResidencyLedger.record_patch`; *not* counted as an
+      install.
+    * ``(("graph"|"graph_path", ...), "install")`` — a full install:
+      cold worker, or a stale one demoted because it maps a read-only
+      path-installed index or has fallen behind the bounded replay log.
+      A demotion bumps ``ledger.installs`` (the plan did not).
+    """
+    generation = getattr(compiled, "generation", 0)
+    home = getattr(compiled, "disk_home", None)
+    if not ship:
+        held = ledger.resident_generation(token)
+        if held == generation:
+            return None, None
+        batches = None
+        if not ledger.installed_by_path(token):
+            since = getattr(compiled, "delta_batches_since", None)
+            if since is not None:
+                batches = since(held)
+        if batches:
+            ledger.record_patch(token, generation)
+            return ("graph_patch", token, generation, batches), "patch"
+        # Demotion to a full re-install: a path-installed worker maps
+        # the saved read-only arrays (unpatchable in place), and a
+        # worker behind the compacted replay log has nothing to replay
+        # from.  The resident slot is reused, so no evictions.
+        ledger.installs += 1
+        evictions = ()
+    if home is not None:
+        ledger.record_install(token, generation, by_path=True)
+        return ("graph_path", token, home, evictions), "install"
+    ledger.record_install(token, generation, by_path=False)
+    return ("graph", token, payload(), evictions), "install"
+
+
+def apply_graph_patch(store: "ResidentGraphStore", token, generation, batches):
+    """Worker-side handler for a ``("graph_patch", ...)`` install.
+
+    Replays the delta batches against the resident arrays (one
+    generation bump per batch, mirroring the parent's commits) and
+    verifies the copy lands exactly on the advertised generation — a
+    mismatch is a protocol error the worker reports instead of serving
+    silently-diverged arrays.
+    """
+    compiled = store.get(token)
+    for batch in batches:
+        compiled.apply_deltas(batch)
+    if getattr(compiled, "generation", None) != generation:
+        raise RuntimeError(
+            f"graph_patch for {token!r} landed at generation "
+            f"{getattr(compiled, 'generation', None)!r}, expected "
+            f"{generation!r}"
+        )
 
 
 class WorkerPoolBase:
@@ -435,6 +554,7 @@ def record_shipping(
     shipped: bool,
     payload_bytes: "Optional[int]" = None,
     installs: "Optional[int]" = None,
+    patch_bytes: "Optional[int]" = None,
 ) -> None:
     """Uniform ``SolveStats.extra`` accounting for residency shipping.
 
@@ -453,13 +573,20 @@ def record_shipping(
       installs);
     * ``batch_payload_bytes`` — total pickled bytes put on the wire for
       the solve / batch: graph installs, problem specs, *and* any
-      full dict problems shipped for reference-engine requests.
+      full dict problems shipped for reference-engine requests;
+    * ``graph_patch_bytes`` — bytes of sparse ``graph_patch`` upgrades
+      sent to stale-but-resident workers (written only when non-zero,
+      so patch-free stats stay byte-identical to the committed
+      baselines; patches are deliberately *not* counted in
+      ``graph_installs`` — that key keeps meaning full array installs).
     """
     extra["graph_shipped"] = shipped
     if installs is not None:
         extra["graph_installs"] = installs
     if payload_bytes is not None:
         extra["batch_payload_bytes"] = payload_bytes
+    if patch_bytes:
+        extra["graph_patch_bytes"] = patch_bytes
 
 
 def record_recovery(

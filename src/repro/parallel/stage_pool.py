@@ -86,6 +86,8 @@ from repro.parallel.residency import (
     ResidencyLedger,
     ResidentGraphStore,
     WorkerPoolBase,
+    apply_graph_patch,
+    plan_graph_message,
     record_recovery,
     record_shipping,
 )
@@ -239,6 +241,13 @@ def _stage_worker_main(conn) -> None:
                     )
                 store.install(token, compiled, evict)
                 reply = ("ok", token)
+            elif kind == "graph_patch":
+                # Sparse upgrade of a resident graph: replay the
+                # parent's delta batches against the arrays already
+                # here — O(|delta|) bytes instead of a full re-install.
+                _, token, generation, batches = message
+                apply_graph_patch(store, token, generation, batches)
+                reply = ("ok", token)
             elif kind == "solve":
                 _, spec = message
                 token = spec["problem"]["token"]
@@ -322,6 +331,9 @@ class StagePool(WorkerPoolBase):
         #: (0 when the graph was already resident) — the stage executor
         #: records it through the shared accounting.
         self.last_install_bytes = 0
+        #: Of which: bytes of sparse ``graph_patch`` upgrades sent to
+        #: stale-but-resident workers (not counted as install events).
+        self.last_patch_bytes = 0
         #: Lifetime recovery accounting (executors snapshot deltas).
         self.shard_retries = 0
         self.fallback_shards = 0
@@ -379,14 +391,17 @@ class StagePool(WorkerPoolBase):
         if problem is None:
             return
         token = problem.payload_token()
-        ship, evictions = self._ledgers[worker].plan(token)
-        if ship:
-            compiled = problem.compiled()
-            home = getattr(compiled, "disk_home", None)
-            if home is not None:
-                message = ("graph_path", token, home, evictions)
-            else:
-                message = ("graph", token, compiled.detach(), evictions)
+        compiled = problem.compiled()
+        ledger = self._ledgers[worker]
+        ship, evictions = ledger.plan(token)
+        # A respawned worker's reset ledger answers "ship" — crash
+        # recovery is a full install at the *current* generation (the
+        # replayed patch history is already folded into the arrays); a
+        # merely-stale survivor gets the sparse patch instead.
+        message, _ = plan_graph_message(
+            ledger, token, compiled, ship, evictions, compiled.detach
+        )
+        if message is not None:
             self._send_bytes(worker, pickle.dumps(message))
             self._expect_ok(worker)
         if self._current_spec is not None:
@@ -454,49 +469,75 @@ class StagePool(WorkerPoolBase):
     def ensure_resident(self, problem) -> bool:
         """Install ``problem``'s frozen graph arrays where missing.
 
-        Returns ``True`` when the payload was actually shipped, ``False``
-        when the workers already held this freeze (re-plans, repeated
-        solves).  The payload is the dict-free detached index — the same
-        slim arrays :func:`~repro.parallel.pool.parallel_solve` ships.
-        Per-worker ledgers mean a respawned worker gets the arrays again
-        while its warm siblings do not.
+        Returns ``True`` when full graph arrays were actually shipped,
+        ``False`` when the workers already held this freeze (re-plans,
+        repeated solves) — including when stale-but-resident copies were
+        brought current with sparse ``graph_patch`` messages
+        (``last_patch_bytes``; a patch is not an install).  The full
+        payload is the dict-free detached index — the same slim arrays
+        :func:`~repro.parallel.pool.parallel_solve` ships.  Per-worker
+        ledgers mean a respawned worker gets the arrays again while its
+        warm siblings only get what they lack.
         """
         if self._closed:
             raise RuntimeError("stage pool is closed")
         token = problem.payload_token()
+        compiled = problem.compiled()
         self._current_problem = problem
+        # A solve boundary: the previous solve's spec is over, and a
+        # crash recovered during this install must not replay it — the
+        # old spec can name an older graph generation than the arrays
+        # recovery just installed.  ``start_solve`` ships the new one.
+        self._current_spec = None
         self._mru_token = token
-        home = getattr(problem.compiled(), "disk_home", None)
         detached = None
+
+        def payload():
+            nonlocal detached
+            if detached is None:
+                detached = compiled.detach()
+            return detached
+
         payloads: "dict[tuple, bytes]" = {}
         pending = []
+        shipped = False
         total_bytes = 0
+        patch_bytes = 0
         for worker in range(self.workers):
-            ship, evictions = self._ledgers[worker].plan(token)
-            if not ship:
+            ledger = self._ledgers[worker]
+            ship, evictions = ledger.plan(token)
+            # Full install (cold / demoted), sparse generation patch
+            # (resident but stale), or nothing (resident and current) —
+            # resolved by the shared protocol helper.  On-disk indexes
+            # install as the manifest path: O(1) bytes at any size.
+            message, kind = plan_graph_message(
+                ledger, token, compiled, ship, evictions, payload
+            )
+            if message is None:
                 continue
-            data = payloads.get(evictions)
-            if data is None:
-                if home is not None:
-                    # Frozen on-disk index: the install is the manifest
-                    # path — O(1) bytes at any graph size, cold or warm.
-                    message = ("graph_path", token, home, evictions)
-                else:
-                    if detached is None:
-                        detached = problem.compiled().detach()
-                    message = ("graph", token, detached, evictions)
+            if kind == "install":
+                # Identical installs share one pickle, keyed by the
+                # eviction list (the only per-worker part).
+                data = payloads.get(message[3])
+                if data is None:
+                    data = pickle.dumps(message)
+                    payloads[message[3]] = data
+                shipped = True
+            else:
                 data = pickle.dumps(message)
-                payloads[evictions] = data
+                patch_bytes += len(data)
             self._send_bytes(worker, data)
             total_bytes += len(data)
             pending.append(worker)
         self.last_install_bytes = total_bytes
+        self.last_patch_bytes = patch_bytes
         if not pending:
             return False
-        self._install_events += 1
+        if shipped:
+            self._install_events += 1
         for worker in pending:
             self._await_ack(worker)
-        return True
+        return shipped
 
     def start_solve(self, spec: dict) -> None:
         """Set up per-solve worker state (problem spec, CE mirrors)."""
@@ -679,6 +720,7 @@ class ShardedStageExecutor(StageExecutor):
             ctx.stats.extra,
             shipped=shipped,
             payload_bytes=self.pool.last_install_bytes,
+            patch_bytes=self.pool.last_patch_bytes,
         )
         # Shard-protocol overhead accounting (the ROADMAP's "overhead
         # curve"): every broadcast/stage message exchanged with a worker

@@ -703,6 +703,7 @@ class ExecutionContext:
             # so fault-free stats are unchanged.
             installs = pool.batch_installs
             payload_bytes = pool.batch_payload_bytes
+            patch_bytes = pool.batch_patch_bytes
             for entry in entries:
                 result = results[entry["index"]]
                 if result is not None:
@@ -711,6 +712,7 @@ class ExecutionContext:
                         shipped=installs > 0,
                         payload_bytes=payload_bytes,
                         installs=installs,
+                        patch_bytes=patch_bytes,
                     )
                     record_recovery(
                         result.stats.extra,

@@ -12,8 +12,16 @@ stdlib ``asyncio`` server on top of the self-healing runtime:
   graph to plan over), and ``slo_s`` (latency objective; the daemon
   picks the budget — see below).  Replies stream back *in completion
   order*, tagged with the request's ``id``, one JSON object per line.
-  The same port answers plain HTTP ``GET /healthz`` / ``/readyz`` /
-  ``/metrics`` for probes.
+  A line with ``"kind": "mutate"`` carries no solve spec but a
+  ``deltas`` list (``["add_node", ...]`` / ``["add_edge", ...]`` /
+  ``["set_tightness", ...]`` / ``["remove_edge", ...]`` records, see
+  :meth:`~repro.graph.compiled.CompiledGraph.apply_deltas`): the
+  tenant's graph is patched **between batches at the dispatch
+  boundary** — never under a solve in flight — and because the patch
+  preserves the payload token and bumps the index generation, warm
+  pool workers are refreshed by a sparse ``graph_patch`` record on
+  the next batch instead of a full re-install.  The same port answers
+  plain HTTP ``GET /healthz`` / ``/readyz`` / ``/metrics`` for probes.
 
 * **admission control** (:mod:`repro.serving.admission`) — a bounded
   queue with typed ``kind="shed"`` / ``kind="queue_timeout"``
@@ -63,6 +71,7 @@ import json
 import os
 import time
 import weakref
+from collections import deque
 from typing import Optional
 
 from repro.exceptions import BatchExecutionError, ReproError, RequestFailure
@@ -220,6 +229,10 @@ class ServingDaemon:
         self._work = asyncio.Event()
         self._dispatcher: Optional[asyncio.Task] = None
         self._conn_tasks: "set[asyncio.Task]" = set()
+        #: ``kind="mutate"`` requests waiting for the next dispatch
+        #: boundary (the batching loop is the tenant graphs' only
+        #: writer, so patches never land under a solve in flight).
+        self._mutations: "deque[PendingRequest]" = deque()
         self._draining = False
         self._started = False
         self._batch_seq = 0
@@ -360,7 +373,10 @@ class ServingDaemon:
             if not isinstance(spec, dict):
                 raise _InvalidRequest("request line must be a JSON object")
             request_id = spec.get("id", sequence)
-            entry = self._admit(spec, request_id)
+            if spec.get("kind") == "mutate":
+                entry = self._admit_mutation(spec, request_id)
+            else:
+                entry = self._admit(spec, request_id)
         except _InvalidRequest as error:
             self.counters["invalid"] += 1
             await self._write(
@@ -456,6 +472,48 @@ class ServingDaemon:
         rejection = self.admission.admit(entry, draining=self._draining)
         return rejection if rejection is not None else entry
 
+    def _admit_mutation(self, spec: dict, request_id):
+        """Validate one ``kind="mutate"`` line and queue it for the next
+        dispatch boundary; returns the pending entry or a typed
+        rejection (draining daemons shed mutations like solves)."""
+        spec = dict(spec)
+        spec.pop("id", None)
+        spec.pop("kind", None)
+        tenant = spec.pop("tenant", "default")
+        if tenant not in self.graphs:
+            raise _InvalidRequest(
+                f"unknown tenant {tenant!r}; serving: {sorted(self.graphs)}"
+            )
+        deltas = spec.pop("deltas", None)
+        if spec:
+            raise _InvalidRequest(
+                f"unexpected mutate keys: {sorted(spec)}; a mutate line "
+                'takes only "id", "tenant" and "deltas"'
+            )
+        if (
+            not isinstance(deltas, list)
+            or not deltas
+            or not all(
+                isinstance(op, (list, tuple)) and op and isinstance(op[0], str)
+                for op in deltas
+            )
+        ):
+            raise _InvalidRequest(
+                'mutate needs "deltas": a non-empty list of '
+                '["op", node(s), weight(s)...] records'
+            )
+        if self._draining:
+            return RequestFailure("daemon is draining", kind="shed")
+        entry = PendingRequest(
+            id=request_id,
+            tenant=tenant,
+            spec={"deltas": [tuple(op) for op in deltas]},
+            future=asyncio.get_running_loop().create_future(),
+            arrived_at=time.monotonic(),
+        )
+        self._mutations.append(entry)
+        return entry
+
     @staticmethod
     async def _write(writer, write_lock, payload: dict) -> None:
         async with write_lock:
@@ -466,10 +524,27 @@ class ServingDaemon:
     # Dispatch
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
-        while not (self._draining and self.admission.depth == 0):
+        while not (
+            self._draining
+            and self.admission.depth == 0
+            and not self._mutations
+        ):
             await self._work.wait()
             self._work.clear()
-            while self.admission.depth:
+            while self.admission.depth or self._mutations:
+                # Pending graph mutations apply strictly *between*
+                # solve batches — this loop is the tenant graphs' only
+                # writer, so a patch never lands under a solve in
+                # flight, and the very next batch already plans sparse
+                # ``graph_patch`` records against the new generation.
+                while self._mutations:
+                    entry = self._mutations.popleft()
+                    payload = await asyncio.to_thread(
+                        self._apply_mutation, entry
+                    )
+                    self._settle_future(entry, payload)
+                if not self.admission.depth:
+                    continue
                 self._batch_seq += 1
                 if self.fault_plan is not None:
                     hold = self.fault_plan.queue_stall(self._batch_seq)
@@ -580,6 +655,35 @@ class ServingDaemon:
             self._observe(request, len(batch), result)
             payloads.append(self._ok_payload(entry, result))
         return payloads
+
+    def _apply_mutation(self, entry) -> dict:
+        """Apply one tenant's delta batch (worker thread, between batches).
+
+        The tenant's compiled index is patched in place through
+        :meth:`~repro.graph.compiled.CompiledGraph.apply_deltas` —
+        payload token preserved, generation bumped — so the resident
+        pools refresh warm workers with O(|delta|) ``graph_patch``
+        records on the next batch instead of full re-installs.  An
+        mmap-backed tenant (a ``graphs=`` path) is materialized into
+        memory by the first patch.  Never raises: a bad delta becomes
+        the entry's typed ``mutate_error`` reply.
+        """
+        deltas = entry.spec["deltas"]
+        try:
+            compiled = self.graphs[entry.tenant].compiled()
+            generation = compiled.apply_deltas(deltas)
+        except Exception as error:
+            return self._error_payload(
+                entry.id, "mutate_error", f"{type(error).__name__}: {error}"
+            )
+        return {
+            "id": entry.id,
+            "ok": True,
+            "tenant": entry.tenant,
+            "kind": "mutate",
+            "generation": generation,
+            "applied": len(deltas),
+        }
 
     def _observe(self, request, batch_size: int, result) -> None:
         """Feed one completed solve into the SLO work-rate calibration."""

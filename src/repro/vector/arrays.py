@@ -5,14 +5,17 @@ as plain Python lists (cheap to pickle, fast to index from the scalar
 kernels).  The vector kernels need the same data as contiguous numpy
 arrays; :class:`VectorGraph` converts each list exactly once and the
 module-level cache keys the result by
-:attr:`~repro.graph.compiled.CompiledGraph.payload_token` — the same
-token the residency protocol uses — so:
+``(payload_token, generation)`` — the same identity the residency
+protocol tracks — so:
 
 * repeated solves on one graph reuse the arrays;
 * a stage-pool worker, which receives the *detached* payload
   (``detach()`` shares the lists and the token), builds the arrays once
   per resident graph, not once per solve;
-* a graph mutation mints a new token and therefore new arrays.
+* an out-of-band graph mutation mints a new token and therefore new
+  arrays, while an :meth:`~repro.graph.compiled.CompiledGraph.
+  apply_deltas` patch bumps the generation — either way the stale numpy
+  mirror is never served again (old generations age out of the LRU).
 
 The cache holds a handful of graphs (mirroring the workers' bounded
 resident stores) with least-recently-used eviction.
@@ -30,7 +33,7 @@ __all__ = ["VectorGraph", "vector_graph_for", "discard_vector_graph"]
 #: bounded resident stores (a serving session rotates a few graphs).
 _CACHE_LIMIT = 8
 
-_CACHE: "OrderedDict[str, VectorGraph]" = OrderedDict()
+_CACHE: "OrderedDict[tuple, VectorGraph]" = OrderedDict()
 
 
 class VectorGraph:
@@ -38,6 +41,7 @@ class VectorGraph:
 
     __slots__ = (
         "token",
+        "generation",
         "offsets",
         "targets",
         "pair_w",
@@ -49,6 +53,7 @@ class VectorGraph:
 
     def __init__(self, compiled) -> None:
         self.token = compiled.payload_token
+        self.generation = getattr(compiled, "generation", 0)
         self.offsets = np.asarray(compiled.offsets, dtype=np.int64)
         self.targets = np.asarray(compiled.targets, dtype=np.int64)
         self.pair_w = np.asarray(compiled.pair_w, dtype=np.float64)
@@ -62,23 +67,25 @@ class VectorGraph:
 
 def vector_graph_for(compiled) -> VectorGraph:
     """The (cached) :class:`VectorGraph` for one compiled index."""
-    token = compiled.payload_token
-    graph = _CACHE.get(token)
+    key = (compiled.payload_token, getattr(compiled, "generation", 0))
+    graph = _CACHE.get(key)
     if graph is not None:
-        _CACHE.move_to_end(token)
+        _CACHE.move_to_end(key)
         return graph
     graph = VectorGraph(compiled)
-    _CACHE[token] = graph
+    _CACHE[key] = graph
     while len(_CACHE) > _CACHE_LIMIT:
         _CACHE.popitem(last=False)
     return graph
 
 
 def discard_vector_graph(token: str) -> None:
-    """Drop one graph's cached arrays (no-op when absent).
+    """Drop one graph's cached arrays, every generation (no-op if absent).
 
-    ``CompiledGraph.close`` calls this before unmapping an mmap-backed
-    index: the cached numpy views alias the mapped buffers zero-copy, so
-    they must be released for the mapping to actually close.
+    ``CompiledGraph.close`` (and ``_materialize``, before patching an
+    mmap-backed index) calls this ahead of unmapping: the cached numpy
+    views alias the mapped buffers zero-copy, so every generation's
+    views must be released for the mapping to actually close.
     """
-    _CACHE.pop(token, None)
+    for key in [key for key in _CACHE if key[0] == token]:
+        del _CACHE[key]

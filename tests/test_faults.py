@@ -60,6 +60,7 @@ _VOLATILE_KEYS = frozenset(
         "batch_payload_bytes",
         "shard_rpcs",
         "shard_patch_bytes",
+        "graph_patch_bytes",
         "stage_workers",
         "failed_requests",
         "worker_restarts",

@@ -299,3 +299,93 @@ class TestPlanning:
         victim = next(iter(solution.members - {anchor}))
         refreshed = planner.record_decline(victim)
         assert anchor in refreshed.members
+
+
+class TestPrunedDeclines:
+    """``prune_declined=True``: declines really shrink the graph, as an
+    in-place delta patch (same frozen index, bumped generation)."""
+
+    def _fresh_graph(self, seed=17, n=60):
+        # Fresh per-test graph: pruning mutates it, so the session-scoped
+        # fixtures must never be used here.
+        from repro.graph.generators import random_social_graph
+
+        return random_social_graph(n, average_degree=4.0, seed=seed)
+
+    def test_decline_prunes_incident_edges_in_place(self):
+        from repro.graph.compiled import CompiledGraph
+
+        graph = self._fresh_graph()
+        problem = WASOProblem(graph=graph, k=5)
+        planner = OnlinePlanner(
+            problem,
+            solver=CBASND(budget=60, m=6, stages=3),
+            rng=7,
+            prune_declined=True,
+        )
+        compiled = graph.compiled()
+        token = compiled.payload_token
+        solution = planner.plan()
+        victim = next(iter(solution.members))
+        assert graph.degree(victim) > 0
+        refreshed = planner.record_decline(victim)
+        assert victim not in refreshed.members
+        assert graph.degree(victim) == 0  # edges gone, not just forbidden
+        # Patched in place: same index object, same token, new generation
+        # — and bit-identical to a fresh refreeze of the pruned graph.
+        assert graph.compiled() is compiled
+        assert compiled.payload_token == token
+        assert compiled.generation >= 1
+        fresh = CompiledGraph.from_graph(graph)
+        assert list(compiled.offsets) == list(fresh.offsets)
+        assert list(compiled.targets) == list(fresh.targets)
+        assert list(compiled.potential) == list(fresh.potential)
+        planner.close()
+
+    def test_pruned_replan_keeps_warm_state(self):
+        graph = self._fresh_graph(seed=23)
+        problem = WASOProblem(graph=graph, k=5)
+        planner = OnlinePlanner(
+            problem,
+            solver=CBASND(budget=60, m=6, stages=3),
+            rng=9,
+            prune_declined=True,
+        )
+        solution = planner.plan()
+        victim = next(iter(solution.members))
+        planner.record_decline(victim)
+        # The re-stamped warm state survived the mutation: the replan
+        # ran warm (CE vectors / start ranking reused), not cold.
+        assert planner.last_result.stats.extra.get("warm_start") is True
+        assert planner.replan_count == 1
+        planner.close()
+
+    def test_warm_declining_replan_ships_patch_not_install(self):
+        """The ISSUE's headline guarantee: a warm resident pool serves a
+        declining replan with a sparse ``graph_patch`` — zero graph
+        re-installs, patch bytes on the wire."""
+        from repro.runtime import ExecutionContext
+
+        graph = self._fresh_graph(seed=29, n=80)
+        problem = WASOProblem(graph=graph, k=5)
+        with ExecutionContext(workers=2, mode="stage") as context:
+            with OnlinePlanner(
+                problem,
+                solver=context.make_solver(
+                    "cbas-nd", budget=100, m=6, stages=2
+                ),
+                rng=3,
+                prune_declined=True,
+                context=context,
+            ) as planner:
+                solution = planner.plan()
+                first_extra = planner.last_result.stats.extra
+                assert first_extra["graph_shipped"]
+                installs_before = context.stage_pool().installs
+                victim = next(iter(sorted(solution.members, key=repr)))
+                planner.record_decline(victim)
+                extra = planner.last_result.stats.extra
+                assert context.stage_pool().installs == installs_before
+                assert extra.get("graph_installs", 0) == 0
+                assert not extra["graph_shipped"]
+                assert extra["graph_patch_bytes"] > 0

@@ -63,6 +63,7 @@ _VOLATILE_KEYS = frozenset(
         "batch_payload_bytes",
         "shard_rpcs",
         "shard_patch_bytes",
+        "graph_patch_bytes",
         "stage_workers",
         "failed_requests",
         "worker_restarts",
@@ -876,3 +877,136 @@ class TestServeCli:
         save_json(facebook_like(30, seed=1), str(graph_path))
         with pytest.raises(SystemExit, match="NAME=GRAPH"):
             main(["serve", str(graph_path), "--tenant", "nonsense"])
+
+
+# ----------------------------------------------------------------------
+# kind="mutate": streaming graph deltas at the dispatch boundary
+# ----------------------------------------------------------------------
+class TestMutate:
+    """``kind="mutate"`` lines patch a tenant's graph between batches."""
+
+    def _graph(self):
+        # Fresh per-test graph: mutations write into it, so the
+        # session-scoped fixtures must never serve as tenants here.
+        return facebook_like(n=60, seed=11)
+
+    def _solve_spec(self, request_id):
+        return {
+            "id": request_id,
+            "k": 5,
+            "budget": 40,
+            "m": 4,
+            "stages": 2,
+            "seed": 33,
+        }
+
+    def test_mutate_patches_between_batches(self, no_orphans):
+        graph = self._graph()
+        anchor = next(iter(graph.nodes()))
+        deltas = [
+            ["add_node", "zz", 1.2, 0.5],
+            ["add_edge", "zz", anchor, 0.4],
+        ]
+
+        async def scenario():
+            daemon = ServingDaemon(
+                graph, mode="stage", **_daemon_kwargs()
+            )
+            host, port = await daemon.start()
+            try:
+                first = await _send_all(
+                    host, port, [self._solve_spec("s1")]
+                )
+                mutated = await _send_all(
+                    host, port,
+                    [{"id": "m1", "kind": "mutate", "deltas": deltas}],
+                )
+                second = await _send_all(
+                    host, port, [self._solve_spec("s2")]
+                )
+            finally:
+                await daemon.shutdown()
+            return first["s1"], mutated["m1"], second["s2"]
+
+        cold, mutate, warm = asyncio.run(scenario())
+        assert cold["ok"] and cold["extra"]["graph_shipped"]
+        assert mutate == {
+            "id": "m1",
+            "ok": True,
+            "tenant": "default",
+            "kind": "mutate",
+            "generation": 1,
+            "applied": 2,
+        }
+        # The warm solve after the mutation shipped a sparse patch, not
+        # a re-install — and solved the *mutated* graph: bit-identical
+        # to a direct context over an identically-mutated fresh graph.
+        assert warm["ok"], warm
+        assert not warm["extra"]["graph_shipped"]
+        assert warm["extra"].get("graph_installs", 0) == 0
+        assert warm["extra"]["graph_patch_bytes"] > 0
+        direct_graph = facebook_like(n=60, seed=11)
+        direct_graph.add_node("zz", interest=1.2, lam=0.5)
+        direct_graph.add_edge("zz", anchor, 0.4)
+        [direct] = _direct_results(
+            direct_graph, [self._solve_spec("s2")], mode="stage"
+        )
+        _assert_reply_matches(warm, direct)
+
+    def test_mutate_validation(self, no_orphans):
+        graph = self._graph()
+
+        async def scenario():
+            daemon = ServingDaemon(graph, **_daemon_kwargs())
+            host, port = await daemon.start()
+            try:
+                replies = await _send_all(
+                    host, port,
+                    [
+                        {"id": "t", "kind": "mutate", "tenant": "nope",
+                         "deltas": [["add_node", "a", 1.0, None]]},
+                        {"id": "d", "kind": "mutate", "deltas": []},
+                        {"id": "x", "kind": "mutate", "deltas": "zap"},
+                        {"id": "k", "kind": "mutate", "budget": 4,
+                         "deltas": [["add_node", "a", 1.0, None]]},
+                        {"id": "b", "kind": "mutate",
+                         "deltas": [["remove_edge", "no-such", "node"]]},
+                    ],
+                )
+            finally:
+                await daemon.shutdown()
+            return replies
+
+        replies = asyncio.run(scenario())
+        for request_id in ("t", "d", "x", "k"):
+            assert not replies[request_id]["ok"]
+            assert replies[request_id]["error"]["kind"] == "invalid"
+        assert not replies["b"]["ok"]
+        assert replies["b"]["error"]["kind"] == "mutate_error"
+
+    def test_mutate_shed_while_draining(self, no_orphans):
+        graph = self._graph()
+
+        async def scenario():
+            daemon = ServingDaemon(graph, **_daemon_kwargs())
+            host, port = await daemon.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            daemon._draining = True  # as shutdown() flips it mid-drain
+            writer.write(
+                json.dumps(
+                    {"id": "m", "kind": "mutate",
+                     "deltas": [["add_node", "a", 1.0, None]]}
+                ).encode() + b"\n"
+            )
+            await writer.drain()
+            writer.write_eof()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            daemon._draining = False
+            await daemon.shutdown()
+            return json.loads(line)
+
+        reply = asyncio.run(scenario())
+        assert not reply["ok"]
+        assert reply["error"]["kind"] == "shed"
